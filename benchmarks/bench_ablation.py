@@ -1,0 +1,92 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+* **Distinct vs plain active-domain lists.**  The plain Section 4 adom
+  (union of projections) carries one entry per (relation, column, row);
+  FuncToList sweeps its k-th power, so duplicates multiply the sweep by
+  |r|^k factors.  The duplicate-suppressing operators (expressible in
+  TLI=0 via Order_k) cut the list to one entry per constant.
+* **Semi-naive vs naive Datalog** lives in bench_theorem_4_2.py; the
+  small-step vs NBE engine comparison in bench_list_iteration.py.
+"""
+
+import pytest
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_database
+from repro.db.generators import random_relation
+from repro.db.relations import Database
+from repro.lam.nbe import nbe_normalize
+from repro.lam.terms import Var, app, lam
+from repro.queries.fixpoint import func_to_list_term, list_to_func_term
+from repro.queries.relalg_compile import active_domain_expr_term
+
+
+def _sweep_term(distinct: bool):
+    """``λR. FuncToList(ListToFunc R)`` with the chosen adom flavor: the
+    membership re-encoding pass at the heart of every fixpoint stage."""
+    domain = active_domain_expr_term({"R": 2}, Var, distinct=distinct)
+    return lam(
+        ["R"],
+        app(
+            func_to_list_term(2, domain),
+            app(list_to_func_term(2), Var("R")),
+        ),
+    )
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["distinct", "plain"])
+@pytest.mark.parametrize("size", [4, 8])
+def test_domain_sweep(benchmark, distinct, size):
+    relation = random_relation(2, size, seed=size)
+    db = Database.of({"R": relation})
+    term = app(_sweep_term(distinct), *encode_database(db))
+
+    def run():
+        return nbe_normalize(term, max_depth=1_000_000)
+
+    result = benchmark(run)
+    decoded = decode_relation(result, 2)
+    assert decoded.relation.same_set(relation)
+
+
+@pytest.mark.parametrize("distinct", [True, False], ids=["distinct", "plain"])
+@pytest.mark.parametrize("size", [8, 14])
+def test_complement_membership(benchmark, distinct, size):
+    """The case the distinct variants were built for: ``adom^2 - R`` over a
+    *small universe* (many rows per constant, as in the compiled
+    first-order pipelines).  The plain adom list has one entry per
+    (column, row) — here ~7x the universe — and squaring it multiplies the
+    membership scans ~50x."""
+    from repro.db.generators import constant_universe
+    from repro.queries.operators import difference_term, product_term
+
+    relation = random_relation(
+        2, size, constant_universe(4), seed=size + 100
+    )
+    db = Database.of({"R": relation})
+    domain = active_domain_expr_term({"R": 2}, Var, distinct=distinct)
+    term = app(
+        lam(
+            ["R"],
+            app(
+                difference_term(2),
+                app(product_term(1, 1), domain, domain),
+                Var("R"),
+            ),
+        ),
+        *encode_database(db),
+    )
+
+    def run():
+        return nbe_normalize(term, max_depth=1_500_000)
+
+    result = benchmark(run)
+    decoded = decode_relation(result, 2)
+    constants = set(db.active_domain())
+    expected = {
+        (a, b)
+        for a in constants
+        for b in constants
+        if (a, b) not in relation.as_set()
+    }
+    assert decoded.relation.as_set() == expected

@@ -1,0 +1,60 @@
+"""E7 (Lemma 3.2 / Lemma 3.9): encode/decode round trips and query-term
+recognition throughput."""
+
+import pytest
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_relation
+from repro.db.generators import random_relation
+from repro.queries.fixpoint import build_fixpoint_query, transitive_closure_query
+from repro.queries.language import QueryArity, recognize_mli, recognize_tli
+from repro.queries.operators import intersection_term, precedes_relation_term
+
+
+@pytest.mark.parametrize("size", [16, 64, 256])
+def test_encode(benchmark, size):
+    rel = random_relation(2, size, seed=size)
+    term = benchmark(encode_relation, rel)
+    assert term is not None
+
+
+@pytest.mark.parametrize("size", [16, 64, 256])
+def test_decode(benchmark, size):
+    rel = random_relation(2, size, seed=size)
+    term = encode_relation(rel)
+    decoded = benchmark(decode_relation, term, 2)
+    assert decoded.relation == rel
+
+
+@pytest.mark.parametrize(
+    "name, builder, signature",
+    [
+        (
+            "intersection",
+            lambda: intersection_term(2),
+            QueryArity((2, 2), 2),
+        ),
+        (
+            "precedes",
+            lambda: precedes_relation_term(2),
+            QueryArity((2,), 4),
+        ),
+        (
+            "fixpoint_tli",
+            lambda: build_fixpoint_query(
+                transitive_closure_query("E"), "tli"
+            ),
+            QueryArity((2,), 2),
+        ),
+    ],
+)
+def test_tli_recognition(benchmark, name, builder, signature):
+    term = builder()
+    result = benchmark(recognize_tli, term, signature)
+    assert result.derivation_order in (3, 4)
+
+
+def test_mli_recognition_of_fixpoint(benchmark):
+    term = build_fixpoint_query(transitive_closure_query("E"), "mli")
+    result = benchmark(recognize_mli, term, QueryArity((2,), 2))
+    assert result.derivation_order == 4

@@ -1,0 +1,51 @@
+"""E6 (Section 2.3): list-iteration programming.
+
+Parity and Length are constant-size programs — "the iterative machinery is
+taken from the data" — so the reduction cost grows with the list, not the
+program.  Both engines are measured.
+"""
+
+import pytest
+
+from repro.lam.combinators import (
+    boolean_list,
+    boolean_value,
+    length_term,
+    numeral_value,
+    parity_term,
+)
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import normalize
+from repro.lam.terms import app, term_size
+
+
+def test_program_size_is_constant():
+    assert term_size(parity_term()) < 60
+    assert term_size(length_term()) < 40
+
+
+@pytest.mark.parametrize("length", [16, 64, 256])
+def test_parity_nbe(benchmark, length):
+    values = [i % 3 == 0 for i in range(length)]
+    term = app(parity_term(), boolean_list(values))
+    result = benchmark(nbe_normalize, term)
+    assert boolean_value(result) == (sum(values) % 2 == 1)
+
+
+@pytest.mark.parametrize("length", [16, 64])
+def test_parity_smallstep(benchmark, length):
+    values = [i % 3 == 0 for i in range(length)]
+    term = app(parity_term(), boolean_list(values))
+
+    def run():
+        return normalize(term)
+
+    outcome = benchmark(run)
+    assert boolean_value(outcome.term) == (sum(values) % 2 == 1)
+
+
+@pytest.mark.parametrize("length", [16, 64, 256])
+def test_length_nbe(benchmark, length):
+    term = app(length_term(), boolean_list([True] * length))
+    result = benchmark(nbe_normalize, term)
+    assert numeral_value(result) == length

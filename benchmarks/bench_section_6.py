@@ -1,0 +1,46 @@
+"""E5 (Section 6): type reconstruction at fixed order.
+
+Three series:
+
+* TLC= reconstruction on deep application chains — near-linear;
+* core-ML= reconstruction on the let-pairing chain — exponential in the
+  chain depth (principal type tree size doubles per let), the [31, 32]
+  worst case that bounding the functionality order does not remove;
+* core-ML= reconstruction on 3-SAT-shaped low-order instances — the
+  Section 6 instance style (order <= 4, arity growing with the formula).
+"""
+
+import pytest
+
+from repro.hardness.gadgets import (
+    let_pairing_chain,
+    principal_type_tree_size,
+    tlc_linear_family,
+)
+from repro.hardness.reduction import cnf_to_ml_term
+from repro.hardness.sat import random_cnf
+from repro.types.infer import infer
+from repro.types.ml import ml_infer
+
+
+@pytest.mark.parametrize("depth", [64, 256, 1024])
+def test_tlc_reconstruction(benchmark, depth):
+    term = tlc_linear_family(depth)
+    benchmark(infer, term)
+
+
+@pytest.mark.parametrize("depth", [4, 8, 12])
+def test_ml_pairing_chain_reconstruction(benchmark, depth):
+    term = let_pairing_chain(depth)
+    result = benchmark(ml_infer, term)
+    tree = principal_type_tree_size(
+        result.subst, result.occurrence_types[()]
+    )
+    assert tree >= 2 ** depth  # the exponential principal type
+
+
+@pytest.mark.parametrize("clauses", [8, 16, 32])
+def test_ml_sat_instances(benchmark, clauses):
+    term = cnf_to_ml_term(random_cnf(6, clauses, seed=clauses))
+    result = benchmark(ml_infer, term)
+    assert result.derivation_order() <= 4  # within the MLI=1 order bound

@@ -1,0 +1,48 @@
+"""E3 (Theorem 4.2): PTIME (fixpoint) queries are TLI=1 / MLI=1 queries.
+
+Transitive closure — the canonical PTIME-complete-under-FO-reductions
+query — compiled to a lambda term and evaluated, against the Datalog
+baseline engine (naive and semi-naive).  Answers asserted equal.
+"""
+
+import pytest
+
+from repro.datalog.ast import Literal, Program, RVar, Rule
+from repro.datalog.engine import evaluate_program
+from repro.eval.ptime import run_fixpoint_query
+from repro.queries.fixpoint import transitive_closure_query
+
+V = RVar
+
+TC_PROGRAM = Program.of(
+    [
+        Rule(Literal("tc", (V("x"), V("y"))), (Literal("E", (V("x"), V("y"))),)),
+        Rule(
+            Literal("tc", (V("x"), V("y"))),
+            (Literal("E", (V("x"), V("z"))), Literal("tc", (V("z"), V("y")))),
+        ),
+    ],
+    {"E": 2},
+)
+
+
+@pytest.mark.parametrize("strategy", ["seminaive", "naive"])
+def test_datalog_baseline(benchmark, bench_graph_db, strategy):
+    result = benchmark(
+        evaluate_program, TC_PROGRAM, bench_graph_db, strategy=strategy
+    )
+    assert len(result["tc"]) > 0
+
+
+@pytest.mark.parametrize("style", ["tli", "mli"])
+def test_tli1_fixpoint_evaluation(benchmark, bench_graph_db, style):
+    query = transitive_closure_query("E")
+    expected = evaluate_program(TC_PROGRAM, bench_graph_db)["tc"]
+
+    def run():
+        return run_fixpoint_query(
+            query, bench_graph_db, style=style
+        ).relation
+
+    result = benchmark(run)
+    assert result.same_set(expected)  # Theorem 4.2: same query

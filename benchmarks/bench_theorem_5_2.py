@@ -1,0 +1,81 @@
+"""E4 (Theorem 5.2): TLI=1 evaluation is PTIME — with the right strategy.
+
+Two measurements on the same compiled transitive-closure term:
+
+* the Section 5.3 evaluator (reduction with materialized stages) on a
+  growing chain family — the per-size timings grow polynomially;
+* naive reduction of the whole term (lazy NBE, and small-step normal
+  order via its step counter) on *tiny* instances — the work explodes
+  with the instance, which is the paper's observation that "most reduction
+  strategies required an exponential number of steps".
+
+The polynomial-vs-exponential *shape* comparison across sizes is printed
+by EXPERIMENTS.md's harness; here each point is a benchmark.
+"""
+
+import pytest
+
+from repro.db.encode import encode_database
+from repro.db.generators import chain_graph_relation
+from repro.db.relations import Database, Relation
+from repro.eval.ptime import run_fixpoint_query
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import normalize
+from repro.lam.terms import app
+from repro.queries.fixpoint import build_fixpoint_query, transitive_closure_query
+
+QUERY = transitive_closure_query("E")
+TLI_TERM = build_fixpoint_query(QUERY, style="tli")
+MLI_TERM = build_fixpoint_query(QUERY, style="mli")
+
+
+@pytest.mark.parametrize("nodes", [4, 6, 8])
+def test_ptime_evaluator_scaling(benchmark, nodes):
+    db = Database.of({"E": chain_graph_relation(nodes)})
+
+    def run():
+        return run_fixpoint_query(QUERY, db, style="tli").relation
+
+    result = benchmark(run)
+    assert len(result) == nodes * (nodes - 1) // 2
+
+
+@pytest.mark.parametrize("edges", [0, 1])
+def test_naive_nbe_blowup(benchmark, edges):
+    """Whole-term lazy reduction: already substantial at one edge (the
+    same evaluator finishes the 8-node chain instantly when driven
+    stage-wise above; two edges is minutes per run, so it lives only in
+    the E4 term-growth series)."""
+    rows = [(f"o{i}", f"o{i + 1}") for i in range(1, edges + 1)]
+    db = Database.of({"E": Relation.from_tuples(2, rows)})
+    applied = app(MLI_TERM, *encode_database(db))
+
+    def run():
+        return nbe_normalize(applied, max_depth=2_000_000)
+
+    benchmark(run)
+
+
+def test_smallstep_term_growth():
+    """Not a timing: normal-order reduction of the one-edge instance makes
+    the term *grow* (each step duplicates parts of the stage tower), while
+    the empty instance normalizes in a handful of steps — the Section 5
+    observation that naive strategies explode."""
+    from repro.lam.reduce import step
+    from repro.lam.terms import term_size
+
+    empty = Database.of({"E": Relation.from_tuples(2, [])})
+    outcome = normalize(app(MLI_TERM, *encode_database(empty)))
+    assert outcome.steps < 100
+
+    one = Database.of({"E": Relation.from_tuples(2, [("o1", "o2")])})
+    current = app(MLI_TERM, *encode_database(one))
+    start = term_size(current)
+    for _ in range(300):
+        result = step(current)
+        if result is None:  # pragma: no cover - it does not normalize here
+            break
+        current = result[0]
+    growth = term_size(current) / start
+    print(f"\nterm growth after 300 normal-order steps: {growth:.1f}x")
+    assert growth > 10

@@ -1,0 +1,30 @@
+"""Shared workloads for the benchmark suite.
+
+Each ``bench_*`` module regenerates one experiment from EXPERIMENTS.md
+(E1-E7).  The paper is a theory paper — its "evaluation" is a set of
+theorems — so each benchmark measures the executable form of one claim:
+who wins, and how the cost curves grow.  Run with:
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.generators import random_database, random_graph_relation
+from repro.db.relations import Database
+
+
+@pytest.fixture(scope="session")
+def bench_db() -> Database:
+    """The standard two-relation database for the FO-level experiments."""
+    return random_database([2, 2], [8, 6], universe_size=5, seed=101)
+
+
+@pytest.fixture(scope="session")
+def bench_graph_db() -> Database:
+    """The standard graph for the fixpoint experiments."""
+    return Database.of(
+        {"E": random_graph_relation(7, 0.25, seed=102)}
+    )

@@ -1,0 +1,68 @@
+"""Queries without the equality constant: the pure-TLC track.
+
+TLC= gets equality from the delta rule; pure TLC has only beta.  The
+paper's Section 1 records the price of purity: FO-queries need functionality
+order 4 instead of 3.  This example shows the machinery — constants as
+domain-position selectors, the equality tester shipped *with the data* —
+and verifies that an entire query run performs zero delta reductions.
+
+Run:  python examples/pure_lambda_queries.py
+"""
+
+from repro import Database, Relation, pretty
+from repro.lam.terms import Var, app
+from repro.pure.driver import run_pure_query
+from repro.pure.encode import encode_pure_database, selector_term
+from repro.pure.operators import pure_intersection_term, pure_query
+from repro.relalg.ast import Base
+from repro.relalg.engine import evaluate_ra
+from repro.types.infer import infer
+
+
+def main() -> None:
+    db = Database.of(
+        {
+            "Likes": Relation.from_tuples(
+                2,
+                [("ada", "logic"), ("grace", "logic"), ("ada", "sets")],
+            ),
+            "Teaches": Relation.from_tuples(
+                2,
+                [("ada", "logic"), ("grace", "sets")],
+            ),
+        }
+    )
+
+    print("=== Constants become selectors over the active domain ===")
+    encoded = encode_pure_database(db)
+    print(f"active domain: {list(encoded.domain)}")
+    for index, constant in enumerate(encoded.domain[:2]):
+        print(f"  {constant!r} encodes as {pretty(selector_term(index, len(encoded.domain)))}")
+    print()
+
+    print("=== The equality tester travels with the data ===")
+    print(f"EQ (size {len(encoded.domain)}^2 matrix): "
+          f"{pretty(encoded.equality)[:100]}...\n")
+
+    print("=== An Eq-free query: Likes ∩ Teaches ===")
+    query = pure_query(
+        app(pure_intersection_term(2), Var("R"), Var("S")),
+        ["R", "S"],
+    )
+    run = run_pure_query(query, db, 2, require_pure=True)
+    print(f"answer: {run.relation}")
+    print(f"delta reductions performed: {run.delta_steps} (pure beta!)")
+
+    baseline = evaluate_ra(Base("Likes").intersect(Base("Teaches")), db)
+    assert run.relation.same_set(baseline)
+    print("matches the relational-algebra baseline.\n")
+
+    print("=== The order gap (Section 1, results (c)/(d)) ===")
+    order = infer(app(query, *encoded.inputs)).derivation_order()
+    print(f"derivation order at the pure convention: {order}")
+    print("the same query in TLC= has order 3 — purity costs exactly one "
+          "functionality order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""From lambda terms back to logic: the Section 5.2 translation.
+
+Theorem 5.1's proof is constructive: a TLI=0 query term — here written by
+hand, the way a functional programmer would — compiles into a first-order
+formula over the input structure, with the interpreted ``Precedes`` order
+atoms standing in for the list order.  This example translates a few
+handwritten queries, prints the formulas, and checks them against direct
+reduction.
+
+Run:  python examples/query_to_formula.py
+"""
+
+from repro import Database, QueryArity, Relation, parse, run_query
+from repro.eval.fo_translation import translate_query
+from repro.folog.formulas import formula_size
+
+
+QUERIES = [
+    (
+        "the diagonal: pairs (x, x) for tuples with equal components",
+        r"\R. \c. \n. R (\x y T. Eq x y (c x x T) T) n",
+        QueryArity((2,), 2),
+    ),
+    (
+        "column swap",
+        r"\R. \c. \n. R (\x y T. c y x T) n",
+        QueryArity((2,), 2),
+    ),
+    (
+        "the first tuple of the list (an order-aware query!)",
+        r"\R. \c. \n. c (R (\x y T. x) o1) (R (\x y T. y) o1) n",
+        QueryArity((2,), 2),
+    ),
+    (
+        "drop everything after a tuple starting with 'stop'",
+        r"\R. \c. \n. R (\x y T. Eq x stop n (c x y T)) n",
+        QueryArity((2,), 2),
+    ),
+]
+
+
+def main() -> None:
+    db = Database.of(
+        {
+            "R": Relation.from_tuples(
+                2,
+                [
+                    ("a", "b"),
+                    ("b", "b"),
+                    ("stop", "a"),
+                    ("c", "c"),
+                ],
+            )
+        }
+    )
+    print(f"input (list-represented!): {db['R']}\n")
+
+    for description, source, arity in QUERIES:
+        query = parse(source, constants=["stop"])
+        translation = translate_query(query, arity)
+        direct = run_query(query, db, arity=arity.output).relation
+        via_formula = translation.evaluate(db)
+        assert via_formula.same_set(direct)
+
+        print(f"--- {description} ---")
+        print(f"term:        {source.strip()}")
+        print(f"formula size: {formula_size(translation.formula)} nodes")
+        preview = str(translation.formula)
+        print(f"formula:     {preview[:110]}{'...' if len(preview) > 110 else ''}")
+        print(f"answer:      {sorted(direct.as_set())}")
+        print()
+
+    print(
+        "Every answer was computed twice — by beta/delta reduction and by\n"
+        "evaluating the translated first-order formula — and agreed.\n"
+        "Note the third query: it depends on the tuple *order*, and its\n"
+        "formula uses the Precedes atoms (Definition 3.4's list order)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — Functional database query languages as typed lambda calculi.
+
+A reproduction of Hillebrand & Kanellakis, *Functional Database Query
+Languages as Typed Lambda Calculi of Fixed Order* (PODS 1994): databases
+encoded as list-iterator lambda terms, queries as fixed-order TLC=/core-ML=
+terms, reduction as query semantics, and the paper's expressiveness and
+complexity results as executable artifacts.
+
+Quick tour (see ``examples/quickstart.py``):
+
+    >>> from repro import Relation, Database, run_query, build_ra_query
+    >>> from repro.relalg import Base
+    >>> db = Database.of({"R": Relation.from_tuples(2, [("o1", "o2")])})
+    >>> q = build_ra_query(Base("R").project(1), ["R"], {"R": 2})
+    >>> run_query(q, db, arity=1).relation.tuples
+    (('o2',),)
+
+Layers:
+
+* :mod:`repro.lam` — the lambda-calculus kernel (terms, parser, reduction,
+  NBE) and the Section 2.3 combinators;
+* :mod:`repro.types` — simple types, functionality order, unification,
+  TLC= and core-ML= reconstruction;
+* :mod:`repro.db` — relations as lambda terms (encode/decode, Lemma 3.2);
+* :mod:`repro.queries` — TLI=_i / MLI=_i query terms: the Section 4
+  operator library, relational algebra and first-order compilation
+  (Theorem 4.1), and the fixpoint machinery (Theorem 4.2);
+* :mod:`repro.eval` — evaluation: reduction drivers, the Section 5.2
+  first-order translation (Theorem 5.1), and the polynomial-time fixpoint
+  evaluator (Theorem 5.2);
+* :mod:`repro.relalg`, :mod:`repro.folog`, :mod:`repro.datalog` — the
+  independent baseline engines;
+* :mod:`repro.hardness` — the Section 6 type-reconstruction complexity lab.
+"""
+
+from repro.db.relations import Database, Relation
+from repro.db.encode import encode_database, encode_relation
+from repro.db.decode import decode_relation
+from repro.eval.driver import run_query
+from repro.eval.ptime import run_fixpoint_query
+from repro.eval.fo_translation import translate_query
+from repro.lam.parser import parse
+from repro.lam.pretty import pretty
+from repro.lam.reduce import Strategy, normalize
+from repro.lam.nbe import nbe_normalize
+from repro.queries.language import (
+    QueryArity,
+    is_mli_query_term,
+    is_tli_query_term,
+)
+from repro.queries.relalg_compile import build_ra_query
+from repro.queries.fixpoint import FixpointQuery, build_fixpoint_query
+from repro.types.infer import infer, principal_type
+from repro.types.ml import ml_infer, ml_principal_type
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "FixpointQuery",
+    "QueryArity",
+    "Relation",
+    "Strategy",
+    "__version__",
+    "build_fixpoint_query",
+    "build_ra_query",
+    "decode_relation",
+    "encode_database",
+    "encode_relation",
+    "infer",
+    "is_mli_query_term",
+    "is_tli_query_term",
+    "ml_infer",
+    "ml_principal_type",
+    "nbe_normalize",
+    "normalize",
+    "parse",
+    "pretty",
+    "principal_type",
+    "run_fixpoint_query",
+    "run_query",
+    "translate_query",
+]

@@ -1,0 +1,359 @@
+"""Command-line interface: ``repro <command> ...`` (or ``python -m repro``).
+
+Commands:
+
+* ``normalize`` — reduce a term to normal form (any engine, step counts);
+* ``type`` — reconstruct the principal TLC= or core-ML= type and order;
+* ``run`` — apply a query term to a database (JSON) and print the answer;
+* ``translate`` — compile a TLI=0/MLI=0 query term to a first-order
+  formula (Theorem 5.1) and optionally evaluate it;
+* ``fo`` — evaluate a first-order query (text syntax), either directly or
+  compiled through relational algebra into a TLI=0 term and reduced
+  (the Theorem 4.1 pipeline);
+* ``datalog`` — evaluate a Datalog(-not) program over a database, either
+  with the baseline engine or (single-IDB programs) compiled to a TLI=1
+  term and evaluated by the Theorem 5.2 fixpoint evaluator;
+* ``encode`` / ``decode`` — move between relations and lambda terms.
+
+The database JSON format maps relation names to tuple lists, e.g.::
+
+    {"E": [["o1", "o2"], ["o2", "o3"]], "S": [["o1"]]}
+
+Relation order in the file is the list-representation order
+(Definition 3.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_relation
+from repro.db.relations import Database, Relation
+from repro.errors import ReproError
+from repro.eval.driver import run_query
+from repro.eval.fo_translation import translate_query
+from repro.lam.parser import parse
+from repro.lam.pretty import pretty
+from repro.lam.reduce import Strategy, normalize
+from repro.lam.nbe import nbe_normalize
+from repro.queries.language import QueryArity, recognize_mli, recognize_tli
+from repro.types.infer import infer
+from repro.types.ml import ml_infer
+from repro.types.order import ground
+from repro.types.order import order as type_order
+
+
+def load_database(path: str) -> Database:
+    try:
+        with open(path) as handle:
+            raw = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read database {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"database {path!r} is not valid JSON: {exc}") from exc
+    relations: Dict[str, Relation] = {}
+    for name, rows in raw.items():
+        if not isinstance(rows, list):
+            raise ReproError(f"relation {name!r} must be a list of rows")
+        arity = len(rows[0]) if rows else 0
+        relations[name] = Relation.from_tuples(
+            arity, [tuple(str(v) for v in row) for row in rows]
+        )
+    return Database.of(relations)
+
+
+def read_term_argument(value: str, constants=()):
+    """A term given inline, or @path to read it from a file."""
+    if value.startswith("@"):
+        try:
+            with open(value[1:]) as handle:
+                value = handle.read()
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read term file {value[1:]!r}: {exc}"
+            ) from exc
+    return parse(value, constants=constants)
+
+
+def cmd_normalize(args) -> int:
+    term = read_term_argument(args.term, constants=args.constants or ())
+    if args.engine == "nbe":
+        print(pretty(nbe_normalize(term)))
+        return 0
+    strategy = (
+        Strategy.APPLICATIVE_ORDER
+        if args.engine == "applicative"
+        else Strategy.NORMAL_ORDER
+    )
+    outcome = normalize(term, strategy, fuel=args.fuel)
+    print(pretty(outcome.term))
+    if args.steps:
+        print(
+            f"# steps: {outcome.steps} "
+            f"(beta {outcome.beta_steps}, delta {outcome.delta_steps}, "
+            f"let {outcome.let_steps})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_type(args) -> int:
+    term = read_term_argument(args.term, constants=args.constants or ())
+    if args.ml:
+        result = ml_infer(term)
+        label = "core-ML="
+    else:
+        result = infer(term)
+        label = "TLC="
+    print(f"{label} principal type: {result.type}")
+    print(f"order (minimal ground instance): "
+          f"{type_order(ground(result.type))}")
+    print(f"derivation order: {result.derivation_order()}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    term = read_term_argument(args.query, constants=args.constants or ())
+    database = load_database(args.db)
+    outcome = run_query(
+        term, database, arity=args.arity, engine=args.engine
+    )
+    for row in outcome.relation.tuples:
+        print("\t".join(row))
+    if args.verbose:
+        print(f"# normal form: {pretty(outcome.normal_form)}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_translate(args) -> int:
+    term = read_term_argument(args.query, constants=args.constants or ())
+    signature = QueryArity(tuple(args.inputs), args.output)
+    translation = translate_query(term, signature)
+    print(translation.formula)
+    if args.db:
+        database = load_database(args.db)
+        print("# evaluation:", file=sys.stderr)
+        for row in translation.evaluate(database).tuples:
+            print("\t".join(row))
+    return 0
+
+
+def cmd_recognize(args) -> int:
+    term = read_term_argument(args.query, constants=args.constants or ())
+    signature = QueryArity(tuple(args.inputs), args.output)
+    for label, recognize in (("TLI=", recognize_tli), ("MLI=", recognize_mli)):
+        try:
+            result = recognize(term, signature)
+            print(
+                f"{label}{max(result.derivation_order - 3, 0)} query term "
+                f"(order {result.derivation_order})"
+            )
+        except ReproError as exc:
+            print(f"not a {label} query term: {exc}")
+    return 0
+
+
+def cmd_fo(args) -> int:
+    from repro.eval.materialize import run_ra_query_materialized
+    from repro.folog.evaluate import evaluate_fo_query
+    from repro.folog.parser import parse_formula
+    from repro.queries.fo_compile import compile_fo
+
+    formula = parse_formula(args.formula, constants=args.constants or ())
+    database = load_database(args.db)
+    output_vars = args.vars
+    if args.engine == "lambda":
+        schema = {name: relation.arity for name, relation in database}
+        expr = compile_fo(formula, output_vars, schema)
+        relation = run_ra_query_materialized(expr, database).relation
+    else:
+        relation = evaluate_fo_query(formula, output_vars, database)
+    for row in relation.tuples:
+        print("\t".join(row))
+    return 0
+
+
+def cmd_datalog(args) -> int:
+    from repro.datalog.compile import datalog_to_fixpoint
+    from repro.datalog.engine import evaluate_program
+    from repro.datalog.parser import parse_program
+    from repro.eval.ptime import run_fixpoint_query
+
+    try:
+        with open(args.program) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise ReproError(
+            f"cannot read program {args.program!r}: {exc}"
+        ) from exc
+    program = parse_program(source)
+    database = load_database(args.db)
+    if args.engine == "lambda":
+        fixpoint = datalog_to_fixpoint(program)
+        run = run_fixpoint_query(database=database, query=fixpoint)
+        name = program.idb_predicates()[0]
+        results = {name: run.relation}
+    else:
+        derived = evaluate_program(
+            program, database, semantics=args.semantics
+        )
+        results = {name: relation for name, relation in derived}
+    for name, relation in results.items():
+        for row in relation.tuples:
+            print(f"{name}\t" + "\t".join(row))
+    return 0
+
+
+def cmd_encode(args) -> int:
+    database = load_database(args.db)
+    for name, relation in database:
+        if args.relation and name != args.relation:
+            continue
+        print(f"{name} = {pretty(encode_relation(relation))}")
+    return 0
+
+
+def cmd_decode(args) -> int:
+    term = read_term_argument(args.term, constants=args.constants or ())
+    # In a valid encoding every tuple component is a constant (Lemma 3.2),
+    # so free variables can only be constants written without the o<digits>
+    # convention — promote them, matching what ``repro encode`` prints.
+    from repro.lam.subst import substitute_many
+    from repro.lam.terms import Const, free_vars
+
+    term = substitute_many(
+        term, {name: Const(name) for name in free_vars(term)}
+    )
+    decoded = decode_relation(term, args.arity)
+    for row in decoded.relation.tuples:
+        print("\t".join(row))
+    if decoded.had_duplicates:
+        print("# encoding contained duplicate tuples", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Functional database query languages as typed lambda calculi "
+            "(Hillebrand & Kanellakis, PODS 1994)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    p = commands.add_parser("normalize", help="reduce a term to normal form")
+    p.add_argument("term", help="a term, or @file")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--engine", choices=["nbe", "normal", "applicative"],
+                   default="nbe")
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.add_argument("--steps", action="store_true",
+                   help="report step counts (small-step engines)")
+    p.set_defaults(handler=cmd_normalize)
+
+    p = commands.add_parser("type", help="reconstruct the principal type")
+    p.add_argument("term", help="a term, or @file")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--ml", action="store_true",
+                   help="use core-ML= (let-polymorphic) reconstruction")
+    p.set_defaults(handler=cmd_type)
+
+    p = commands.add_parser("run", help="run a query term over a database")
+    p.add_argument("query", help="a query term, or @file")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--arity", type=int, default=None,
+                   help="expected output arity")
+    p.add_argument("--engine", choices=["nbe", "smallstep", "applicative"],
+                   default="nbe")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(handler=cmd_run)
+
+    p = commands.add_parser(
+        "translate",
+        help="compile a TLI=0/MLI=0 query to first-order logic",
+    )
+    p.add_argument("query", help="a query term, or @file")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--inputs", type=int, nargs="+", required=True,
+                   help="input arities k1 ... kl")
+    p.add_argument("--output", type=int, required=True,
+                   help="output arity k")
+    p.add_argument("--db", help="optionally evaluate over this database")
+    p.set_defaults(handler=cmd_translate)
+
+    p = commands.add_parser(
+        "recognize", help="Lemma 3.9: is this a TLI=/MLI= query term?"
+    )
+    p.add_argument("query", help="a query term, or @file")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--inputs", type=int, nargs="+", required=True)
+    p.add_argument("--output", type=int, required=True)
+    p.set_defaults(handler=cmd_recognize)
+
+    p = commands.add_parser(
+        "fo", help="evaluate a first-order query (Definition 3.5)"
+    )
+    p.add_argument("formula",
+                   help="e.g. \"exists y. R(x, y) & ~S(y, x)\"")
+    p.add_argument("--vars", nargs="+", required=True,
+                   help="output variables (column order)")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--engine", choices=["fo", "lambda"], default="fo",
+                   help="direct FO evaluation, or compile through RA to a "
+                        "TLI=0 term and reduce (Theorem 4.1)")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as constants")
+    p.set_defaults(handler=cmd_fo)
+
+    p = commands.add_parser(
+        "datalog", help="evaluate a Datalog(-not) program"
+    )
+    p.add_argument("program", help="program file (name(X,Y) :- ... syntax)")
+    p.add_argument("--db", required=True, help="database JSON file")
+    p.add_argument("--engine", choices=["datalog", "lambda"],
+                   default="datalog",
+                   help="baseline engine, or compile to a TLI=1 term and "
+                        "run the Theorem 5.2 evaluator (single IDB only)")
+    p.add_argument("--semantics", choices=["stratified", "inflationary"],
+                   default="stratified")
+    p.set_defaults(handler=cmd_datalog)
+
+    p = commands.add_parser("encode", help="encode database relations")
+    p.add_argument("--db", required=True)
+    p.add_argument("--relation", help="encode only this relation")
+    p.set_defaults(handler=cmd_encode)
+
+    p = commands.add_parser("decode", help="decode a relation encoding")
+    p.add_argument("term", help="a normal-form encoding, or @file")
+    p.add_argument("--arity", type=int, default=None)
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.set_defaults(handler=cmd_decode)
+
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Datalog with negation: the PTIME-queries baseline (Definition 3.6).
+
+The paper appeals to the Immerman–Vardi connection — "over ordered
+databases (in particular list-represented databases), fixpoint queries are
+sufficient to express all PTIME queries [28, 46]" — so our concrete
+representation of the PTIME-queries is fixpoint logic, with Datalog(-not)
+as the friendly rule syntax.  The engine implements naive and semi-naive
+bottom-up evaluation with stratified negation, plus an inflationary mode;
+single-IDB programs compile to the TLI=1/MLI=1 fixpoint terms of
+:mod:`repro.queries.fixpoint`.
+"""
+
+from repro.datalog.ast import Fact, Literal, Program, Rule, RuleTerm, RVar, RConst
+from repro.datalog.engine import evaluate_program, EvaluationStats
+from repro.datalog.stratify import stratify
+from repro.datalog.compile import datalog_to_fixpoint
+
+__all__ = [
+    "EvaluationStats",
+    "Fact",
+    "Literal",
+    "Program",
+    "RConst",
+    "RVar",
+    "Rule",
+    "RuleTerm",
+    "datalog_to_fixpoint",
+    "evaluate_program",
+    "stratify",
+]

@@ -1,0 +1,275 @@
+"""Compiling single-IDB Datalog(-not) programs to fixpoint queries.
+
+This is the bridge from rule syntax to the Theorem 4.2 machinery: each rule
+becomes a relational-algebra expression over the EDB relations and the
+fixpoint variable, rules for the IDB are unioned into the step, and the
+step runs as an inflationary fixpoint — compiled to a TLI=1/MLI=1 term by
+:func:`repro.queries.fixpoint.build_fixpoint_query` or evaluated in
+polynomial time by :func:`repro.eval.ptime.run_fixpoint_query`.
+
+Scope: one IDB predicate (transitive closure, reachability,
+same-generation, ... — the paper's kind of examples).  Negative body
+literals may mention EDB predicates or the IDB itself (inflationary
+reading).  Constants appearing in rule *heads* must belong to the active
+domain: relational algebra cannot invent constants, it can only select
+them from ``adom`` (multi-IDB programs can be run on the baseline engine
+of :mod:`repro.datalog.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.datalog.ast import Literal, Program, RConst, RVar, Rule
+from repro.errors import QueryTermError, SchemaError
+from repro.queries.fixpoint import FIX_NAME, FixpointQuery, fix
+from repro.relalg.ast import (
+    Base,
+    ColumnEqualsColumn,
+    ColumnEqualsConst,
+    CondAnd,
+    CondTrue,
+    Condition,
+    Difference,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+    adom,
+)
+
+
+def datalog_to_fixpoint(program: Program) -> FixpointQuery:
+    """Translate a single-IDB program to a :class:`FixpointQuery`."""
+    idb = program.idb_predicates()
+    if len(idb) != 1:
+        raise QueryTermError(
+            f"fixpoint compilation supports exactly one IDB predicate, "
+            f"got {idb}"
+        )
+    predicate = idb[0]
+    arity = program.idb_schema()[predicate]
+    pieces = [
+        _compile_rule(rule, predicate, program.edb())
+        for rule in program.rules
+    ]
+    step: RAExpr = pieces[0]
+    for piece in pieces[1:]:
+        step = Union(step, piece)
+    return FixpointQuery.of(
+        step, arity, program.edb(), inflationary=True
+    )
+
+
+def multi_idb_program(
+    program: Program, tags: "Dict[str, str]", pad: str
+) -> Program:
+    """Reduce a multi-IDB program to an equivalent single-IDB one by the
+    classical *tagging* construction.
+
+    Every IDB predicate ``P_i`` of arity ``a_i`` is folded into one
+    predicate ``__tagged__`` of arity ``1 + max(a_i)``: the first column
+    holds the tag constant of ``P_i``, columns 2..a_i+1 hold the original
+    tuple, and the rest are padded with ``pad``.  The tags and the pad must
+    be **constants present in the active domain of every database the
+    query will run on** (relational algebra can only select constants from
+    ``adom``) — :func:`extract_idb_relations` recovers the per-predicate
+    relations from the tagged fixpoint.
+
+    The reduction preserves the *inflationary* semantics exactly: one round
+    of the tagged program performs every original rule once against the
+    current (tagged) stage.
+    """
+    idb_schema = program.idb_schema()
+    missing = set(idb_schema) - set(tags)
+    if missing:
+        raise SchemaError(f"no tag constants for IDBs {sorted(missing)}")
+    if len(set(tags[name] for name in idb_schema)) != len(idb_schema):
+        raise SchemaError("tag constants must be distinct")
+    width = max(idb_schema.values(), default=0)
+
+    def fold(literal: Literal) -> Literal:
+        if literal.predicate not in idb_schema:
+            return literal
+        padding = (RConst(pad),) * (width - len(literal.terms))
+        return Literal(
+            "__tagged__",
+            (RConst(tags[literal.predicate]),) + literal.terms + padding,
+            literal.positive,
+        )
+
+    rules = [
+        Rule(fold(rule.head), tuple(fold(lit) for lit in rule.body))
+        for rule in program.rules
+    ]
+    return Program.of(rules, program.edb())
+
+
+def extract_idb_relations(
+    tagged, idb_schema: "Dict[str, int]", tags: "Dict[str, str]"
+):
+    """Split the tagged fixpoint relation back into the original IDBs."""
+    from repro.db.relations import Database, Relation
+
+    relations = {}
+    for name, arity in idb_schema.items():
+        rows = [
+            row[1 : 1 + arity]
+            for row in tagged.tuples
+            if row[0] == tags[name]
+        ]
+        relations[name] = Relation.deduplicated(arity, rows)
+    return Database.of(relations)
+
+
+def run_multi_idb_via_fixpoint(program: Program, database, tags=None, pad=None):
+    """Evaluate a multi-IDB program through the TLI=1 fixpoint pipeline.
+
+    ``tags``/``pad`` default to distinct active-domain constants (note:
+    auto-picking makes the compiled query depend on the database; pass
+    fixed constants for a data-independent query term).  Raises
+    :class:`SchemaError` when the domain is too small to host the tags.
+    """
+    from repro.errors import EvaluationError
+    from repro.eval.ptime import run_fixpoint_query
+
+    idb_schema = program.idb_schema()
+    domain = database.active_domain()
+    if tags is None or pad is None:
+        needed = len(idb_schema) + 1
+        if len(domain) < needed:
+            raise SchemaError(
+                f"active domain has {len(domain)} constants; "
+                f"{needed} needed for tags and padding"
+            )
+        picked = domain[:needed]
+        tags = dict(zip(sorted(idb_schema), picked))
+        pad = picked[-1]
+    else:
+        absent = (set(tags.values()) | {pad}) - set(domain)
+        if absent:
+            raise SchemaError(
+                f"tag/pad constants {sorted(absent)} not in the active "
+                f"domain (relational algebra cannot invent constants)"
+            )
+    tagged_program = multi_idb_program(program, tags, pad)
+    run = run_fixpoint_query(
+        datalog_to_fixpoint(tagged_program), database
+    )
+    return extract_idb_relations(run.relation, idb_schema, tags)
+
+
+def _base_for(predicate: str, idb: str) -> RAExpr:
+    return fix() if predicate == idb else Base(predicate)
+
+
+def _compile_rule(
+    rule: Rule, idb: str, edb: Dict[str, int]
+) -> RAExpr:
+    positives = [lit for lit in rule.body if lit.positive]
+    negatives = [lit for lit in rule.body if not lit.positive]
+
+    # 1. Join the positive literals into one wide expression; track the
+    #    column of each variable's first occurrence.
+    var_column: Dict[str, int] = {}
+    expr: RAExpr = None  # type: ignore[assignment]
+    width = 0
+    condition: Condition = CondTrue()
+    for literal in positives:
+        base = _base_for(literal.predicate, idb)
+        expr = base if expr is None else Product(expr, base)
+        for offset, term in enumerate(literal.terms):
+            column = width + offset
+            if isinstance(term, RConst):
+                condition = _conjoin(
+                    condition, ColumnEqualsConst(column, term.name)
+                )
+            else:
+                seen = var_column.get(term.name)
+                if seen is None:
+                    var_column[term.name] = column
+                else:
+                    condition = _conjoin(
+                        condition, ColumnEqualsColumn(seen, column)
+                    )
+        width += len(literal.terms)
+    if expr is None:
+        # Bodyless rule: the head must be ground; realize each constant by
+        # selecting it from the active domain.
+        expr = _ground_head(rule)
+        width = len(rule.head.terms)
+        return expr
+    if not isinstance(condition, CondTrue):
+        expr = Select(expr, condition)
+
+    # 2. Negative literals: anti-join against each.
+    for literal in negatives:
+        expr = _anti_join(expr, width, var_column, literal, idb)
+
+    # 3. Head projection; head constants are drawn from adom.
+    columns: List[int] = []
+    for term in rule.head.terms:
+        if isinstance(term, RVar):
+            columns.append(var_column[term.name])
+        else:
+            expr = Product(
+                expr,
+                Select(adom(), ColumnEqualsConst(0, term.name)),
+            )
+            columns.append(width)
+            width += 1
+    return Project(expr, tuple(columns))
+
+
+def _ground_head(rule: Rule) -> RAExpr:
+    expr: RAExpr = None  # type: ignore[assignment]
+    for term in rule.head.terms:
+        if not isinstance(term, RConst):
+            raise SchemaError(
+                f"bodyless rule {rule} must have a ground head"
+            )
+        piece = Select(adom(), ColumnEqualsConst(0, term.name))
+        expr = piece if expr is None else Product(expr, piece)
+    if expr is None:
+        # Zero-ary ground head: the one-empty-tuple relation.
+        expr = Project(adom(), ())
+    return expr
+
+
+def _anti_join(
+    expr: RAExpr,
+    width: int,
+    var_column: Dict[str, int],
+    literal: Literal,
+    idb: str,
+) -> RAExpr:
+    """``expr - (expr semijoin literal)`` on the literal's bindings."""
+    base = _base_for(literal.predicate, idb)
+    condition: Condition = CondTrue()
+    for offset, term in enumerate(literal.terms):
+        column = width + offset
+        if isinstance(term, RConst):
+            condition = _conjoin(
+                condition, ColumnEqualsConst(column, term.name)
+            )
+        else:
+            bound = var_column.get(term.name)
+            if bound is None:
+                raise SchemaError(
+                    f"negated variable {term.name} not bound (unsafe rule)"
+                )
+            condition = _conjoin(
+                condition, ColumnEqualsColumn(bound, column)
+            )
+    matched = Project(
+        Select(Product(expr, base), condition),
+        tuple(range(width)),
+    )
+    return Difference(expr, matched)
+
+
+def _conjoin(left: Condition, right: Condition) -> Condition:
+    if isinstance(left, CondTrue):
+        return right
+    return CondAnd(left, right)

@@ -1,0 +1,153 @@
+"""Text syntax for Datalog(-not) programs.
+
+Grammar (one clause per statement, ``%`` comments):
+
+    program  ::= (rule | fact)*
+    rule     ::= atom ":-" literal ("," literal)* "."
+    fact     ::= atom "."
+    literal  ::= ["not"] atom
+    atom     ::= name "(" term ("," term)* ")" | name "(" ")"
+    term     ::= variable | constant
+
+Identifiers starting with an uppercase letter are variables (Prolog
+convention); everything else — lowercase identifiers, numbers, or single-
+quoted strings — is a constant.  EDB predicates are the ones that never
+occur in a head; their arities are inferred from use.
+
+    tc(X, Y) :- e(X, Y).
+    tc(X, Y) :- e(X, Z), tc(Z, Y).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.datalog.ast import Literal, Program, RConst, RVar, Rule, RuleTerm
+from repro.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<implies>:-)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<quoted>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*|\d+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", index, source
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group(), index))
+        index = match.end()
+    tokens.append(("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def expect(self, kind: str):
+        token = self.peek()
+        if token[0] != kind:
+            raise ParseError(
+                f"expected {kind}, found {token[0]} {token[1]!r}",
+                token[2],
+                self.source,
+            )
+        self.pos += 1
+        return token
+
+    def term(self) -> RuleTerm:
+        token = self.peek()
+        if token[0] == "quoted":
+            self.pos += 1
+            return RConst(token[1][1:-1])
+        name = self.expect("name")[1]
+        if name[0].isupper():
+            return RVar(name)
+        return RConst(name)
+
+    def atom(self) -> Literal:
+        name = self.expect("name")[1]
+        self.expect("lparen")
+        terms: List[RuleTerm] = []
+        if self.peek()[0] != "rparen":
+            terms.append(self.term())
+            while self.peek()[0] == "comma":
+                self.pos += 1
+                terms.append(self.term())
+        self.expect("rparen")
+        return Literal(name, tuple(terms))
+
+    def literal(self) -> Literal:
+        token = self.peek()
+        if token[0] == "name" and token[1] == "not":
+            nxt = self.tokens[self.pos + 1]
+            if nxt[0] == "name":  # "not p(...)": 'not' is the keyword
+                self.pos += 1
+                atom = self.atom()
+                return Literal(atom.predicate, atom.terms, positive=False)
+        atom = self.atom()
+        return atom
+
+    def clause(self) -> Rule:
+        head = self.atom()
+        body: List[Literal] = []
+        if self.peek()[0] == "implies":
+            self.pos += 1
+            body.append(self.literal())
+            while self.peek()[0] == "comma":
+                self.pos += 1
+                body.append(self.literal())
+        self.expect("dot")
+        return Rule(head, tuple(body))
+
+    def program(self) -> List[Rule]:
+        rules = []
+        while self.peek()[0] != "eof":
+            rules.append(self.clause())
+        return rules
+
+
+def parse_program(source: str, edb: Dict[str, int] = None) -> Program:
+    """Parse a Datalog(-not) program.
+
+    ``edb`` may declare the EDB schema explicitly; otherwise EDB predicates
+    are those never occurring in a head, with arities inferred from their
+    body occurrences.
+    """
+    rules = _Parser(source).program()
+    if edb is None:
+        heads = {rule.head.predicate for rule in rules}
+        edb = {}
+        for rule in rules:
+            for literal in rule.body:
+                if literal.predicate not in heads:
+                    arity = len(literal.terms)
+                    if edb.setdefault(literal.predicate, arity) != arity:
+                        raise ParseError(
+                            f"predicate {literal.predicate!r} used with "
+                            f"inconsistent arities"
+                        )
+    return Program.of(rules, edb)

@@ -1,0 +1,65 @@
+"""Stratification of Datalog(-not) programs.
+
+A program is stratifiable when its predicate dependency graph has no cycle
+through a negative edge; strata are then computed by the usual longest
+negative-path layering.  Stratified semantics is one standard reading of
+"Datalog-not syntax under a variety of semantics" the paper cites [3]; the
+engine also offers the inflationary reading (Section 4's fixpoint queries
+are inflationary-friendly by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.datalog.ast import Program
+from repro.errors import StratificationError
+
+
+def dependency_edges(program: Program) -> Set[Tuple[str, str, bool]]:
+    """Edges ``(body_predicate, head_predicate, is_negative)`` restricted
+    to IDB-to-IDB dependencies."""
+    idb = set(program.idb_predicates())
+    edges: Set[Tuple[str, str, bool]] = set()
+    for rule in program.rules:
+        for literal in rule.body:
+            if literal.predicate in idb:
+                edges.add(
+                    (literal.predicate, rule.head.predicate, not literal.positive)
+                )
+    return edges
+
+
+def stratify(program: Program) -> List[List[str]]:
+    """Assign IDB predicates to strata.
+
+    Returns the list of strata in evaluation order.  Raises
+    :class:`StratificationError` when negation occurs in a recursive cycle.
+    """
+    predicates = program.idb_predicates()
+    stratum: Dict[str, int] = {name: 0 for name in predicates}
+    edges = dependency_edges(program)
+    # Bellman-Ford style relaxation; more than |P| rounds means a negative
+    # cycle (negation through recursion).
+    for round_index in range(len(predicates) + 1):
+        changed = False
+        for source, target, negative in edges:
+            required = stratum[source] + (1 if negative else 0)
+            if stratum[target] < required:
+                stratum[target] = required
+                changed = True
+        if not changed:
+            break
+    else:
+        raise StratificationError(
+            "program is not stratifiable (negation through recursion)"
+        )
+    if predicates and max(stratum.values(), default=0) >= len(predicates):
+        raise StratificationError(
+            "program is not stratifiable (negation through recursion)"
+        )
+    height = max(stratum.values(), default=0)
+    layers: List[List[str]] = [[] for _ in range(height + 1)]
+    for name in predicates:
+        layers[stratum[name]].append(name)
+    return [layer for layer in layers if layer]

@@ -1,0 +1,34 @@
+"""Databases as lambda terms (Section 3.1).
+
+* :class:`Relation` / :class:`Database` — list-represented relations
+  (Definition 3.4): tuple *lists*, not sets; the order is part of the value.
+* :func:`encode_relation` — Definition 3.1: a relation becomes the list
+  iterator ``λc. λn. c t̄1 (c t̄2 (... (c t̄m n)))``.
+* :func:`decode_relation` — the inverse reading guaranteed by Lemma 3.2:
+  any closed normal form of type ``o^k_d`` is an encoding *with duplicates*
+  of some relation (including the Remark 3.3 eta-variant for singletons).
+"""
+
+from repro.db.relations import Database, Relation
+from repro.db.encode import encode_database, encode_relation
+from repro.db.decode import DecodedRelation, decode_relation
+from repro.db.domain import active_domain, active_domain_relation
+from repro.db.generators import (
+    random_database,
+    random_graph_relation,
+    random_relation,
+)
+
+__all__ = [
+    "Database",
+    "DecodedRelation",
+    "Relation",
+    "active_domain",
+    "active_domain_relation",
+    "decode_relation",
+    "encode_database",
+    "encode_relation",
+    "random_database",
+    "random_graph_relation",
+    "random_relation",
+]

@@ -1,0 +1,37 @@
+"""Active domain computation (Section 3.1).
+
+"The database active domain D is the set of constants in (r̄1 ... r̄l)."
+We expose it both as a Python list (first-appearance order, which is the
+order any fixed iteration over the encodings would produce) and as a unary
+relation / encoded term, since the paper's Section 4 fixpoint construction
+"computes the active domain by a sequence of projections and unions" and
+then uses it as a list to iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.db.encode import encode_relation
+from repro.db.relations import Database, Relation
+from repro.lam.terms import Term
+
+
+def active_domain(database: Database) -> List[str]:
+    """The constants of the database, in first-appearance order."""
+    return database.active_domain()
+
+
+def active_domain_relation(database: Database) -> Relation:
+    """The active domain as a unary list-represented relation."""
+    return Relation.unary(active_domain(database))
+
+
+def active_domain_term(database: Database, **kwargs) -> Term:
+    """The encoded active-domain list ``D̄`` (used by FuncToList and Crank)."""
+    return encode_relation(active_domain_relation(database), **kwargs)
+
+
+def domain_product_size(database: Database, arity: int) -> int:
+    """``|D|^arity`` — the tuple-space size bounding fixpoint growth."""
+    return len(active_domain(database)) ** arity

@@ -1,0 +1,62 @@
+"""Encoding relations as lambda terms (Definition 3.1).
+
+A k-ary relation ``r = {t̄1 < t̄2 < ... < t̄m}`` (in its list order) becomes
+
+    r̄ := λc. λn. c t̄1 (c t̄2 (... (c t̄m n) ...))
+
+where each tuple contributes its k constants as separate arguments of ``c``.
+With at least two tuples the principal type is ``o^k_d`` for a fresh
+accumulator variable ``d``; we optionally annotate the binders with the
+instance ``o^k_g`` the query machinery uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.db.relations import Database, Relation
+from repro.errors import EncodingError
+from repro.lam.terms import Abs, App, Const, Term, Var, app, lam
+from repro.types.types import Type, relation_type, tuple_consumer_type
+from repro.types.types import G as TYPE_G
+
+
+def encode_relation(
+    relation: Relation,
+    *,
+    cons_var: str = "c",
+    nil_var: str = "n",
+    annotate: bool = False,
+    accumulator: Optional[Type] = None,
+) -> Term:
+    """Encode a list-represented relation per Definition 3.1.
+
+    ``annotate=True`` adds Church-style annotations typing the term at
+    ``o^k`` over the given ``accumulator`` type (default ``g``).
+    """
+    if cons_var == nil_var:
+        raise EncodingError("cons and nil variables must be distinct")
+    body: Term = Var(nil_var)
+    for row in reversed(relation.tuples):
+        body = app(Var(cons_var), *[Const(v) for v in row], body)
+    if annotate:
+        acc = accumulator if accumulator is not None else TYPE_G
+        annotations = [tuple_consumer_type(relation.arity, acc), acc]
+    else:
+        annotations = []
+    return lam([cons_var, nil_var], body, annotations)
+
+
+def encode_database(database: Database, **kwargs) -> List[Term]:
+    """Encode every relation of the database, in database order."""
+    return [
+        encode_relation(relation, **kwargs) for _, relation in database
+    ]
+
+
+def encode_constant_list(values, *, cons_var: str = "c", nil_var: str = "n") -> Term:
+    """Encode a plain list of constants as a unary relation term — used for
+    the active-domain list ``D`` (Section 4)."""
+    return encode_relation(
+        Relation.unary(list(values)), cons_var=cons_var, nil_var=nil_var
+    )

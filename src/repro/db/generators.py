@@ -1,0 +1,113 @@
+"""Seeded random databases for tests and benchmarks.
+
+All generators take an explicit ``random.Random`` (or a seed) so that tests
+and benchmark series are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.db.relations import Database, Relation
+from repro.naming import constant_name
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(source: RandomLike) -> random.Random:
+    if isinstance(source, random.Random):
+        return source
+    return random.Random(source)
+
+
+def constant_universe(size: int) -> List[str]:
+    """The first ``size`` constants ``o1, ..., o<size>``."""
+    return [constant_name(i + 1) for i in range(size)]
+
+
+def random_relation(
+    arity: int,
+    size: int,
+    universe: Optional[Sequence[str]] = None,
+    seed: RandomLike = 0,
+) -> Relation:
+    """A random duplicate-free relation with exactly ``size`` tuples, unless
+    the tuple space is smaller (then the whole space, shuffled)."""
+    rng = _rng(seed)
+    if universe is None:
+        universe = constant_universe(max(4, size))
+    space = len(universe) ** arity
+    size = min(size, space)
+    chosen = set()
+    rows = []
+    # Rejection sampling is fine until the space is dense; fall back to
+    # enumeration for small spaces.
+    if size * 3 >= space:
+        import itertools
+
+        everything = list(itertools.product(universe, repeat=arity))
+        rng.shuffle(everything)
+        rows = everything[:size]
+    else:
+        while len(rows) < size:
+            row = tuple(rng.choice(universe) for _ in range(arity))
+            if row not in chosen:
+                chosen.add(row)
+                rows.append(row)
+    return Relation.from_tuples(arity, rows)
+
+
+def random_graph_relation(
+    nodes: int,
+    edge_probability: float = 0.3,
+    seed: RandomLike = 0,
+) -> Relation:
+    """A random directed graph as a binary edge relation over ``o1..on``."""
+    rng = _rng(seed)
+    universe = constant_universe(nodes)
+    rows = [
+        (a, b)
+        for a in universe
+        for b in universe
+        if a != b and rng.random() < edge_probability
+    ]
+    return Relation.from_tuples(2, rows)
+
+
+def chain_graph_relation(nodes: int) -> Relation:
+    """The path graph ``o1 -> o2 -> ... -> on`` — worst case for transitive
+    closure depth."""
+    universe = constant_universe(nodes)
+    return Relation.from_tuples(
+        2, [(universe[i], universe[i + 1]) for i in range(nodes - 1)]
+    )
+
+
+def cycle_graph_relation(nodes: int) -> Relation:
+    """The directed cycle on ``n`` nodes."""
+    universe = constant_universe(nodes)
+    return Relation.from_tuples(
+        2,
+        [(universe[i], universe[(i + 1) % nodes]) for i in range(nodes)],
+    )
+
+
+def random_database(
+    arities: Sequence[int],
+    sizes: Sequence[int],
+    universe_size: int = 8,
+    seed: RandomLike = 0,
+) -> Database:
+    """A database with one random relation per (arity, size) pair, named
+    ``R1, R2, ...``."""
+    if len(arities) != len(sizes):
+        raise ValueError("arities and sizes must have equal length")
+    rng = _rng(seed)
+    universe = constant_universe(universe_size)
+    relations = {}
+    for index, (arity, size) in enumerate(zip(arities, sizes), start=1):
+        relations[f"R{index}"] = random_relation(
+            arity, size, universe, seed=rng
+        )
+    return Database.of(relations)

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate the phase that failed (parsing,
+typing, reduction, decoding, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised when the lambda-term parser rejects its input.
+
+    Carries the position of the offending token so error messages can point
+    at the exact location in the source string.
+    """
+
+    def __init__(self, message: str, position: int = -1, source: str = ""):
+        self.position = position
+        self.source = source
+        if position >= 0 and source:
+            context = source[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}, near {context!r})"
+        super().__init__(message)
+
+
+class TypeInferenceError(ReproError):
+    """Raised when a term cannot be typed (TLC=, core-ML=, or Church check)."""
+
+
+class UnificationError(TypeInferenceError):
+    """Raised when two types fail to unify (occurs check or clash)."""
+
+
+class OrderBoundError(TypeInferenceError):
+    """Raised when a term types only above the requested functionality order."""
+
+
+class ReductionError(ReproError):
+    """Raised when reduction goes wrong (e.g. the fuel limit is exhausted)."""
+
+
+class FuelExhausted(ReductionError):
+    """Raised when a reduction did not reach normal form within its budget.
+
+    For well-typed TLC=/core-ML= terms strong normalization guarantees that a
+    normal form exists, so in practice this signals an undersized budget (or
+    an untyped term sneaking in through the untyped API).
+    """
+
+    def __init__(self, steps: int):
+        self.steps = steps
+        super().__init__(
+            f"no normal form reached within {steps} reduction steps"
+        )
+
+
+class DecodeError(ReproError):
+    """Raised when a normal form is not a valid relation encoding."""
+
+
+class EncodingError(ReproError):
+    """Raised when a relation or database cannot be encoded."""
+
+
+class QueryTermError(ReproError):
+    """Raised when a term is not a valid TLI=_i / MLI=_i query term."""
+
+
+class CanonicalFormError(ReproError):
+    """Raised when a term cannot be brought into (or is not in) canonical
+    long normal form, or violates the Lemma 5.5/5.6 structure."""
+
+
+class EvaluationError(ReproError):
+    """Raised by the specialized evaluators (FO translation, PTIME machine)."""
+
+
+class SchemaError(ReproError):
+    """Raised on arity or name mismatches between relations and schemas."""
+
+
+class StratificationError(ReproError):
+    """Raised when a Datalog program with negation has no stratification."""

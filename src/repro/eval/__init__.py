@@ -1,0 +1,19 @@
+"""Query evaluation: drivers, canonical forms, and the Section 5 engines.
+
+* :mod:`repro.eval.driver` — apply a query term to an encoded database and
+  decode the normal form (Definition 3.10 semantics), under any of the
+  available engines.
+* :mod:`repro.eval.canonical` — long-normal-form (canonical) transformation
+  (Definition 5.3, Lemma 5.4).
+* :mod:`repro.eval.structure` — the Lemma 5.5/5.6 structure analysis,
+  producing the typed IR the evaluators consume.
+* :mod:`repro.eval.fo_translation` — the Section 5.2 compilation of TLI=0
+  terms into first-order formulas (Theorem 5.1).
+* :mod:`repro.eval.ptime` — the Section 5.3-style polynomial-time evaluator
+  for TLI=1 terms (Theorem 5.2).
+"""
+
+from repro.eval.driver import QueryRun, run_query
+from repro.eval.ptime import FixpointRun, run_fixpoint_query
+
+__all__ = ["FixpointRun", "QueryRun", "run_fixpoint_query", "run_query"]

@@ -1,0 +1,345 @@
+"""Canonical (eta-long) forms of query terms (Definition 5.3, Lemma 5.4).
+
+A query term is in *canonical form* when it is a closed normal form and
+every complete subterm ``λx1 ... λxk. M`` carries exactly as many binders
+as its canonical type has argument positions — the "long normal form".
+Lemma 5.4 turns any TLI=_i / MLI=_i query term into an equivalent canonical
+one by eta-expansion (and eliminates free variables; our query terms are
+closed, so only the expansion matters).
+
+The pipeline implemented here:
+
+1. let-expansion (Section 5: "we can eliminate all let's from Q by
+   replacing every subterm let x = N in M with M[x := N]") and
+   normalization — both are O(1) data-complexity preprocessing;
+2. *occurrence splitting*: every occurrence of an input variable ``R_i``
+   is renamed apart (``R_i`` used polymorphically types each occurrence
+   independently — the paper's "variables corresponding to input relations
+   are to be polymorphically typed");
+3. Curry-style reconstruction of the split body with each occurrence
+   assumed at ``o^{k_i}`` over a fresh accumulator variable, the result
+   forced to ``o^k``;
+4. grounding of the principal typing over the fixed variables ``o``/``g``
+   (Section 3.2's convention), giving every occurrence its canonical type;
+5. type-directed eta-expansion, producing a fully Church-annotated term
+   whose binders all carry their canonical types.
+
+The result is a :class:`CanonicalQuery`: the canonical body together with
+the occurrence-to-input mapping the Section 5.2 translation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CanonicalFormError, TypeInferenceError
+from repro.lam.nbe import nbe_normalize
+from repro.lam.subst import rename_bound
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    binder_prefix,
+    expand_lets,
+    free_vars,
+    spine,
+)
+from repro.naming import NameSupply
+from repro.queries.language import QueryArity
+from repro.types.infer import infer
+from repro.types.order import ground
+from repro.types.types import (
+    Arrow,
+    BaseG,
+    BaseO,
+    Type,
+    TypeVar,
+    arrow_parts,
+    eq_type,
+    relation_type,
+)
+from repro.types.types import G as TYPE_G
+from repro.types.types import O as TYPE_O
+
+
+@dataclass
+class CanonicalQuery:
+    """A query in canonical form, ready for structure analysis.
+
+    ``body`` is the canonical (eta-long, fully annotated) term of type
+    ``o^k_g``; its free variables are exactly the renamed input occurrences
+    listed in ``occurrences`` (name -> input index) — the original query is
+    ``λR1 ... λRl. body[occ := R_index(occ)]``.
+    """
+
+    arity: QueryArity
+    input_names: Tuple[str, ...]
+    body: Term
+    occurrences: Dict[str, int]
+    occurrence_types: Dict[str, Type]
+
+    def input_arity(self, occurrence: str) -> int:
+        return self.arity.inputs[self.occurrences[occurrence]]
+
+
+def canonical_query(term: Term, arity: QueryArity) -> CanonicalQuery:
+    """Bring a TLI=/MLI= query term into canonical form (Lemma 5.4)."""
+    expanded = expand_lets(term)
+    normal = nbe_normalize(expanded)
+    binders, body = binder_prefix(normal)
+    if len(binders) < len(arity.inputs):
+        # A normal-form query term of relation-to-relation type always
+        # eta-expands to the full binder prefix; do it now.
+        normal = _eta_expand_binders(normal, len(arity.inputs))
+        binders, body = binder_prefix(normal)
+    input_names = binders[: len(arity.inputs)]
+    if len(set(input_names)) != len(input_names):
+        raise CanonicalFormError("input binders must be distinct")
+    rest = binders[len(arity.inputs):]
+    if rest:
+        # Extra binders belong to the output relation type (c / n written
+        # as query binders); fold them back into the body.
+        from repro.lam.terms import lam
+
+        body = lam(list(rest), body)
+
+    body = rename_bound(body, avoid=input_names)
+    split_body, occurrences = _split_occurrences(
+        body, input_names, arity.inputs
+    )
+
+    env: Dict[str, Type] = {}
+    for occ, index in occurrences.items():
+        env[occ] = relation_type(
+            arity.inputs[index], TypeVar(f"?occacc_{occ}")
+        )
+    try:
+        typing = infer(split_body, env)
+    except TypeInferenceError as exc:
+        raise CanonicalFormError(
+            f"query body does not type: {exc}"
+        ) from exc
+    out_acc = TypeVar("?canon_out")
+    try:
+        typing.subst.unify(
+            typing.occurrence_types[()], relation_type(arity.output, out_acc)
+        )
+    except Exception as exc:  # UnificationError
+        raise CanonicalFormError(
+            f"query result is not o^{arity.output}: {exc}"
+        ) from exc
+
+    occurrence_types = {
+        occ: ground(typing.subst.apply(env[occ]), TYPE_G)
+        for occ in occurrences
+    }
+    var_env = dict(occurrence_types)
+    canonical_body = _eta_long(
+        split_body,
+        relation_type(arity.output, TYPE_G),
+        var_env,
+        NameSupply(free_vars(split_body) | set(input_names)),
+    )
+    return CanonicalQuery(
+        arity=arity,
+        input_names=tuple(input_names),
+        body=canonical_body,
+        occurrences=occurrences,
+        occurrence_types=occurrence_types,
+    )
+
+
+def is_canonical(query: CanonicalQuery) -> bool:
+    """Executable Definition 5.3: is the stored body a *long normal form*?
+
+    Checks that the body is a normal form closed up to the recorded input
+    occurrences, and — threading the expected type of every position from
+    the root type and the binder annotations — that each complete subterm
+    carries exactly as many binders as its type has argument positions and
+    that every spine is fully applied down to a base type.
+    :func:`canonical_query` always produces bodies satisfying this; the
+    check exists so tests can assert the Lemma 5.4 postcondition rather
+    than trust it.
+    """
+    from repro.lam.reduce import is_normal_form
+    from repro.types.types import arrow_parts
+
+    body = query.body
+    if not is_normal_form(body):
+        return False
+    if free_vars(body) - set(query.occurrences):
+        return False
+
+    def check(node: Term, expected: Type, env: Dict[str, Type]) -> bool:
+        arg_types, base = arrow_parts(expected)
+        binders: List[str] = []
+        walker = node
+        local = dict(env)
+        for arg_type in arg_types:
+            if not isinstance(walker, Abs):
+                return False  # under-applied: not eta-long
+            if walker.annotation != arg_type:
+                return False  # annotation disagrees with the position
+            local[walker.var] = arg_type
+            binders.append(walker.var)
+            walker = walker.body
+        if isinstance(walker, Abs):
+            return False  # more binders than the type has arguments
+        head, args = spine(walker)
+        if isinstance(head, Var):
+            head_type = local.get(head.name) or query.occurrence_types.get(
+                head.name
+            )
+            if head_type is None:
+                return False
+        elif isinstance(head, Const):
+            head_type = TYPE_O
+        elif isinstance(head, EqConst):
+            head_type = eq_type()
+        else:
+            return False  # a redex head — not a normal form
+        head_args, head_base = arrow_parts(head_type)
+        if len(args) != len(head_args) or head_base != base:
+            return False  # spine not fully applied to the base type
+        return all(
+            check(argument, arg_type, local)
+            for argument, arg_type in zip(args, head_args)
+        )
+
+    return check(body, relation_type(query.arity.output, TYPE_G), {})
+
+
+def _eta_expand_binders(term: Term, count: int) -> Term:
+    from repro.lam.terms import app, lam
+
+    supply = NameSupply(free_vars(term))
+    names = [supply.fresh("R") for _ in range(count)]
+    return lam(names, app(term, *[Var(n) for n in names]))
+
+
+def _split_occurrences(
+    body: Term, input_names: Sequence[str], arities: Sequence[int]
+) -> Tuple[Term, Dict[str, int]]:
+    """Rename each free occurrence of each input variable apart."""
+    occurrences: Dict[str, int] = {}
+    counters = {name: 0 for name in input_names}
+    index_of = {name: i for i, name in enumerate(input_names)}
+
+    def walk(node: Term, bound: frozenset) -> Term:
+        if isinstance(node, Var):
+            if node.name in index_of and node.name not in bound:
+                fresh = f"{node.name}__occ{counters[node.name]}"
+                counters[node.name] += 1
+                occurrences[fresh] = index_of[node.name]
+                return Var(fresh)
+            return node
+        if isinstance(node, (Const, EqConst)):
+            return node
+        if isinstance(node, Abs):
+            return Abs(
+                node.var,
+                walk(node.body, bound | {node.var}),
+                node.annotation,
+            )
+        if isinstance(node, App):
+            return App(walk(node.fn, bound), walk(node.arg, bound))
+        if isinstance(node, Let):  # pragma: no cover - lets were expanded
+            raise CanonicalFormError("unexpected let after expansion")
+        raise TypeError(f"not a term: {node!r}")
+
+    return walk(body, frozenset()), occurrences
+
+
+def _eta_long(
+    term: Term,
+    expected: Type,
+    var_env: Dict[str, Type],
+    supply: NameSupply,
+) -> Term:
+    """Type-directed eta-expansion of a beta-normal term.
+
+    Every binder in the result is annotated with its canonical type, and
+    every complete subterm carries exactly as many binders as its type has
+    argument positions (Definition 5.3).
+    """
+    arg_types, base = arrow_parts(expected)
+    binders, core = binder_prefix(term)
+    if len(binders) > len(arg_types):
+        raise CanonicalFormError(
+            f"term {term.pretty()} has more binders than its type {expected}"
+        )
+    shadowed: List[Tuple[str, Optional[Type]]] = []
+    names: List[str] = []
+    for name, arg_type in zip(binders, arg_types):
+        shadowed.append((name, var_env.get(name)))
+        var_env[name] = arg_type
+        names.append(name)
+    fresh_names = []
+    for arg_type in arg_types[len(binders):]:
+        fresh = supply.fresh("e")
+        fresh_names.append(fresh)
+        shadowed.append((fresh, var_env.get(fresh)))
+        var_env[fresh] = arg_type
+        names.append(fresh)
+
+    try:
+        head, args = spine(core)
+        args = list(args) + [Var(n) for n in fresh_names]
+        if isinstance(head, Var):
+            head_type = var_env.get(head.name)
+            if head_type is None:
+                raise CanonicalFormError(
+                    f"unknown variable {head.name} during eta-expansion"
+                )
+        elif isinstance(head, Const):
+            head_type = TYPE_O
+        elif isinstance(head, EqConst):
+            head_type = eq_type()
+        elif isinstance(head, Abs):
+            raise CanonicalFormError(
+                f"beta redex survived normalization: {core.pretty()}"
+            )
+        else:
+            raise TypeError(f"not a term: {head!r}")
+        head_args, head_base = arrow_parts(head_type)
+        if len(args) > len(head_args):
+            raise CanonicalFormError(
+                f"head {head.pretty()} of type {head_type} applied to "
+                f"{len(args)} arguments"
+            )
+        # The head may be under-applied relative to its own type only if
+        # the remainder matches the expected base; eta-expansion of the
+        # whole spine already appended the needed arguments, so here the
+        # remainder must be the base type exactly.
+        remainder_args = head_args[len(args):]
+        if remainder_args:
+            raise CanonicalFormError(
+                f"spine {core.pretty()} is under-applied even after "
+                f"eta-expansion (expected base {base})"
+            )
+        if head_base != base:
+            raise CanonicalFormError(
+                f"spine {core.pretty()} has base type {head_base}, "
+                f"expected {base}"
+            )
+        new_args = [
+            _eta_long(argument, arg_type, var_env, supply)
+            for argument, arg_type in zip(args, head_args)
+        ]
+        from repro.lam.terms import app as make_app
+
+        result = make_app(head, *new_args)
+        for name in reversed(names):
+            result = Abs(name, result, var_env[name])
+        return result
+    finally:
+        for name, previous in reversed(shadowed):
+            if previous is None:
+                var_env.pop(name, None)
+            else:
+                var_env[name] = previous

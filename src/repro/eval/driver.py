@@ -1,0 +1,84 @@
+"""Applying query terms to databases (Definition 3.10).
+
+A query term ``Q`` maps the encoded database ``(r̄1 ... r̄l)`` to the
+normal form of ``(Q r̄1 ... r̄l)``, which Lemma 3.2 guarantees is an
+encoding with duplicates of the output relation.  :func:`run_query` performs
+exactly that: encode, apply, normalize, decode.
+
+Engines:
+
+* ``"nbe"`` (default) — normalization by evaluation; fast for TLI=0
+  queries, exponential on TLI=1 fixpoint towers (use
+  :func:`repro.eval.ptime.run_fixpoint_query` for those — Theorem 5.2).
+* ``"smallstep"`` — the reference small-step normalizer (normal order);
+  exposes step counts, used by the complexity experiments.
+* ``"applicative"`` — small-step, applicative order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.decode import DecodedRelation, decode_relation
+from repro.db.encode import encode_database
+from repro.db.relations import Database, Relation
+from repro.errors import EvaluationError
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import Strategy, normalize
+from repro.lam.terms import Term, app
+
+ENGINES = ("nbe", "smallstep", "applicative")
+
+
+@dataclass
+class QueryRun:
+    """The outcome of one query evaluation."""
+
+    relation: Relation
+    decoded: DecodedRelation
+    normal_form: Term
+    engine: str
+    steps: Optional[int] = None  # small-step engines only
+
+
+def run_query(
+    query: Term,
+    database: Database,
+    *,
+    arity: Optional[int] = None,
+    engine: str = "nbe",
+    fuel: int = 10_000_000,
+    max_depth: int = 600_000,
+) -> QueryRun:
+    """Evaluate ``query`` over ``database`` and decode the result.
+
+    ``arity`` optionally asserts the output arity.  Raises
+    :class:`repro.errors.DecodeError` if the normal form is not a relation
+    encoding (i.e. the term was not a query term for this input type).
+    """
+    encoded_inputs = encode_database(database)
+    applied = app(query, *encoded_inputs)
+    steps: Optional[int] = None
+    if engine == "nbe":
+        normal_form = nbe_normalize(applied, max_depth=max_depth)
+    elif engine == "smallstep":
+        outcome = normalize(applied, Strategy.NORMAL_ORDER, fuel=fuel)
+        normal_form = outcome.term
+        steps = outcome.steps
+    elif engine == "applicative":
+        outcome = normalize(applied, Strategy.APPLICATIVE_ORDER, fuel=fuel)
+        normal_form = outcome.term
+        steps = outcome.steps
+    else:
+        raise EvaluationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    decoded = decode_relation(normal_form, arity)
+    return QueryRun(
+        relation=decoded.relation,
+        decoded=decoded,
+        normal_form=normal_form,
+        engine=engine,
+        steps=steps,
+    )

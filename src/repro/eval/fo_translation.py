@@ -1,0 +1,407 @@
+"""First-order evaluation of TLI=0 / MLI=0 queries (Section 5.2, Thm 5.1).
+
+The paper's upper bound for TLI=0 shows that order-0 iterations are not
+truly sequential: a stage can never inspect the incoming accumulator (any
+``g``-typed value is opaque, and ``Eq`` cannot produce an ``o`` value), so
+each stage either *passes through* the incoming value — possibly underneath
+freshly prepended tuples — or discards it.  The whole query then compiles
+to a first-order formula over the structure ``(D, r1..rl, <1..<l)``:
+
+* ``PassThrough``: for each subterm ``t`` of type ``g`` and accumulator
+  variable ``z`` in scope, a formula saying the value of ``t`` ends in
+  ``z`` ("term t will pass through whatever tuples are in z");
+* ``Produces``: a formula with free variables ``ξ1..ξk`` saying ``t``
+  prepends the tuple ``ξ̄``: "something is in the output if (a) it was in
+  the initial value of the accumulator and none of the iteration stages
+  ignored its input, or (b) it was produced at some stage and none of the
+  later stages ignored its input" — where stages are identified with the
+  tuples of the iterated input and "later in evaluation order" is "earlier
+  in the list order", expressed with the interpreted ``Precedes`` atoms.
+
+For subterms of type ``o`` the same scheme yields ``OVal`` (the value of an
+``o``-iteration is decided by the first stage, in list order, that does not
+pass its ``o``-accumulator through).
+
+The output formula is ``Produces(Q0, ξ̄)``: exactly the tuples the normal
+form of ``(Q r̄1 ... r̄l)`` conses.  Evaluating it with the baseline FO
+engine (:mod:`repro.folog`) gives a constant-parallel-time / first-order
+evaluation of the query — the test suite checks tuple-set agreement with
+direct reduction on randomized databases, and that the translation is
+data-independent (it is computed from the query alone).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.db.relations import Database, Relation
+from repro.errors import EvaluationError
+from repro.eval.canonical import CanonicalQuery, canonical_query
+from repro.eval.structure import (
+    AnalyzedQuery,
+    ConsIR,
+    EqIR,
+    GTermIR,
+    IterIR,
+    OConstIR,
+    OIterIR,
+    OTermIR,
+    OVarIR,
+    TailVarIR,
+    analyze_query,
+)
+from repro.folog.evaluate import evaluate_fo_query
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FTerm,
+    FVar,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+    and_all,
+    exists_many,
+    forall_many,
+    formula_constants,
+)
+from repro.lam.terms import Term
+from repro.queries.language import QueryArity
+
+
+@dataclass
+class FOTranslation:
+    """The result of translating a query term to first-order logic."""
+
+    formula: Formula
+    output_vars: Tuple[str, ...]
+    input_names: Tuple[str, ...]
+    analyzed: AnalyzedQuery
+
+    def evaluate(self, database: Database) -> Relation:
+        """Evaluate the formula over ``database`` (Definition 3.5 style).
+
+        The evaluation domain is the active domain extended with the
+        constants the query itself conses (a query term may output
+        constants absent from the database).
+        """
+        renamed = _rename_database(database, self.input_names)
+        return evaluate_fo_query(
+            self.formula,
+            list(self.output_vars),
+            renamed,
+            include_formula_constants=True,
+        )
+
+
+def _rename_database(database: Database, names: Sequence[str]) -> Database:
+    """Present the database's relations under the query's input names."""
+    if len(names) != len(database.relations):
+        raise EvaluationError(
+            f"query has {len(names)} inputs, database has "
+            f"{len(database.relations)}"
+        )
+    return Database(
+        tuple(
+            (name, relation)
+            for name, (_, relation) in zip(names, database.relations)
+        )
+    )
+
+
+def translate_query(term: Term, arity: QueryArity) -> FOTranslation:
+    """Translate a TLI=0 / MLI=0 query term to a first-order formula."""
+    canonical = canonical_query(term, arity)
+    analyzed = analyze_query(canonical)
+    return translate_analyzed(analyzed)
+
+
+def translate_analyzed(analyzed: AnalyzedQuery) -> FOTranslation:
+    builder = _Builder(analyzed)
+    output_vars = tuple(
+        f"out{i}" for i in range(analyzed.canonical.arity.output)
+    )
+    formula = builder.produces(
+        analyzed.body,
+        tuple(FVar(v) for v in output_vars),
+        {},
+    )
+    # Input binder names index the relations in the formula's atoms.
+    names = tuple(
+        f"IN{i}" for i in range(len(analyzed.canonical.arity.inputs))
+    )
+    formula = _rename_atoms(formula, names)
+    return FOTranslation(
+        formula=formula,
+        output_vars=output_vars,
+        input_names=names,
+        analyzed=analyzed,
+    )
+
+
+def _rename_atoms(formula: Formula, names: Tuple[str, ...]) -> Formula:
+    """Replace the builder's numeric relation tags by the input names."""
+    if isinstance(formula, Atom):
+        return Atom(names[int(formula.relation)], formula.terms)
+    if isinstance(formula, Precedes):
+        return Precedes(
+            names[int(formula.relation)], formula.left, formula.right
+        )
+    if isinstance(formula, And):
+        return And(
+            _rename_atoms(formula.left, names),
+            _rename_atoms(formula.right, names),
+        )
+    if isinstance(formula, Or):
+        return Or(
+            _rename_atoms(formula.left, names),
+            _rename_atoms(formula.right, names),
+        )
+    if isinstance(formula, Not):
+        return Not(_rename_atoms(formula.inner, names))
+    if isinstance(formula, Exists):
+        return Exists(formula.var, _rename_atoms(formula.body, names))
+    if isinstance(formula, Forall):
+        return Forall(formula.var, _rename_atoms(formula.body, names))
+    return formula
+
+
+class _Builder:
+    """Constructs the PassThrough / Produces / OVal formulas.
+
+    ``env`` maps in-scope iteration variables (of type ``o``) to the FO
+    terms standing for them.  Accumulator variables are referenced by name:
+    the canonical form's binders are renamed apart, so names are unique.
+    """
+
+    def __init__(self, analyzed: AnalyzedQuery):
+        self.analyzed = analyzed
+        self.counter = itertools.count()
+        self.arities = analyzed.canonical.arity.inputs
+
+    def fresh_tuple(self, arity: int) -> Tuple[FVar, ...]:
+        index = next(self.counter)
+        return tuple(FVar(f"s{index}_{j}") for j in range(arity))
+
+    # -- g-sorted terms ------------------------------------------------------
+
+    def produces(
+        self,
+        node: GTermIR,
+        out: Tuple[FTerm, ...],
+        env: Dict[str, FTerm],
+    ) -> Formula:
+        """``ξ̄ = out`` is among the tuples prepended by ``node``."""
+        if isinstance(node, TailVarIR):
+            return FalseFormula()
+        if isinstance(node, ConsIR):
+            here = and_all(
+                self.oval(comp, target, env)
+                for comp, target in zip(node.components, out)
+            )
+            return Or(here, self.produces(node.tail, out, env))
+        if isinstance(node, EqIR):
+            condition = self.eq_condition(node, env)
+            return Or(
+                And(condition, self.produces(node.then_branch, out, env)),
+                And(
+                    Not(condition),
+                    self.produces(node.else_branch, out, env),
+                ),
+            )
+        if isinstance(node, IterIR):
+            return self.iteration_formula(
+                node,
+                env,
+                lambda stage_env: self.produces(node.body, out, stage_env),
+                lambda: self.produces(node.init, out, env),
+            )
+        raise TypeError(f"not a g-term IR node: {node!r}")
+
+    def passthrough(
+        self, node: GTermIR, target: str, env: Dict[str, FTerm]
+    ) -> Formula:
+        """The value of ``node`` ends in the accumulator variable
+        ``target``."""
+        if isinstance(node, TailVarIR):
+            return TrueFormula() if node.name == target else FalseFormula()
+        if isinstance(node, ConsIR):
+            return self.passthrough(node.tail, target, env)
+        if isinstance(node, EqIR):
+            condition = self.eq_condition(node, env)
+            return Or(
+                And(
+                    condition,
+                    self.passthrough(node.then_branch, target, env),
+                ),
+                And(
+                    Not(condition),
+                    self.passthrough(node.else_branch, target, env),
+                ),
+            )
+        if isinstance(node, IterIR):
+            return self.iteration_formula(
+                node,
+                env,
+                lambda stage_env: self.passthrough(
+                    node.body, target, stage_env
+                ),
+                lambda: self.passthrough(node.init, target, env),
+            )
+        raise TypeError(f"not a g-term IR node: {node!r}")
+
+    def iteration_formula(
+        self,
+        node: IterIR,
+        env: Dict[str, FTerm],
+        body_case,
+        init_case,
+    ) -> Formula:
+        """The common "some stage contributes / all stages pass through"
+        disjunction for an iteration ``R_i (λx̄. λy. M) N``.
+
+        Evaluation folds from the *last* tuple backwards, so a stage's
+        contribution survives iff every stage at a tuple strictly earlier
+        in the list order passes its accumulator through.
+        """
+        arity = self.arities[node.input_index]
+        relation = str(node.input_index)
+
+        def stage_env(stage_vars: Tuple[FVar, ...]) -> Dict[str, FTerm]:
+            extended = dict(env)
+            for name, value in zip(node.tuple_vars, stage_vars):
+                extended[name] = value
+            return extended
+
+        def pass_at(stage_vars: Tuple[FVar, ...]) -> Formula:
+            return self.passthrough(
+                node.body, node.acc_var, stage_env(stage_vars)
+            )
+
+        p_vars = self.fresh_tuple(arity)
+        q_vars = self.fresh_tuple(arity)
+        earlier = And(
+            Atom(relation, q_vars),
+            Precedes(relation, q_vars, p_vars),
+        )
+        before_all_pass = forall_many(
+            (v.name for v in q_vars),
+            Or(Not(earlier), pass_at(q_vars)),
+        )
+        some_stage = exists_many(
+            (v.name for v in p_vars),
+            and_all(
+                [
+                    Atom(relation, p_vars),
+                    body_case(stage_env(p_vars)),
+                    before_all_pass,
+                ]
+            ),
+        )
+        a_vars = self.fresh_tuple(arity)
+        all_pass = forall_many(
+            (v.name for v in a_vars),
+            Or(Not(Atom(relation, a_vars)), pass_at(a_vars)),
+        )
+        return Or(some_stage, And(all_pass, init_case()))
+
+    def eq_condition(self, node: EqIR, env: Dict[str, FTerm]) -> Formula:
+        """``value(S) = value(T)`` via a fresh existential witness."""
+        witness = FVar(f"w{next(self.counter)}")
+        return Exists(
+            witness.name,
+            And(
+                self.oval(node.left, witness, env),
+                self.oval(node.right, witness, env),
+            ),
+        )
+
+    # -- o-sorted terms ------------------------------------------------------
+
+    def oval(
+        self,
+        node: OTermIR,
+        target: FTerm,
+        env: Dict[str, FTerm],
+    ) -> Formula:
+        """The ``o``-term evaluates to the domain value ``target``."""
+        return self._o_eval(node, ("value", target), env)
+
+    def _o_eval(
+        self,
+        node: OTermIR,
+        target: Tuple[str, object],
+        env: Dict[str, FTerm],
+    ) -> Formula:
+        """``target`` is ("value", FTerm) — evaluates to that constant — or
+        ("var", name) — the normal form is literally the o-accumulator
+        variable ``name`` (the o-sorted pass-through)."""
+        kind, payload = target
+        if isinstance(node, OConstIR):
+            if kind == "value":
+                return Equals(FConst(node.name), payload)
+            return FalseFormula()
+        if isinstance(node, OVarIR):
+            bound = env.get(node.name)
+            if bound is not None:  # an iteration variable: holds a constant
+                if kind == "value":
+                    return Equals(bound, payload)
+                return FalseFormula()
+            # An o-typed accumulator variable.
+            if kind == "var":
+                return (
+                    TrueFormula() if node.name == payload else FalseFormula()
+                )
+            return FalseFormula()
+        if isinstance(node, OIterIR):
+            arity = self.arities[node.input_index]
+            relation = str(node.input_index)
+
+            def stage_env(stage_vars: Tuple[FVar, ...]) -> Dict[str, FTerm]:
+                extended = dict(env)
+                for name, value in zip(node.tuple_vars, stage_vars):
+                    extended[name] = value
+                return extended
+
+            def pass_at(stage_vars: Tuple[FVar, ...]) -> Formula:
+                return self._o_eval(
+                    node.body, ("var", node.acc_var), stage_env(stage_vars)
+                )
+
+            p_vars = self.fresh_tuple(arity)
+            q_vars = self.fresh_tuple(arity)
+            earlier = And(
+                Atom(relation, q_vars),
+                Precedes(relation, q_vars, p_vars),
+            )
+            before_all_pass = forall_many(
+                (v.name for v in q_vars),
+                Or(Not(earlier), pass_at(q_vars)),
+            )
+            some_stage = exists_many(
+                (v.name for v in p_vars),
+                and_all(
+                    [
+                        Atom(relation, p_vars),
+                        self._o_eval(node.body, target, stage_env(p_vars)),
+                        before_all_pass,
+                    ]
+                ),
+            )
+            a_vars = self.fresh_tuple(arity)
+            all_pass = forall_many(
+                (v.name for v in a_vars),
+                Or(Not(Atom(relation, a_vars)), pass_at(a_vars)),
+            )
+            return Or(
+                some_stage, And(all_pass, self._o_eval(node.init, target, env))
+            )
+        raise TypeError(f"not an o-term IR node: {node!r}")

@@ -1,0 +1,143 @@
+"""Materializing evaluation of compiled RA query terms.
+
+Whole-term reduction of a deeply nested TLI=0 query re-runs each
+intermediate relation's construction once per membership test against it,
+so the work multiplies across operator levels (polynomial in the data for
+a fixed query, but with the data-exponent growing along the nesting — and
+lazy evaluation stacks the entire cascade into one chain).  The paper's
+efficient TLI=0 evaluation avoids reduction altogether (the Section 5.2
+first-order translation, :mod:`repro.eval.fo_translation`).
+
+This module provides the natural middle ground, mirroring the fixpoint
+evaluator of :mod:`repro.eval.ptime`: evaluate the *relational-algebra
+tree* bottom-up, normalizing each operator application against the already
+**materialized** (normal-form, Definition 3.1) encodings of its children.
+Reducing an argument to normal form before reducing the enclosing
+application is just another reduction strategy for the same term, so by
+Church-Rosser the final normal form is literally the one whole-term
+reduction produces — the test suite asserts this on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_relation
+from repro.db.relations import Database, Relation
+from repro.errors import SchemaError
+from repro.eval.driver import QueryRun
+from repro.lam.nbe import nbe_normalize
+from repro.lam.terms import Term, Var, app, lam
+from repro.queries import operators as ops
+from repro.queries.relalg_compile import active_domain_expr_term
+from repro.relalg.ast import (
+    ADOM_NAME,
+    PRECEDES_PREFIX,
+    Base,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+    schema_with_derived,
+)
+
+
+def run_ra_query_materialized(
+    expr: RAExpr,
+    database: Database,
+    *,
+    max_depth: int = 600_000,
+) -> QueryRun:
+    """Evaluate a compiled RA query over ``database`` with per-operator
+    materialization.  The result (including tuple order and duplicates) is
+    the normal form of the corresponding whole query term."""
+    schema = {name: relation.arity for name, relation in database}
+    full_schema = schema_with_derived(schema)
+    expr.arity(full_schema)
+    encoded: Dict[str, Term] = {
+        name: encode_relation(relation) for name, relation in database
+    }
+
+    def normalize_app(operator: Term, *arguments: Term) -> Term:
+        return nbe_normalize(app(operator, *arguments), max_depth=max_depth)
+
+    def materialize(node: RAExpr) -> Term:
+        if isinstance(node, Base):
+            if node.name == ADOM_NAME:
+                names = list(schema)
+                term = lam(
+                    names,
+                    active_domain_expr_term(schema, Var),
+                )
+                return normalize_app(
+                    term, *[encoded[name] for name in names]
+                )
+            if node.name.startswith(PRECEDES_PREFIX):
+                base_name = node.name[len(PRECEDES_PREFIX):]
+                if base_name not in schema:
+                    raise SchemaError(f"unknown relation {base_name!r}")
+                return normalize_app(
+                    ops.precedes_relation_term(schema[base_name]),
+                    encoded[base_name],
+                )
+            if node.name not in encoded:
+                raise SchemaError(f"unknown relation {node.name!r}")
+            return encoded[node.name]
+        if isinstance(node, Union):
+            arity = node.left.arity(full_schema)
+            return normalize_app(
+                ops.union_term(arity),
+                materialize(node.left),
+                materialize(node.right),
+            )
+        if isinstance(node, Intersection):
+            arity = node.left.arity(full_schema)
+            return normalize_app(
+                ops.intersection_term(arity),
+                materialize(node.left),
+                materialize(node.right),
+            )
+        if isinstance(node, Difference):
+            arity = node.left.arity(full_schema)
+            return normalize_app(
+                ops.difference_term(arity),
+                materialize(node.left),
+                materialize(node.right),
+            )
+        if isinstance(node, Product):
+            return normalize_app(
+                ops.product_term(
+                    node.left.arity(full_schema),
+                    node.right.arity(full_schema),
+                ),
+                materialize(node.left),
+                materialize(node.right),
+            )
+        if isinstance(node, Project):
+            return normalize_app(
+                ops.project_term(
+                    node.inner.arity(full_schema), node.columns
+                ),
+                materialize(node.inner),
+            )
+        if isinstance(node, Select):
+            return normalize_app(
+                ops.select_term(
+                    node.inner.arity(full_schema), node.condition
+                ),
+                materialize(node.inner),
+            )
+        raise TypeError(f"not an RA expression: {node!r}")
+
+    normal_form = materialize(expr)
+    decoded = decode_relation(normal_form, expr.arity(full_schema))
+    return QueryRun(
+        relation=decoded.relation,
+        decoded=decoded,
+        normal_form=normal_form,
+        engine="materialized",
+    )

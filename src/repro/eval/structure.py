@@ -1,0 +1,249 @@
+"""Structure analysis of canonical TLI=0 / MLI=0 terms (Lemmas 5.5, 5.6).
+
+Lemma 5.6 classifies every subterm of a canonical TLI=0/MLI=0 query body
+``λc. λn. Q0`` by its canonical type:
+
+type ``g`` (the output/accumulator sort):
+
+1. ``R_i (λx̄. λy:g. M) N`` — a list iteration with accumulator ``y``;
+2. ``Eq S T U V`` — a conditional on two ``o``-terms;
+3. ``c T1 ... Tk T_{k+1}`` — an output tuple constructor;
+4. an accumulator variable or ``n``;
+
+type ``o`` (tuple components):
+
+5. ``R_i (λx̄. λy:o. M) N`` — an iteration with accumulator of type ``o``;
+6. an iteration variable or an ``o``-typed accumulator variable;
+7. an atomic constant.
+
+This module turns the canonical term into an explicit IR of exactly these
+shapes (rejecting anything else with :class:`CanonicalFormError`, which
+makes the lemma executable), for consumption by the Section 5.2 translation
+in :mod:`repro.eval.fo_translation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CanonicalFormError
+from repro.eval.canonical import CanonicalQuery
+from repro.lam.terms import Abs, App, Const, EqConst, Term, Var, spine
+from repro.types.types import BaseG, BaseO, Type
+
+
+# ---------------------------------------------------------------------------
+# IR node types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OConstIR:
+    """Case 7: an atomic constant."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class OVarIR:
+    """Case 6: an iteration variable or ``o``-typed accumulator variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class OIterIR:
+    """Case 5: ``R_i (λx̄. λacc:o. body) init`` producing an ``o`` value."""
+
+    input_index: int
+    occurrence: str
+    tuple_vars: Tuple[str, ...]
+    acc_var: str
+    body: "OTermIR"
+    init: "OTermIR"
+
+
+OTermIR = Union[OConstIR, OVarIR, OIterIR]
+
+
+@dataclass(frozen=True)
+class TailVarIR:
+    """Case 4: an accumulator variable of type ``g`` (or the outer ``n``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConsIR:
+    """Case 3: ``c T1 ... Tk tail``."""
+
+    components: Tuple[OTermIR, ...]
+    tail: "GTermIR"
+
+
+@dataclass(frozen=True)
+class EqIR:
+    """Case 2: ``Eq S T U V``."""
+
+    left: OTermIR
+    right: OTermIR
+    then_branch: "GTermIR"
+    else_branch: "GTermIR"
+
+
+@dataclass(frozen=True)
+class IterIR:
+    """Case 1: ``R_i (λx̄. λacc:g. body) init``."""
+
+    input_index: int
+    occurrence: str
+    tuple_vars: Tuple[str, ...]
+    acc_var: str
+    body: "GTermIR"
+    init: "GTermIR"
+
+
+GTermIR = Union[TailVarIR, ConsIR, EqIR, IterIR]
+
+
+@dataclass
+class AnalyzedQuery:
+    """The Lemma 5.6 decomposition of a canonical query."""
+
+    canonical: CanonicalQuery
+    cons_var: str
+    nil_var: str
+    body: GTermIR
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def analyze_query(canonical: CanonicalQuery) -> AnalyzedQuery:
+    """Decompose the canonical body per Lemma 5.6.
+
+    Raises :class:`CanonicalFormError` if any subterm falls outside the
+    allowed shapes — for genuine canonical TLI=0/MLI=0 terms this cannot
+    happen (that is the content of the lemma), so a raise means the input
+    was not an order-0 query term.
+    """
+    body = canonical.body
+    if not (isinstance(body, Abs) and isinstance(body.body, Abs)):
+        raise CanonicalFormError(
+            "canonical body must start with the c and n binders"
+        )
+    cons_var = body.var
+    nil_var = body.body.var
+    analyzer = _Analyzer(canonical, cons_var, nil_var)
+    ir = analyzer.g_term(body.body.body, {nil_var})
+    return AnalyzedQuery(
+        canonical=canonical, cons_var=cons_var, nil_var=nil_var, body=ir
+    )
+
+
+class _Analyzer:
+    def __init__(self, canonical: CanonicalQuery, cons: str, nil: str):
+        self.canonical = canonical
+        self.cons = cons
+        self.nil = nil
+        self.output_arity = canonical.arity.output
+
+    def g_term(self, term: Term, g_vars: set) -> GTermIR:
+        """Classify a type-``g`` subterm (cases 1-4).
+
+        ``g_vars`` is the set of accumulator variables (plus ``n``) in
+        scope; ``o``-sorted variables are tracked implicitly by the
+        ``o_term`` classifier.
+        """
+        head, args = spine(term)
+        if isinstance(head, Var) and head.name in self.canonical.occurrences:
+            return self._iteration(head.name, args, g_vars, sort="g")
+        if isinstance(head, EqConst):
+            if len(args) != 4:
+                raise CanonicalFormError(
+                    f"Eq applied to {len(args)} arguments (canonical forms "
+                    f"apply it to exactly 4)"
+                )
+            return EqIR(
+                left=self.o_term(args[0]),
+                right=self.o_term(args[1]),
+                then_branch=self.g_term(args[2], g_vars),
+                else_branch=self.g_term(args[3], g_vars),
+            )
+        if isinstance(head, Var) and head.name == self.cons:
+            if len(args) != self.output_arity + 1:
+                raise CanonicalFormError(
+                    f"constructor {self.cons} applied to {len(args)} "
+                    f"arguments, expected {self.output_arity + 1}"
+                )
+            return ConsIR(
+                components=tuple(self.o_term(a) for a in args[:-1]),
+                tail=self.g_term(args[-1], g_vars),
+            )
+        if isinstance(head, Var) and not args:
+            if head.name in g_vars:
+                return TailVarIR(head.name)
+            raise CanonicalFormError(
+                f"variable {head.name} of type g is neither an accumulator "
+                f"in scope nor {self.nil}"
+            )
+        raise CanonicalFormError(
+            f"subterm {term.pretty()} matches no Lemma 5.6 case for type g"
+        )
+
+    def o_term(self, term: Term) -> OTermIR:
+        """Classify a type-``o`` subterm (cases 5-7)."""
+        head, args = spine(term)
+        if isinstance(head, Const) and not args:
+            return OConstIR(head.name)
+        if isinstance(head, Var) and head.name in self.canonical.occurrences:
+            return self._iteration(head.name, args, set(), sort="o")
+        if isinstance(head, Var) and not args:
+            return OVarIR(head.name)
+        raise CanonicalFormError(
+            f"subterm {term.pretty()} matches no Lemma 5.6 case for type o"
+        )
+
+    def _iteration(
+        self, occurrence: str, args, g_vars: set, sort: str
+    ) -> Union[IterIR, OIterIR]:
+        if len(args) != 2:
+            raise CanonicalFormError(
+                f"iteration over {occurrence} with {len(args)} arguments "
+                f"(canonical forms apply iterators to exactly 2)"
+            )
+        arity = self.canonical.input_arity(occurrence)
+        loop, init = args
+        binders: List[str] = []
+        node = loop
+        while isinstance(node, Abs) and len(binders) < arity + 1:
+            binders.append(node.var)
+            node = node.body
+        if len(binders) != arity + 1:
+            raise CanonicalFormError(
+                f"iteration body over {occurrence} binds {len(binders)} "
+                f"variables, expected {arity + 1} (canonical form)"
+            )
+        tuple_vars = tuple(binders[:arity])
+        acc_var = binders[arity]
+        index = self.canonical.occurrences[occurrence]
+        if sort == "g":
+            return IterIR(
+                input_index=index,
+                occurrence=occurrence,
+                tuple_vars=tuple_vars,
+                acc_var=acc_var,
+                body=self.g_term(node, (g_vars | {acc_var})),
+                init=self.g_term(init, g_vars),
+            )
+        return OIterIR(
+            input_index=index,
+            occurrence=occurrence,
+            tuple_vars=tuple_vars,
+            acc_var=acc_var,
+            body=self.o_term(node),
+            init=self.o_term(init),
+        )

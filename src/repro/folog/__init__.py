@@ -1,0 +1,48 @@
+"""First-order logic over list-represented databases (Definition 3.5).
+
+Formulas are built from relation atoms, equality atoms, and the interpreted
+tuple-order atoms ``Precedes_i`` ("each < i specifying a total order among
+the tuples interpreting R_i"), closed under boolean connectives and
+quantifiers.  Quantifiers range over the active domain (optionally extended
+with the constants the formula itself mentions), exactly as in the paper's
+FO-query definition where the output is a subset of ``D^k``.
+"""
+
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FalseFormula,
+    Forall,
+    Formula,
+    FTerm,
+    FVar,
+    FConst,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+    formula_free_vars,
+)
+from repro.folog.evaluate import evaluate_formula, evaluate_fo_query
+
+__all__ = [
+    "And",
+    "Atom",
+    "Equals",
+    "Exists",
+    "FConst",
+    "FTerm",
+    "FVar",
+    "FalseFormula",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "Precedes",
+    "TrueFormula",
+    "evaluate_fo_query",
+    "evaluate_formula",
+    "formula_free_vars",
+]

@@ -1,0 +1,197 @@
+"""Evaluating first-order formulas over list-represented databases.
+
+The structure interpreting a formula is ``(D, r1, ..., rl, <1, ..., <l)``
+(Definition 3.5): the active domain, the input relations, and their tuple
+orders.  Quantifiers range over the evaluation domain, which is the active
+domain extended with any extra constants the caller supplies (the FO
+translation of Section 5.2 mentions query constants that may be absent
+from the database).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.relations import Database, Relation
+from repro.errors import EvaluationError
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FTerm,
+    FVar,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+    formula_constants,
+    formula_free_vars,
+)
+
+
+def _resolve(term: FTerm, assignment: Dict[str, str]) -> str:
+    if isinstance(term, FConst):
+        return term.name
+    if isinstance(term, FVar):
+        try:
+            return assignment[term.name]
+        except KeyError:
+            raise EvaluationError(
+                f"unbound variable {term.name} during FO evaluation"
+            ) from None
+    raise TypeError(f"not a term: {term!r}")
+
+
+class _Structure:
+    """Pre-indexed database for formula evaluation."""
+
+    def __init__(self, database: Database, extra_constants: Iterable[str]):
+        self.relations: Dict[str, frozenset] = {}
+        self.positions: Dict[str, Dict[Tuple[str, ...], int]] = {}
+        for name, relation in database:
+            self.relations[name] = relation.as_set()
+            self.positions[name] = {
+                row: index for index, row in enumerate(relation.tuples)
+            }
+        domain = list(database.active_domain())
+        for constant in extra_constants:
+            if constant not in domain:
+                domain.append(constant)
+        self.domain = domain
+
+    def holds_atom(self, name: str, row: Tuple[str, ...]) -> bool:
+        try:
+            return row in self.relations[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r}") from None
+
+    def holds_precedes(
+        self, name: str, left: Tuple[str, ...], right: Tuple[str, ...]
+    ) -> bool:
+        positions = self.positions.get(name)
+        if positions is None:
+            raise EvaluationError(f"unknown relation {name!r}")
+        left_pos = positions.get(left)
+        right_pos = positions.get(right)
+        if left_pos is None or right_pos is None:
+            return False
+        return left_pos < right_pos
+
+
+def evaluate_formula(
+    formula: Formula,
+    database: Database,
+    assignment: Optional[Dict[str, str]] = None,
+    extra_constants: Iterable[str] = (),
+) -> bool:
+    """Does the structure of ``database`` satisfy ``formula`` under
+    ``assignment``?  All free variables must be assigned."""
+    structure = _Structure(database, extra_constants)
+    return _eval(formula, structure, dict(assignment or {}))
+
+
+def _eval(
+    formula: Formula, structure: _Structure, assignment: Dict[str, str]
+) -> bool:
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Atom):
+        row = tuple(_resolve(t, assignment) for t in formula.terms)
+        return structure.holds_atom(formula.relation, row)
+    if isinstance(formula, Equals):
+        return _resolve(formula.left, assignment) == _resolve(
+            formula.right, assignment
+        )
+    if isinstance(formula, Precedes):
+        left = tuple(_resolve(t, assignment) for t in formula.left)
+        right = tuple(_resolve(t, assignment) for t in formula.right)
+        return structure.holds_precedes(formula.relation, left, right)
+    if isinstance(formula, And):
+        return _eval(formula.left, structure, assignment) and _eval(
+            formula.right, structure, assignment
+        )
+    if isinstance(formula, Or):
+        return _eval(formula.left, structure, assignment) or _eval(
+            formula.right, structure, assignment
+        )
+    if isinstance(formula, Not):
+        return not _eval(formula.inner, structure, assignment)
+    if isinstance(formula, Exists):
+        shadowed = assignment.get(formula.var)
+        for value in structure.domain:
+            assignment[formula.var] = value
+            if _eval(formula.body, structure, assignment):
+                _restore(assignment, formula.var, shadowed)
+                return True
+        _restore(assignment, formula.var, shadowed)
+        return False
+    if isinstance(formula, Forall):
+        shadowed = assignment.get(formula.var)
+        for value in structure.domain:
+            assignment[formula.var] = value
+            if not _eval(formula.body, structure, assignment):
+                _restore(assignment, formula.var, shadowed)
+                return False
+        _restore(assignment, formula.var, shadowed)
+        return True
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _restore(assignment: Dict[str, str], var: str, shadowed) -> None:
+    if shadowed is None:
+        assignment.pop(var, None)
+    else:
+        assignment[var] = shadowed
+
+
+def evaluate_fo_query(
+    formula: Formula,
+    output_vars: Sequence[str],
+    database: Database,
+    extra_constants: Iterable[str] = (),
+    include_formula_constants: bool = False,
+) -> Relation:
+    """The FO-query defined by ``formula`` with the given free variables
+    (Definition 3.5): ``{x̄ in D^k : structure satisfies formula(x̄)}``.
+
+    The output is enumerated in lexicographic domain order (a canonical
+    list-representation).  Free variables of the formula must be among
+    ``output_vars``.  By default, quantifiers and output variables range
+    over the database's active domain plus ``extra_constants``;
+    ``include_formula_constants=True`` additionally adjoins the constants
+    the formula mentions (the domain the Section 5.2 translation uses,
+    since a query term may cons constants absent from the database).
+    """
+    free = formula_free_vars(formula)
+    missing = free - set(output_vars)
+    if missing:
+        raise EvaluationError(
+            f"free variables {sorted(missing)} not among output variables"
+        )
+    extra = set(extra_constants)
+    if include_formula_constants:
+        extra |= set(formula_constants(formula))
+    structure = _Structure(database, sorted(extra))
+    rows: List[Tuple[str, ...]] = []
+
+    def enumerate_assignments(index: int, assignment: Dict[str, str]):
+        if index == len(output_vars):
+            if _eval(formula, structure, assignment):
+                rows.append(
+                    tuple(assignment[name] for name in output_vars)
+                )
+            return
+        for value in structure.domain:
+            assignment[output_vars[index]] = value
+            enumerate_assignments(index + 1, assignment)
+        assignment.pop(output_vars[index], None)
+
+    enumerate_assignments(0, {})
+    return Relation.from_tuples(len(output_vars), rows)

@@ -1,0 +1,255 @@
+"""First-order formula AST (Definition 3.5).
+
+Terms are variables or constants; atoms are relation memberships
+``R(t1, ..., tk)``, equalities ``t1 = t2``, and the interpreted list-order
+atoms ``Precedes_R(s̄; t̄)`` comparing two tuples of the input ``R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple, Union
+
+
+class FTerm:
+    """Base class of first-order terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class FVar(FTerm):
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class FConst(FTerm):
+    """A constant (an element of the universe ``O``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"'{self.name}'"
+
+
+class Formula:
+    """Base class of formulas, with connective sugar: ``&``, ``|``, ``~``."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True, slots=True)
+class TrueFormula(Formula):
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True, slots=True)
+class FalseFormula(Formula):
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True, slots=True)
+class Atom(Formula):
+    """``relation(terms)``."""
+
+    relation: str
+    terms: Tuple[FTerm, ...]
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class Equals(Formula):
+    left: FTerm
+    right: FTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Precedes(Formula):
+    """``Precedes_relation(left_tuple; right_tuple)``: both tuples occur in
+    the (list-represented) input and the left one is strictly earlier."""
+
+    relation: str
+    left: Tuple[FTerm, ...]
+    right: Tuple[FTerm, ...]
+
+    def __str__(self) -> str:
+        l = ", ".join(str(t) for t in self.left)
+        r = ", ".join(str(t) for t in self.right)
+        return f"Precedes_{self.relation}({l}; {r})"
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    inner: Formula
+
+    def __str__(self) -> str:
+        return f"~{self.inner}"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    var: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(exists {self.var}. {self.body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Forall(Formula):
+    var: str
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"(forall {self.var}. {self.body})"
+
+
+def exists_many(names, body: Formula) -> Formula:
+    """``exists x1 ... xn. body``."""
+    result = body
+    for name in reversed(list(names)):
+        result = Exists(name, result)
+    return result
+
+
+def forall_many(names, body: Formula) -> Formula:
+    """``forall x1 ... xn. body``."""
+    result = body
+    for name in reversed(list(names)):
+        result = Forall(name, result)
+    return result
+
+
+def and_all(formulas) -> Formula:
+    """Conjunction of a sequence (``true`` when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return TrueFormula()
+    result = formulas[0]
+    for part in formulas[1:]:
+        result = And(result, part)
+    return result
+
+
+def or_all(formulas) -> Formula:
+    """Disjunction of a sequence (``false`` when empty)."""
+    formulas = list(formulas)
+    if not formulas:
+        return FalseFormula()
+    result = formulas[0]
+    for part in formulas[1:]:
+        result = Or(result, part)
+    return result
+
+
+def _term_vars(term: FTerm) -> FrozenSet[str]:
+    if isinstance(term, FVar):
+        return frozenset((term.name,))
+    return frozenset()
+
+
+def formula_free_vars(formula: Formula) -> FrozenSet[str]:
+    """The free variables of ``formula``."""
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return frozenset()
+    if isinstance(formula, Atom):
+        result: FrozenSet[str] = frozenset()
+        for term in formula.terms:
+            result |= _term_vars(term)
+        return result
+    if isinstance(formula, Equals):
+        return _term_vars(formula.left) | _term_vars(formula.right)
+    if isinstance(formula, Precedes):
+        result = frozenset()
+        for term in formula.left + formula.right:
+            result |= _term_vars(term)
+        return result
+    if isinstance(formula, (And, Or)):
+        return formula_free_vars(formula.left) | formula_free_vars(
+            formula.right
+        )
+    if isinstance(formula, Not):
+        return formula_free_vars(formula.inner)
+    if isinstance(formula, (Exists, Forall)):
+        return formula_free_vars(formula.body) - {formula.var}
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_constants(formula: Formula) -> FrozenSet[str]:
+    """The constants mentioned anywhere in ``formula``."""
+    if isinstance(formula, Atom):
+        return frozenset(
+            t.name for t in formula.terms if isinstance(t, FConst)
+        )
+    if isinstance(formula, Equals):
+        return frozenset(
+            t.name
+            for t in (formula.left, formula.right)
+            if isinstance(t, FConst)
+        )
+    if isinstance(formula, Precedes):
+        return frozenset(
+            t.name
+            for t in formula.left + formula.right
+            if isinstance(t, FConst)
+        )
+    if isinstance(formula, (And, Or)):
+        return formula_constants(formula.left) | formula_constants(
+            formula.right
+        )
+    if isinstance(formula, Not):
+        return formula_constants(formula.inner)
+    if isinstance(formula, (Exists, Forall)):
+        return formula_constants(formula.body)
+    return frozenset()
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes — used to report translation blowup (E2)."""
+    if isinstance(formula, (And, Or)):
+        return 1 + formula_size(formula.left) + formula_size(formula.right)
+    if isinstance(formula, Not):
+        return 1 + formula_size(formula.inner)
+    if isinstance(formula, (Exists, Forall)):
+        return 1 + formula_size(formula.body)
+    return 1

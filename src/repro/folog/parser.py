@@ -1,0 +1,237 @@
+"""Text syntax for first-order formulas (Definition 3.5 front-end).
+
+Grammar (loosest binding first; quantifier bodies extend right):
+
+    formula ::= quantified | implication
+    quantified ::= ("exists" | "forall") name+ "." formula
+    implication ::= disjunction ("->" disjunction)?
+    disjunction ::= conjunction ("|" conjunction)*
+    conjunction ::= negation ("&" negation)*
+    negation ::= "~" negation | atom
+    atom ::= "(" formula ")" | "true" | "false"
+           | name "(" terms ")"                      relation atom
+           | "precedes" "[" name "]" "(" terms ";" terms ")"
+           | term "=" term
+    term ::= name | "'" ... "'"
+
+Lowercase identifiers are variables; quoted strings and names matching the
+``o<digits>`` convention are constants (any other name can be forced to a
+constant via the ``constants`` argument).  Relation names are whatever the
+schema declares — they are recognized positionally (a name followed by an
+opening parenthesis).
+
+Example:   ``exists y. R(x, y) & ~S(y, x) | x = 'alice'``
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FTerm,
+    FVar,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+)
+from repro.naming import constant_index
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<comma>,)
+  | (?P<semicolon>;)
+  | (?P<dot>\.)
+  | (?P<amp>&)
+  | (?P<pipe>\|)
+  | (?P<tilde>~)
+  | (?P<equals>=)
+  | (?P<quoted>'[^']*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false", "precedes"}
+
+
+def _tokenize(source: str):
+    tokens = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", index, source
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            if kind == "name" and text in _KEYWORDS:
+                kind = text
+            tokens.append((kind, text, index))
+        index = match.end()
+    tokens.append(("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str, constants: Set[str]):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.pos = 0
+        self.constants = constants
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str):
+        token = self.peek()
+        if token[0] != kind:
+            raise ParseError(
+                f"expected {kind}, found {token[0]} {token[1]!r}",
+                token[2],
+                self.source,
+            )
+        return self.next()
+
+    # -- grammar -------------------------------------------------------------
+
+    def formula(self) -> Formula:
+        token = self.peek()
+        if token[0] in ("exists", "forall"):
+            self.next()
+            names = [self.expect("name")[1]]
+            while self.peek()[0] == "name":
+                names.append(self.next()[1])
+            self.expect("dot")
+            body = self.formula()
+            wrapper = Exists if token[0] == "exists" else Forall
+            for name in reversed(names):
+                body = wrapper(name, body)
+            return body
+        return self.implication()
+
+    def implication(self) -> Formula:
+        left = self.disjunction()
+        if self.peek()[0] == "arrow":
+            self.next()
+            right = self.disjunction()
+            return Or(Not(left), right)
+        return left
+
+    def disjunction(self) -> Formula:
+        result = self.conjunction()
+        while self.peek()[0] == "pipe":
+            self.next()
+            result = Or(result, self.conjunction())
+        return result
+
+    def conjunction(self) -> Formula:
+        result = self.negation()
+        while self.peek()[0] == "amp":
+            self.next()
+            result = And(result, self.negation())
+        return result
+
+    def negation(self) -> Formula:
+        if self.peek()[0] == "tilde":
+            self.next()
+            return Not(self.negation())
+        return self.atom()
+
+    def atom(self) -> Formula:
+        token = self.peek()
+        if token[0] == "lparen":
+            self.next()
+            inner = self.formula()
+            self.expect("rparen")
+            return inner
+        if token[0] == "true":
+            self.next()
+            return TrueFormula()
+        if token[0] == "false":
+            self.next()
+            return FalseFormula()
+        if token[0] == "precedes":
+            self.next()
+            self.expect("lbracket")
+            relation = self.expect("name")[1]
+            self.expect("rbracket")
+            self.expect("lparen")
+            left = self.term_list()
+            self.expect("semicolon")
+            right = self.term_list()
+            self.expect("rparen")
+            return Precedes(relation, tuple(left), tuple(right))
+        if token[0] in ("name", "quoted"):
+            # Either a relation atom (name followed by "(") or an equality.
+            if token[0] == "name" and self.tokens[self.pos + 1][0] == "lparen":
+                name = self.next()[1]
+                self.expect("lparen")
+                terms = self.term_list()
+                self.expect("rparen")
+                return Atom(name, tuple(terms))
+            left = self.term()
+            self.expect("equals")
+            right = self.term()
+            return Equals(left, right)
+        raise ParseError(
+            f"expected a formula, found {token[0]} {token[1]!r}",
+            token[2],
+            self.source,
+        )
+
+    def term_list(self) -> List[FTerm]:
+        terms = [self.term()]
+        while self.peek()[0] == "comma":
+            self.next()
+            terms.append(self.term())
+        return terms
+
+    def term(self) -> FTerm:
+        token = self.peek()
+        if token[0] == "quoted":
+            self.next()
+            return FConst(token[1][1:-1])
+        name = self.expect("name")[1]
+        if name in self.constants or constant_index(name) is not None:
+            return FConst(name)
+        return FVar(name)
+
+
+def parse_formula(source: str, constants: Iterable[str] = ()) -> Formula:
+    """Parse a first-order formula.
+
+    ``constants`` lists extra names (beyond quoting and the ``o<digits>``
+    convention) to read as constants rather than variables.
+    """
+    parser = _Parser(source, set(constants))
+    result = parser.formula()
+    trailing = parser.peek()
+    if trailing[0] != "eof":
+        raise ParseError(
+            f"trailing input: {trailing[1]!r}", trailing[2], source
+        )
+    return result

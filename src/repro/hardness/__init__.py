@@ -1,0 +1,55 @@
+"""The Section 6 complexity lab: type reconstruction at fixed order.
+
+Section 6 of the paper derives an NP-hardness lower bound for ML type
+reconstruction in fixed-order fragments such as MLI=1, "a modification of
+the one given in [31] ... based on the construction of terms with low
+functionality order, but high arity", complementing the unbounded-order
+EXPTIME-completeness results of [31, 32].  The construction itself lies in
+the truncated part of our source text, so — per the substitution policy in
+DESIGN.md — this package reconstructs the *mechanism* the theorem rests on
+and measures it:
+
+* :mod:`repro.hardness.gadgets` — the classical Kanellakis–Mitchell/Mairson
+  let-doubling families whose principal types have exponential tree size
+  (kept polynomial only by DAG/triangular representation), the contrasting
+  TLC= families with linear-time reconstruction, and low-order/high-arity
+  families built from the paper's own relational operators;
+* :mod:`repro.hardness.sat` — 3-SAT instances and a brute-force solver;
+* :mod:`repro.hardness.reduction` — a 3-SAT-shaped term-family generator
+  embedding clause structure into let-polymorphic unification workloads,
+  used by benchmark B5's scaling study.
+
+What these reproduce: the paper's qualitative claim that "the common
+practice of programming with low order functionalities ... does not avoid
+the worst-case intricacies of ML-type reconstruction".  What they do not:
+the literal NP-hardness reduction, which the available text does not
+contain (see DESIGN.md, Substitution 1).
+"""
+
+from repro.hardness.gadgets import (
+    let_pairing_chain,
+    pairing_chain_expanded_size,
+    principal_type_tree_size,
+    tlc_linear_family,
+    wide_equality_family,
+)
+from repro.hardness.sat import (
+    CNF,
+    Clause,
+    brute_force_satisfiable,
+    random_cnf,
+)
+from repro.hardness.reduction import cnf_to_ml_term
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "brute_force_satisfiable",
+    "cnf_to_ml_term",
+    "let_pairing_chain",
+    "pairing_chain_expanded_size",
+    "principal_type_tree_size",
+    "random_cnf",
+    "tlc_linear_family",
+    "wide_equality_family",
+]

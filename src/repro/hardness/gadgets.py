@@ -1,0 +1,115 @@
+"""Type-blowup gadget families (Section 6 / [31, 32] mechanism).
+
+The source of ML reconstruction hardness is that principal types can be
+exponentially larger than the program: let-polymorphism lets each use of a
+definition instantiate it independently, and self-pairing doubles the type
+per definition.  The families here make that measurable:
+
+* :func:`let_pairing_chain` — the classical chain
+
+      λx0. let x1 = λp. p x0 x0 in
+           let x2 = λp. p x1 x1 in ... xn
+
+  whose principal type has tree size Θ(2^n) (the DAG stays linear, which
+  is why the triangular substitution of :mod:`repro.types.unify` matters);
+* :func:`tlc_linear_family` — a same-shape TLC= family (no lets, no
+  self-pairing) whose reconstruction is linear, the paper's Section 2.1
+  baseline;
+* :func:`wide_equality_family` — low-order / high-arity terms built from
+  the paper's own ``Equal_k`` machinery: order stays at 2-3 while the
+  number of distinct type positions grows with ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lam.terms import Abs, Term, Var, app, lam, let
+from repro.types.types import Arrow, Type, TypeVar
+from repro.types.unify import Substitution
+
+
+def let_pairing_chain(depth: int) -> Term:
+    """``λx0. let x1 = λp. p x0 x0 in ... let xn = λp. p x_{n-1} x_{n-1}
+    in xn`` — principal type of tree size Θ(2^depth)."""
+    if depth < 0:
+        raise ValueError("depth must be nonnegative")
+    body: Term = Var(f"x{depth}")
+    for level in range(depth, 0, -1):
+        previous = Var(f"x{level - 1}")
+        pair = lam("p", app(Var("p"), previous, previous))
+        body = let(f"x{level}", pair, body)
+    return Abs("x0", body)
+
+
+def monomorphic_pairing_chain(depth: int) -> Term:
+    """The same chain with lets read monomorphically (TLC=): still typable
+    — each ``x_i`` is used once per pairing — and still exponentially
+    typed; the contrast with :func:`tlc_linear_family` isolates
+    *self-pairing*, not let, as the doubling engine."""
+    return let_pairing_chain(depth)
+
+
+def tlc_linear_family(depth: int) -> Term:
+    """``λx0. λf. f (f ... (f x0))`` — a TLC= family of the same size whose
+    principal type stays constant-size (reconstruction is linear)."""
+    body: Term = Var("x0")
+    for _ in range(depth):
+        body = app(Var("f"), body)
+    return lam(["x0", "f"], body)
+
+
+def wide_equality_family(arity: int) -> Term:
+    """A low-order, high-arity term: the paper's ``Equal_k`` at ``k =
+    arity`` applied to shared variables, wrapped in lets so every clause of
+    the equality chain is let-polymorphic.
+
+    Order stays at most 2; the unification problem grows with ``arity``
+    (2k binder types plus k Eq constraints).
+    """
+    from repro.queries.operators import equal_term
+
+    xs = [f"a{i}" for i in range(arity)]
+    shared = lam(
+        xs,
+        app(
+            equal_term(arity),
+            *[Var(x) for x in xs],
+            *[Var(x) for x in reversed(xs)],
+        ),
+    )
+    return let("eq_wide", shared, Var("eq_wide"))
+
+
+def principal_type_tree_size(subst: Substitution, type_: Type) -> int:
+    """Tree size of ``subst.apply(type_)`` computed *without* building the
+    tree (memoized over the walked DAG), so exponential principal types can
+    be measured in polynomial time."""
+    memo: Dict[int, int] = {}
+
+    def size(node: Type) -> int:
+        node = subst.walk(node)
+        key = id(node)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if isinstance(node, Arrow):
+            result = 1 + size(node.left) + size(node.right)
+        else:
+            result = 1
+        memo[key] = result
+        return result
+
+    return size(type_)
+
+
+def pairing_chain_expanded_size(depth: int) -> int:
+    """The tree size of the pairing chain's principal type, computed from
+    the recurrence (for cross-checking the measured sizes):
+    ``s(0) = 1`` (a variable), ``s(i+1) = 2*s(i) + size of the consumer
+    arrow scaffolding``."""
+    size = 1
+    for _ in range(depth):
+        # t_{i+1} = (t_i -> t_i -> b) -> b: 2*s + 2 variables + 3 arrows.
+        size = 2 * size + 5
+    return size

@@ -1,0 +1,83 @@
+"""3-SAT-shaped term families for the fixed-order reconstruction study.
+
+Section 6 proves NP-hardness of fixed-order ML reconstruction via "terms
+with low functionality order, but high arity"; the gadget itself is in the
+truncated part of the text.  This module operationalizes the *shape* of
+such instances: :func:`cnf_to_ml_term` embeds a CNF's incidence structure
+into a core-ML= term —
+
+* each propositional variable ``v`` becomes a λ-bound term variable
+  ``xv`` (so all its occurrences share one reconstruction variable, the
+  monomorphic coupling that makes clause gadgets interact);
+* each clause becomes a let-bound *selector application*: a
+  let-polymorphic 3-argument collector is instantiated at the clause's
+  literals, with negated literals routed through a shared flipper so the
+  polarity structure shows up in the unification problem;
+* clause gadgets are chained so the whole term types at order <= 4 (the
+  MLI=1 bound) with arity growing linearly in the clause count.
+
+The family is a *workload generator*: every instance is ML-typable (the
+reduction's typable-iff-satisfiable property is exactly the part of the
+construction the truncated text withholds), and benchmark B5 measures
+reconstruction cost against instance size, alongside the exponential-type
+gadgets of :mod:`repro.hardness.gadgets` — together they exhibit the
+qualitative Section 6 claim that the order bound does not tame ML
+reconstruction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hardness.sat import CNF
+from repro.lam.terms import Abs, Term, Var, app, lam, let
+
+
+def cnf_to_ml_term(cnf: CNF) -> Term:
+    """Embed ``cnf``'s incidence structure into a core-ML= term.
+
+    The term has one λ binder per propositional variable, one let binder
+    per clause plus two shared gadgets, and size O(vars + clauses).
+    """
+    variable_names = [f"xv{i}" for i in range(1, cnf.num_vars + 1)]
+
+    # The shared collector: forces its three arguments' types into one
+    # 3-column row type per instantiation.
+    collector = lam(
+        ["a", "b", "c", "k"],
+        app(Var("k"), Var("a"), Var("b"), Var("c")),
+    )
+    # The shared flipper: negated literals go through one extra (shared,
+    # monomorphic) indirection, coupling all negative occurrences of a
+    # variable.
+    flipper = lam(["w", "u", "v"], app(Var("w"), Var("v"), Var("u")))
+
+    def literal_term(literal: int) -> Term:
+        name = variable_names[abs(literal) - 1]
+        if literal > 0:
+            return Var(name)
+        return app(Var("flip"), Var(name))
+
+    body: Term = lam(["z"], Var("z"))
+    for index, clause in enumerate(reversed(cnf.clauses)):
+        arguments = [literal_term(l) for l in clause]
+        gadget = app(Var("collect"), *arguments)
+        body = let(
+            f"clause{len(cnf.clauses) - index}",
+            gadget,
+            body,
+        )
+    body = let("collect", collector, let("flip", flipper, body))
+    return lam(variable_names, body)
+
+
+def instance_sizes(cnf: CNF) -> dict:
+    """Descriptive statistics of the generated term (for reports)."""
+    from repro.lam.terms import term_size
+
+    term = cnf_to_ml_term(cnf)
+    return {
+        "vars": cnf.num_vars,
+        "clauses": len(cnf.clauses),
+        "term_size": term_size(term),
+    }

@@ -1,0 +1,94 @@
+"""3-SAT instances for the Section 6 scaling study.
+
+Minimal CNF machinery: clauses are tuples of nonzero integers (DIMACS
+convention: ``+v`` is the variable, ``-v`` its negation).  The brute-force
+solver is the ground truth for the small instances the tests use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+Clause = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula over variables ``1..num_vars``."""
+
+    num_vars: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > self.num_vars:
+                    raise ValueError(f"bad literal {literal}")
+
+    def __str__(self) -> str:
+        parts = [
+            "(" + " | ".join(
+                (f"x{l}" if l > 0 else f"~x{-l}") for l in clause
+            ) + ")"
+            for clause in self.clauses
+        ]
+        return " & ".join(parts) if parts else "true"
+
+    def satisfied_by(self, assignment: Sequence[bool]) -> bool:
+        """``assignment[i]`` is the value of variable ``i+1``."""
+        for clause in self.clauses:
+            if not any(
+                assignment[abs(l) - 1] == (l > 0) for l in clause
+            ):
+                return False
+        return True
+
+
+def brute_force_satisfiable(cnf: CNF) -> Optional[Tuple[bool, ...]]:
+    """A satisfying assignment, or ``None`` — exhaustive, for small n."""
+    for bits in itertools.product((False, True), repeat=cnf.num_vars):
+        if cnf.satisfied_by(bits):
+            return bits
+    return None
+
+
+def random_cnf(
+    num_vars: int,
+    num_clauses: int,
+    clause_size: int = 3,
+    seed: int = 0,
+) -> CNF:
+    """A random CNF with distinct variables within each clause."""
+    rng = random.Random(seed)
+    if clause_size > num_vars:
+        raise ValueError("clause size exceeds variable count")
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), clause_size)
+        clauses.append(
+            tuple(
+                v if rng.random() < 0.5 else -v for v in chosen
+            )
+        )
+    return CNF(num_vars, tuple(clauses))
+
+
+def pigeonhole_cnf(holes: int) -> CNF:
+    """The (unsatisfiable) pigeonhole principle PHP(holes+1, holes) —
+    a classically hard family, used to stress the scaling study."""
+    pigeons = holes + 1
+
+    def var(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses: List[Clause] = []
+    for p in range(pigeons):
+        clauses.append(tuple(var(p, h) for h in range(holes)))
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-var(p1, h), -var(p2, h)))
+    return CNF(pigeons * holes, tuple(clauses))

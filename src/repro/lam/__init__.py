@@ -1,0 +1,75 @@
+"""The lambda-calculus kernel: terms, parsing, printing, reduction, NBE.
+
+This package implements the calculi of Section 2 of the paper:
+
+* **TLC** — the simply typed lambda calculus (Curry style, with optional
+  Church-style annotations on binders),
+* **TLC=** — TLC enriched with atomic constants ``o_1, o_2, ...`` of base
+  type ``o`` and the equality constant ``Eq : o -> o -> g -> g -> g``
+  together with its delta rule,
+* **core-ML / core-ML=** — the same syntax plus ``let`` with
+  let-polymorphism (typing lives in :mod:`repro.types.ml`; operationally
+  ``let x = M in N`` behaves exactly like ``(λx. N) M``).
+"""
+
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    abs_many,
+    app,
+    bound_vars,
+    free_vars,
+    lam,
+    let,
+    subterms,
+    term_size,
+)
+from repro.lam.alpha import alpha_equal, to_debruijn
+from repro.lam.parser import parse
+from repro.lam.pretty import pretty
+from repro.lam.subst import rename_bound, substitute
+from repro.lam.reduce import (
+    NormalizationResult,
+    Strategy,
+    find_redex,
+    is_normal_form,
+    normalize,
+    step,
+)
+from repro.lam.nbe import nbe_normalize
+
+__all__ = [
+    "Abs",
+    "App",
+    "Const",
+    "EqConst",
+    "Let",
+    "NormalizationResult",
+    "Strategy",
+    "Term",
+    "Var",
+    "abs_many",
+    "alpha_equal",
+    "app",
+    "bound_vars",
+    "find_redex",
+    "free_vars",
+    "is_normal_form",
+    "lam",
+    "let",
+    "nbe_normalize",
+    "normalize",
+    "parse",
+    "pretty",
+    "rename_bound",
+    "step",
+    "substitute",
+    "subterms",
+    "term_size",
+    "to_debruijn",
+]

@@ -1,0 +1,130 @@
+"""Alpha-equivalence via de Bruijn conversion.
+
+The paper identifies terms that differ only in the names of bound variables
+(Section 2.1: "we write e = e' to denote the syntactic identity of e and e'
+except for the names of their bound variables").  We realize that equality
+by converting both sides to a nameless (de Bruijn index) form and comparing
+structurally.  Free variables keep their names, so two terms with different
+free variables are never alpha-equal.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
+
+# Nameless form: nested tuples, cheap to build and hashable.
+#   ("ix", k)        bound variable, k binders up
+#   ("free", name)   free variable
+#   ("const", name)  atomic constant
+#   ("eq",)          the Eq constant
+#   ("abs", body)
+#   ("app", fn, arg)
+#   ("let", bound, body)
+DeBruijn = Tuple[object, ...]
+
+
+def to_debruijn(term: Term) -> DeBruijn:
+    """Convert ``term`` to its nameless de Bruijn representation."""
+
+    def walk(node: Term, env: Tuple[str, ...]) -> DeBruijn:
+        if isinstance(node, Var):
+            # Search innermost-first; shadowed binders are invisible.
+            for depth, name in enumerate(reversed(env)):
+                if name == node.name:
+                    return ("ix", depth)
+            return ("free", node.name)
+        if isinstance(node, Const):
+            return ("const", node.name)
+        if isinstance(node, EqConst):
+            return ("eq",)
+        if isinstance(node, Abs):
+            return ("abs", walk(node.body, env + (node.var,)))
+        if isinstance(node, App):
+            return ("app", walk(node.fn, env), walk(node.arg, env))
+        if isinstance(node, Let):
+            return (
+                "let",
+                walk(node.bound, env),
+                walk(node.body, env + (node.var,)),
+            )
+        raise TypeError(f"not a term: {node!r}")
+
+    return walk(term, ())
+
+
+def _free_names(nameless: DeBruijn) -> set:
+    names = set()
+    stack = [nameless]
+    while stack:
+        node = stack.pop()
+        tag = node[0]
+        if tag == "free":
+            names.add(node[1])
+        elif tag in ("abs",):
+            stack.append(node[1])
+        elif tag in ("app", "let"):
+            stack.append(node[1])
+            stack.append(node[2])
+    return names
+
+
+def from_debruijn(nameless: DeBruijn, base: str = "x") -> Term:
+    """Convert a nameless form back to a named term.
+
+    Binders are named ``base0, base1, ...`` by depth; the base is mangled
+    until no free variable of the term matches the generated pattern, so the
+    round trip never captures a free variable.
+    """
+    free = _free_names(nameless)
+    while any(
+        name.startswith(base) and name[len(base):].isdigit() for name in free
+    ):
+        base += "_"
+
+    def walk(node: DeBruijn, depth: int) -> Term:
+        tag = node[0]
+        if tag == "ix":
+            return Var(f"{base}{depth - 1 - node[1]}")
+        if tag == "free":
+            return Var(node[1])
+        if tag == "const":
+            return Const(node[1])
+        if tag == "eq":
+            return EqConst()
+        if tag == "abs":
+            return Abs(f"{base}{depth}", walk(node[1], depth + 1))
+        if tag == "app":
+            return App(walk(node[1], depth), walk(node[2], depth))
+        if tag == "let":
+            return Let(
+                f"{base}{depth}",
+                walk(node[1], depth),
+                walk(node[2], depth + 1),
+            )
+        raise ValueError(f"bad nameless node: {node!r}")
+
+    return walk(nameless, 0)
+
+
+def alpha_equal(left: Term, right: Term) -> bool:
+    """The paper's term identity: equality up to bound-variable renaming."""
+    return to_debruijn(left) == to_debruijn(right)
+
+
+def alpha_key(term: Term) -> DeBruijn:
+    """A hashable key constant across alpha-equivalent terms.
+
+    Lets terms be used in sets/dicts keyed by alpha-equivalence class.
+    """
+    return to_debruijn(term)
+
+
+def canonical_names(term: Term, base: str = "x") -> Term:
+    """Rename all binders to the deterministic ``base<depth>`` scheme.
+
+    The result is alpha-equal to ``term`` and is literally identical for any
+    two alpha-equal inputs — a normal form for names.
+    """
+    return from_debruijn(to_debruijn(term), base)

@@ -1,0 +1,306 @@
+"""The standard encodings of Section 2.3: booleans, numerals, list iteration.
+
+Every combinator is built exactly as the paper writes it, with Church-style
+annotations where the paper gives them (annotations never affect reduction;
+they are checked by the test suite via :func:`repro.types.check.check_church`
+and by Curry-style reconstruction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.lam.terms import Abs, App, Const, Term, Var, app, lam
+from repro.types.types import Arrow, Type, bool_type, int_type
+from repro.types.types import G as TYPE_G
+
+
+# ---------------------------------------------------------------------------
+# Booleans:  True := λx:g. λy:g. x      False := λx:g. λy:g. y
+# ---------------------------------------------------------------------------
+
+def true_term() -> Term:
+    """``True := λx. λy. x`` of type ``Bool = g -> g -> g``."""
+    return lam(["x", "y"], Var("x"), [TYPE_G, TYPE_G])
+
+
+def false_term() -> Term:
+    """``False := λx. λy. y`` of type ``Bool``."""
+    return lam(["x", "y"], Var("y"), [TYPE_G, TYPE_G])
+
+
+def xor_term() -> Term:
+    """``Xor := λp. λq. λx. λy. p (q y x) (q x y)`` (Section 2.3)."""
+    p, q, x, y = Var("p"), Var("q"), Var("x"), Var("y")
+    body = app(p, app(q, y, x), app(q, x, y))
+    return lam(
+        ["p", "q", "x", "y"],
+        body,
+        [bool_type(), bool_type(), TYPE_G, TYPE_G],
+    )
+
+
+def and_term() -> Term:
+    """``And := λp. λq. λx. λy. p (q x y) y``."""
+    p, q, x, y = Var("p"), Var("q"), Var("x"), Var("y")
+    return lam(
+        ["p", "q", "x", "y"],
+        app(p, app(q, x, y), y),
+        [bool_type(), bool_type(), TYPE_G, TYPE_G],
+    )
+
+
+def or_term() -> Term:
+    """``Or := λp. λq. λx. λy. p x (q x y)``."""
+    p, q, x, y = Var("p"), Var("q"), Var("x"), Var("y")
+    return lam(
+        ["p", "q", "x", "y"],
+        app(p, x, app(q, x, y)),
+        [bool_type(), bool_type(), TYPE_G, TYPE_G],
+    )
+
+
+def not_term() -> Term:
+    """``Not := λp. λx. λy. p y x``."""
+    p, x, y = Var("p"), Var("x"), Var("y")
+    return lam(
+        ["p", "x", "y"], app(p, y, x), [bool_type(), TYPE_G, TYPE_G]
+    )
+
+
+def boolean_term(value: bool) -> Term:
+    """The Church boolean for a Python bool."""
+    return true_term() if value else false_term()
+
+
+# ---------------------------------------------------------------------------
+# Church numerals:  n := λs. λz. s (s ... (s z))
+# ---------------------------------------------------------------------------
+
+def church_numeral(n: int, base: Type = TYPE_G) -> Term:
+    """The Church numeral ``n`` of type ``Int = (b -> b) -> b -> b``."""
+    if n < 0:
+        raise ValueError(f"Church numerals are nonnegative, got {n}")
+    body: Term = Var("z")
+    for _ in range(n):
+        body = App(Var("s"), body)
+    return lam(["s", "z"], body, [Arrow(base, base), base])
+
+
+def zero_term(base: Type = TYPE_G) -> Term:
+    """``Zero := λs. λz. z`` (Section 2.3)."""
+    return church_numeral(0, base)
+
+
+def succ_term(base: Type = TYPE_G) -> Term:
+    """``Succ := λn. λs. λz. n s (s z)`` (the paper's Length example)."""
+    n, s, z = Var("n"), Var("s"), Var("z")
+    return lam(
+        ["n", "s", "z"],
+        app(n, s, App(s, z)),
+        [int_type(base), Arrow(base, base), base],
+    )
+
+
+def add_term(base: Type = TYPE_G) -> Term:
+    """``Add := λm. λn. λs. λz. m s (n s z)``."""
+    m, n, s, z = Var("m"), Var("n"), Var("s"), Var("z")
+    return lam(
+        ["m", "n", "s", "z"],
+        app(m, s, app(n, s, z)),
+        [int_type(base), int_type(base), Arrow(base, base), base],
+    )
+
+
+def mul_term(base: Type = TYPE_G) -> Term:
+    """``Mul := λm. λn. λs. m (n s)`` — numeral multiplication."""
+    m, n, s = Var("m"), Var("n"), Var("s")
+    return lam(
+        ["m", "n", "s"],
+        App(m, App(n, Var("s"))),
+        [int_type(base), int_type(base), Arrow(base, base)],
+    )
+
+
+def numeral_value(term: Term) -> int:
+    """Decode a normal-form Church numeral ``λs. λz. s^n z`` to ``n``.
+
+    Raises ``ValueError`` when the term is not a numeral normal form.
+    """
+    if not isinstance(term, Abs) or not isinstance(term.body, Abs):
+        raise ValueError(f"not a Church numeral: {term}")
+    s_name, z_name = term.var, term.body.var
+    node = term.body.body
+    count = 0
+    while isinstance(node, App):
+        if not (isinstance(node.fn, Var) and node.fn.name == s_name):
+            raise ValueError(f"not a Church numeral: {term}")
+        node = node.arg
+        count += 1
+    if not (isinstance(node, Var) and node.name == z_name):
+        raise ValueError(f"not a Church numeral: {term}")
+    return count
+
+
+def boolean_value(term: Term) -> bool:
+    """Decode a normal-form Church boolean (``λx. λy. x`` / ``λx. λy. y``).
+
+    Raises ``ValueError`` otherwise.
+    """
+    if (
+        isinstance(term, Abs)
+        and isinstance(term.body, Abs)
+        and isinstance(term.body.body, Var)
+    ):
+        inner = term.body.body.name
+        if inner == term.var and inner != term.body.var:
+            return True
+        if inner == term.body.var:
+            return False
+    raise ValueError(f"not a Church boolean: {term}")
+
+
+# ---------------------------------------------------------------------------
+# List iteration (Section 2.3)
+# ---------------------------------------------------------------------------
+
+def list_iterator(elements: Sequence[Term]) -> Term:
+    """``λc. λn. c e1 (c e2 ... (c ek n))`` — the list iterator over the
+    given element terms (each element becomes a single argument of ``c``)."""
+    body: Term = Var("n")
+    for element in reversed(elements):
+        body = app(Var("c"), element, body)
+    return lam(["c", "n"], body)
+
+
+def boolean_list(values: Sequence[bool]) -> Term:
+    """A list iterator of Church booleans."""
+    return list_iterator([boolean_term(v) for v in values])
+
+
+def parity_term() -> Term:
+    """``Parity := λL. L Xor False`` (Section 2.3).
+
+    ``(Parity L)`` reduces to ``Xor e1 (Xor e2 ... (Xor ek False))`` — True
+    iff an odd number of the list's booleans are True.  Note the program
+    size is constant: "the iterative machinery is taken from the data".
+    """
+    iter_type = Arrow(
+        Arrow(bool_type(), Arrow(bool_type(), bool_type())),
+        Arrow(bool_type(), bool_type()),
+    )
+    return lam(
+        ["L"],
+        app(Var("L"), xor_term(), false_term()),
+        [iter_type],
+    )
+
+
+def length_term(base: Type = TYPE_G) -> Term:
+    """``Length := λL. L (λx. Succ) Zero`` (Section 2.3).
+
+    The loop body ``λx. Succ`` absorbs the current element and applies the
+    successor to the accumulator.
+    """
+    element = TYPE_G
+    loop_body = Abs("x", succ_term(base), element)
+    iter_type = Arrow(
+        Arrow(element, Arrow(int_type(base), int_type(base))),
+        Arrow(int_type(base), int_type(base)),
+    )
+    return lam(
+        ["L"],
+        app(Var("L"), loop_body, zero_term(base)),
+        [iter_type],
+    )
+
+
+def pair_term() -> Term:
+    """``Pair := λa. λb. λp. p a b`` — Church pairs."""
+    return lam(["a", "b", "p"], app(Var("p"), Var("a"), Var("b")))
+
+
+def fst_term() -> Term:
+    """``Fst := λq. q (λa. λb. a)``."""
+    return lam("q", App(Var("q"), lam(["a", "b"], Var("a"))))
+
+
+def snd_term() -> Term:
+    """``Snd := λq. q (λa. λb. b)``."""
+    return lam("q", App(Var("q"), lam(["a", "b"], Var("b"))))
+
+
+def pred_term() -> Term:
+    """``Pred``: predecessor on Church numerals via the classical
+    pair-shifting fold (Kleene's trick):
+
+        λn. Fst (n (λq. Pair (Snd q) (Succ (Snd q))) (Pair 0 0))
+
+    ``Pred 0`` is ``0``.  The pair components are numerals, so the term
+    is simply typable (at a higher functionality order than the numeral
+    itself — the cost the pure-TLC encodings pay, Section 1's (c)/(d)).
+    """
+    shift = lam(
+        "q",
+        app(
+            pair_term(),
+            App(snd_term(), Var("q")),
+            App(succ_term(), App(snd_term(), Var("q"))),
+        ),
+    )
+    start = app(pair_term(), church_numeral(0), church_numeral(0))
+    return lam(
+        "n", App(fst_term(), app(Var("n"), shift, start))
+    )
+
+
+def is_zero_term() -> Term:
+    """``IsZero := λn. n (λw. False) True`` — a Church boolean."""
+    return lam(
+        "n",
+        app(Var("n"), Abs("w", false_term()), true_term()),
+    )
+
+
+def monus_term() -> Term:
+    """``Monus := λm. λn. n Pred m`` — truncated subtraction."""
+    return lam(
+        ["m", "n"], app(Var("n"), pred_term(), Var("m"))
+    )
+
+
+def nat_eq_term() -> Term:
+    """Numeral equality:
+
+        λm. λn. And (IsZero (Monus m n)) (IsZero (Monus n m))
+
+    Computes correctly under (untyped) reduction, but is **not simply
+    typable**: each lambda-bound numeral would need two incompatible
+    instances (iterating ``Pred`` vs being ``Pred``'s fodder), and
+    lambda-bound variables are monomorphic.  This is a concrete
+    illustration of why the paper adds the ``Eq`` constant to TLC (and
+    why the pure-TLC encodings of :mod:`repro.pure` carry their equality
+    tester as *input data* instead) — the test suite asserts the
+    untypability.
+    """
+    m, n = Var("m"), Var("n")
+    return lam(
+        ["m", "n"],
+        app(
+            and_term(),
+            App(is_zero_term(), app(monus_term(), m, n)),
+            App(is_zero_term(), app(monus_term(), n, m)),
+        ),
+    )
+
+
+def compose_term() -> Term:
+    """``λf. λg. λx. f (g x)`` — function composition."""
+    return lam(
+        ["f", "g", "x"], App(Var("f"), App(Var("g"), Var("x")))
+    )
+
+
+def identity_term() -> Term:
+    """``λx. x``."""
+    return Abs("x", Var("x"))

@@ -1,0 +1,222 @@
+"""Parser for the concrete term syntax (inverse of :mod:`repro.lam.pretty`).
+
+Grammar (lambda bodies and let bodies extend as far right as possible;
+application is left-associative):
+
+    term   ::= lambda | let | app
+    lambda ::= ("\\" | "λ") binder+ "." term
+    binder ::= name (":" type)?
+    let    ::= "let" name "=" term "in" term
+    app    ::= atom+
+    atom   ::= name | "Eq" | "(" term ")"
+
+Names are identifiers ``[A-Za-z_][A-Za-z0-9_']*``.  A name is parsed as an
+atomic constant when it matches the ``o<digits>`` convention of
+:mod:`repro.naming` or is listed in ``constants``; otherwise it is a
+variable.  ``Eq`` is reserved for the equality constant.
+
+Type annotations use the syntax of :func:`repro.types.parser.parse_type`
+(``o``, ``g``, type variables, and ``->``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
+
+from repro.errors import ParseError
+from repro.lam.terms import Abs, App, Let, Const, EqConst, Term, Var
+from repro.naming import constant_index
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lambda>\\|λ)
+  | (?P<dot>\.)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<colon>:)
+  | (?P<arrow>->)
+  | (?P<equals>=)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"let", "in", "Eq"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> List[_Token]:
+    """Split ``source`` into tokens, rejecting anything unrecognized."""
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(source):
+        match = _TOKEN_RE.match(source, index)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[index]!r}", index, source
+            )
+        kind = match.lastgroup
+        text = match.group()
+        if kind != "ws":
+            if kind == "name" and text in _KEYWORDS:
+                kind = text
+            tokens.append(_Token(kind, text, index))
+        index = match.end()
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str, constants: Set[str]):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.constants = constants
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.pos]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                token.position,
+                self.source,
+            )
+        return self.next()
+
+    # -- grammar -----------------------------------------------------------
+
+    def term(self) -> Term:
+        token = self.peek()
+        if token.kind == "lambda":
+            return self.lambda_()
+        if token.kind == "let":
+            return self.let_()
+        return self.application()
+
+    def lambda_(self) -> Term:
+        self.expect("lambda")
+        binders = [self.binder()]
+        while self.peek().kind == "name":
+            binders.append(self.binder())
+        self.expect("dot")
+        body = self.term()
+        for name, annotation in reversed(binders):
+            body = Abs(name, body, annotation)
+        return body
+
+    def binder(self):
+        name = self.expect("name").text
+        annotation = None
+        if self.peek().kind == "colon":
+            self.next()
+            annotation = self.type_()
+        return name, annotation
+
+    def let_(self) -> Term:
+        self.expect("let")
+        name = self.expect("name").text
+        self.expect("equals")
+        bound = self.term()
+        self.expect("in")
+        body = self.term()
+        return Let(name, bound, body)
+
+    def application(self) -> Term:
+        result = self.atom()
+        while self.peek().kind in ("name", "lparen", "Eq"):
+            argument = self.atom()
+            result = App(result, argument)
+        return result
+
+    def atom(self) -> Term:
+        token = self.peek()
+        if token.kind == "lparen":
+            self.next()
+            inner = self.term()
+            self.expect("rparen")
+            return inner
+        if token.kind == "Eq":
+            self.next()
+            return EqConst()
+        if token.kind == "name":
+            self.next()
+            name = token.text
+            if name in self.constants or constant_index(name) is not None:
+                return Const(name)
+            return Var(name)
+        raise ParseError(
+            f"expected a term, found {token.kind} {token.text!r}",
+            token.position,
+            self.source,
+        )
+
+    def type_(self):
+        """Parse a type annotation: atom (``o``, ``g``, var, parens) or
+        right-associative arrow chains."""
+        from repro.types.types import Arrow
+
+        left = self.type_atom()
+        if self.peek().kind == "arrow":
+            self.next()
+            right = self.type_()
+            return Arrow(left, right)
+        return left
+
+    def type_atom(self):
+        from repro.types.types import BaseO, BaseG, TypeVar
+
+        token = self.peek()
+        if token.kind == "lparen":
+            self.next()
+            inner = self.type_()
+            self.expect("rparen")
+            return inner
+        if token.kind == "name":
+            self.next()
+            if token.text == "o":
+                return BaseO()
+            if token.text == "g":
+                return BaseG()
+            return TypeVar(token.text)
+        raise ParseError(
+            f"expected a type, found {token.kind} {token.text!r}",
+            token.position,
+            self.source,
+        )
+
+
+def parse(source: str, constants: Iterable[str] = ()) -> Term:
+    """Parse ``source`` into a term.
+
+    ``constants`` lists extra names (beyond the ``o<digits>`` convention) to
+    treat as atomic constants rather than variables.
+    """
+    parser = _Parser(source, set(constants))
+    result = parser.term()
+    trailing = parser.peek()
+    if trailing.kind != "eof":
+        raise ParseError(
+            f"trailing input: {trailing.text!r}",
+            trailing.position,
+            source,
+        )
+    return result

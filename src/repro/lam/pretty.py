@@ -1,0 +1,80 @@
+"""Pretty-printing of terms in the paper's concrete syntax.
+
+The printed form round-trips through :func:`repro.lam.parser.parse`:
+
+* ``\\x. M`` for abstraction (``\\x:T. M`` when Church-annotated and
+  ``annotations=True``),
+* juxtaposition for application, left-associative, minimal parentheses,
+* ``let x = M in N`` for let abstraction,
+* ``Eq`` for the equality constant; constants print as their names.
+
+``unicode_lambda=True`` prints ``λ`` instead of ``\\`` (the parser accepts
+both).
+"""
+
+from __future__ import annotations
+
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
+
+# Precedence levels: a term prints without parentheses when its own level is
+# at least the level its context requires.
+_LEVEL_LAMBDA = 0   # lambdas and lets: extend as far right as possible
+_LEVEL_APP = 1      # application spine
+_LEVEL_ATOM = 2     # variables and constants
+
+
+def pretty(
+    term: Term,
+    *,
+    unicode_lambda: bool = False,
+    annotations: bool = False,
+) -> str:
+    """Render ``term`` as a parseable string."""
+    lam_symbol = "λ" if unicode_lambda else "\\"
+
+    def type_note(node: Abs) -> str:
+        if not annotations or node.annotation is None:
+            return ""
+        from repro.types.pretty import pretty_type
+
+        return f":{pretty_type(node.annotation)}"
+
+    def walk(node: Term, required: int) -> str:
+        if isinstance(node, Var):
+            return node.name
+        if isinstance(node, Const):
+            return node.name
+        if isinstance(node, EqConst):
+            return "Eq"
+        if isinstance(node, Abs):
+            # Collapse λx. λy. M into λx. λy. ... in one pass for brevity.
+            text = (
+                f"{lam_symbol}{node.var}{type_note(node)}. "
+                f"{walk(node.body, _LEVEL_LAMBDA)}"
+            )
+            return _wrap(text, _LEVEL_LAMBDA, required)
+        if isinstance(node, App):
+            text = (
+                f"{walk(node.fn, _LEVEL_APP)} {walk(node.arg, _LEVEL_ATOM)}"
+            )
+            return _wrap(text, _LEVEL_APP, required)
+        if isinstance(node, Let):
+            text = (
+                f"let {node.var} = {walk(node.bound, _LEVEL_LAMBDA)} "
+                f"in {walk(node.body, _LEVEL_LAMBDA)}"
+            )
+            return _wrap(text, _LEVEL_LAMBDA, required)
+        raise TypeError(f"not a term: {node!r}")
+
+    return walk(term, _LEVEL_LAMBDA)
+
+
+def _wrap(text: str, level: int, required: int) -> str:
+    if level < required:
+        return f"({text})"
+    return text
+
+
+def pretty_compact(term: Term) -> str:
+    """One-line rendering with unicode lambda — for logs and reprs."""
+    return pretty(term, unicode_lambda=True)

@@ -1,0 +1,256 @@
+"""Small-step beta/delta reduction (the paper's operational semantics).
+
+Section 2.1 defines ``>`` as the union of alpha, beta, and — for TLC= —
+delta reduction, and query semantics as reduction to normal form.  This
+module is the *reference* evaluator: auditable, step-countable, and
+strategy-parametric.  The performance evaluator is :mod:`repro.lam.nbe`.
+
+Redexes:
+
+* **beta**: ``(λx. E) E'  >  E[x := E']``
+* **delta**: ``Eq o_i o_j  >  λx. λy. x`` if ``i = j`` else ``λx. λy. y``
+  (the Church booleans True/False of Section 2.3)
+* **let**: ``let x = M in N  >  N[x := M]`` — the paper's operational
+  reading "let x = M in N is treated as (λx. N) M", contracted in one step.
+
+Eta reduction (``λx. M x > M`` when ``x`` not free in ``M``) is available
+separately via :func:`eta_step`; following the paper we "do not use eta as
+part of ``>``".
+
+Strategies:
+
+* ``Strategy.NORMAL_ORDER`` — leftmost-outermost; normalizing.
+* ``Strategy.APPLICATIVE_ORDER`` — leftmost-innermost.
+* ``Strategy.WEAK_HEAD`` — leftmost-outermost but never under a binder;
+  stops at weak head normal form.
+
+By Church-Rosser and strong normalization (Properties 1-2 of Section 2.1),
+all strategies agree on the normal forms of well-typed terms; the *number*
+of steps differs wildly, which is exactly the Section 5 story (naive
+strategies can take exponentially many steps on TLI=1 queries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FuelExhausted, ReductionError
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    free_vars,
+)
+from repro.lam.subst import substitute
+
+#: Church booleans as produced by the delta rule (Section 2.3).
+TRUE = Abs("x", Abs("y", Var("x")))
+FALSE = Abs("x", Abs("y", Var("y")))
+
+DEFAULT_FUEL = 1_000_000
+
+
+class Strategy(enum.Enum):
+    """Reduction strategies for :func:`step` / :func:`normalize`."""
+
+    NORMAL_ORDER = "normal-order"
+    APPLICATIVE_ORDER = "applicative-order"
+    WEAK_HEAD = "weak-head"
+
+
+@dataclass
+class NormalizationResult:
+    """A normal form together with how it was reached."""
+
+    term: Term
+    steps: int
+    strategy: Strategy
+    beta_steps: int = 0
+    delta_steps: int = 0
+    let_steps: int = 0
+
+
+def contract_root(term: Term) -> Optional[Tuple[Term, str]]:
+    """Contract the redex at the root of ``term``, if there is one.
+
+    Returns ``(reduct, kind)`` with kind in {"beta", "delta", "let"},
+    or ``None`` when the root is not a redex.
+    """
+    if isinstance(term, App):
+        if isinstance(term.fn, Abs):
+            return substitute(term.fn.body, term.fn.var, term.arg), "beta"
+        # Delta: Eq applied to two constants.
+        if (
+            isinstance(term.fn, App)
+            and isinstance(term.fn.fn, EqConst)
+            and isinstance(term.fn.arg, Const)
+            and isinstance(term.arg, Const)
+        ):
+            same = term.fn.arg.name == term.arg.name
+            return (TRUE if same else FALSE), "delta"
+    if isinstance(term, Let):
+        return substitute(term.body, term.var, term.bound), "let"
+    return None
+
+
+def step(
+    term: Term, strategy: Strategy = Strategy.NORMAL_ORDER
+) -> Optional[Tuple[Term, str]]:
+    """Perform one reduction step under ``strategy``.
+
+    Returns ``(new_term, kind)`` or ``None`` if no redex is available (for
+    ``WEAK_HEAD``: none in head position).
+    """
+    if strategy is Strategy.NORMAL_ORDER:
+        return _step_normal(term, weak=False)
+    if strategy is Strategy.WEAK_HEAD:
+        return _step_normal(term, weak=True)
+    if strategy is Strategy.APPLICATIVE_ORDER:
+        return _step_applicative(term)
+    raise ReductionError(f"unknown strategy {strategy!r}")
+
+
+def _step_normal(term: Term, weak: bool) -> Optional[Tuple[Term, str]]:
+    contracted = contract_root(term)
+    if contracted is not None:
+        return contracted
+    if isinstance(term, App):
+        inner = _step_normal(term.fn, weak)
+        if inner is not None:
+            return App(inner[0], term.arg), inner[1]
+        inner = _step_normal(term.arg, weak)
+        if inner is not None:
+            return App(term.fn, inner[0]), inner[1]
+        return None
+    if isinstance(term, Abs) and not weak:
+        inner = _step_normal(term.body, weak)
+        if inner is not None:
+            return Abs(term.var, inner[0], term.annotation), inner[1]
+    return None
+
+
+def _step_applicative(term: Term) -> Optional[Tuple[Term, str]]:
+    if isinstance(term, App):
+        inner = _step_applicative(term.fn)
+        if inner is not None:
+            return App(inner[0], term.arg), inner[1]
+        inner = _step_applicative(term.arg)
+        if inner is not None:
+            return App(term.fn, inner[0]), inner[1]
+        return contract_root(term)
+    if isinstance(term, Abs):
+        inner = _step_applicative(term.body)
+        if inner is not None:
+            return Abs(term.var, inner[0], term.annotation), inner[1]
+        return None
+    if isinstance(term, Let):
+        inner = _step_applicative(term.bound)
+        if inner is not None:
+            return Let(term.var, inner[0], term.body), inner[1]
+        return contract_root(term)
+    return None
+
+
+def normalize(
+    term: Term,
+    strategy: Strategy = Strategy.NORMAL_ORDER,
+    fuel: int = DEFAULT_FUEL,
+) -> NormalizationResult:
+    """Reduce ``term`` to normal form (or weak head normal form under
+    ``WEAK_HEAD``), counting steps by kind.
+
+    Raises :class:`FuelExhausted` after ``fuel`` steps without reaching a
+    normal form — for well-typed terms this means the budget was too small
+    (strong normalization guarantees termination).
+    """
+    counts: Dict[str, int] = {"beta": 0, "delta": 0, "let": 0}
+    steps = 0
+    current = term
+    while True:
+        outcome = step(current, strategy)
+        if outcome is None:
+            return NormalizationResult(
+                term=current,
+                steps=steps,
+                strategy=strategy,
+                beta_steps=counts["beta"],
+                delta_steps=counts["delta"],
+                let_steps=counts["let"],
+            )
+        current, kind = outcome
+        counts[kind] += 1
+        steps += 1
+        if steps > fuel:
+            raise FuelExhausted(fuel)
+
+
+def is_normal_form(term: Term) -> bool:
+    """No beta, delta, or let redex anywhere in ``term``."""
+    return find_redex(term) is None
+
+
+def find_redex(term: Term) -> Optional[Term]:
+    """The leftmost-outermost redex of ``term``, or ``None``."""
+    if contract_root(term) is not None:
+        return term
+    if isinstance(term, App):
+        return find_redex(term.fn) or find_redex(term.arg)
+    if isinstance(term, Abs):
+        return find_redex(term.body)
+    if isinstance(term, Let):
+        # A let is always a redex; unreachable after contract_root, but kept
+        # for clarity.
+        return term  # pragma: no cover
+    return None
+
+
+def eta_step(term: Term) -> Optional[Term]:
+    """One leftmost-outermost eta contraction: ``λx. M x > M`` (x not free
+    in M).  Not part of the default reduction relation."""
+    if (
+        isinstance(term, Abs)
+        and isinstance(term.body, App)
+        and isinstance(term.body.arg, Var)
+        and term.body.arg.name == term.var
+        and term.var not in free_vars(term.body.fn)
+    ):
+        return term.body.fn
+    if isinstance(term, Abs):
+        inner = eta_step(term.body)
+        if inner is not None:
+            return Abs(term.var, inner, term.annotation)
+        return None
+    if isinstance(term, App):
+        inner = eta_step(term.fn)
+        if inner is not None:
+            return App(inner, term.arg)
+        inner = eta_step(term.arg)
+        if inner is not None:
+            return App(term.fn, inner)
+        return None
+    if isinstance(term, Let):
+        inner = eta_step(term.bound)
+        if inner is not None:
+            return Let(term.var, inner, term.body)
+        inner = eta_step(term.body)
+        if inner is not None:
+            return Let(term.var, term.bound, inner)
+        return None
+    return None
+
+
+def eta_normalize(term: Term, fuel: int = DEFAULT_FUEL) -> Term:
+    """Contract eta redexes to exhaustion (beta/delta redexes untouched)."""
+    current = term
+    for _ in range(fuel):
+        nxt = eta_step(current)
+        if nxt is None:
+            return current
+        current = nxt
+    raise FuelExhausted(fuel)

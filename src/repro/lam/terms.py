@@ -1,0 +1,269 @@
+"""Abstract syntax of TLC= / core-ML= terms (Section 2 of the paper).
+
+Terms are immutable and hashable.  Structural equality is *literal* (names
+of bound variables matter); use :func:`repro.lam.alpha.alpha_equal` for the
+paper's ``=`` (identity up to renaming of bound variables).
+
+The grammar, following Sections 2.1-2.2:
+
+    E ::= x                 variable                          (Var)
+        | o_i               atomic constant of type o         (Const)
+        | Eq                equality constant                 (EqConst)
+        | (E E)             application                       (App)
+        | λx. E             abstraction, optionally annotated (Abs)
+        | let x = E in E    let abstraction (core-ML=)        (Let)
+
+Annotations on ``Abs`` binders give the "Church style" presentation the
+paper uses for readability; the Curry-style reconstruction in
+:mod:`repro.types.infer` ignores or checks them as requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, FrozenSet, Iterator, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.types.types import Type
+
+
+class Term:
+    """Base class of all term nodes."""
+
+    __slots__ = ()
+
+    # Concrete subclasses are frozen dataclasses; the base class only hosts
+    # shared conveniences.
+
+    def __call__(self, *args: "Term") -> "Term":
+        """Sugar: ``f(a, b)`` builds the application spine ``((f a) b)``."""
+        return app(self, *args)
+
+    def pretty(self) -> str:
+        from repro.lam.pretty import pretty
+
+        return pretty(self)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class Var(Term):
+    """A term variable."""
+
+    name: str
+
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class Const(Term):
+    """An atomic constant ``o_i`` of the fixed base type ``o``."""
+
+    name: str
+
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class EqConst(Term):
+    """The equality constant ``Eq : o -> o -> g -> g -> g``.
+
+    ``Eq o_i o_j`` delta-reduces to the Church boolean ``λx.λy.x`` when
+    ``i = j`` and to ``λx.λy.y`` otherwise (Section 2.1).
+    """
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class Abs(Term):
+    """Lambda abstraction ``λvar. body`` with optional type annotation."""
+
+    var: str
+    body: Term
+    annotation: Optional["Type"] = field(default=None, compare=False)
+
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class App(Term):
+    """Application ``(fn arg)``."""
+
+    fn: Term
+    arg: Term
+
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class Let(Term):
+    """Let abstraction ``let var = bound in body`` (core-ML=, Section 2.2)."""
+
+    var: str
+    bound: Term
+    body: Term
+
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+def lam(variables, body: Term, annotations: Sequence["Type"] = ()) -> Term:
+    """Build ``λv1. λv2. ... body``.
+
+    ``variables`` is a name, a ``Var``, or a sequence of those.  Optional
+    ``annotations`` (parallel to the variables) produce Church-style binders.
+    """
+    if isinstance(variables, (str, Var)):
+        variables = [variables]
+    names = [v.name if isinstance(v, Var) else v for v in variables]
+    result = body
+    padded = list(annotations) + [None] * (len(names) - len(annotations))
+    for name, note in zip(reversed(names), reversed(padded)):
+        result = Abs(name, result, note)
+    return result
+
+
+def abs_many(names: Sequence[str], body: Term) -> Term:
+    """Alias of :func:`lam` restricted to plain name sequences."""
+    return lam(list(names), body)
+
+
+def app(fn: Term, *args: Term) -> Term:
+    """Build the left-nested application spine ``(((fn a1) a2) ... an)``."""
+    result = fn
+    for arg in args:
+        result = App(result, arg)
+    return result
+
+
+def let(var, bound: Term, body: Term) -> Term:
+    """Build ``let var = bound in body``."""
+    name = var.name if isinstance(var, Var) else var
+    return Let(name, bound, body)
+
+
+# ---------------------------------------------------------------------------
+# Observations
+# ---------------------------------------------------------------------------
+
+def free_vars(term: Term) -> FrozenSet[str]:
+    """The set of free variable names of ``term``."""
+    if isinstance(term, Var):
+        return frozenset((term.name,))
+    if isinstance(term, (Const, EqConst)):
+        return frozenset()
+    if isinstance(term, Abs):
+        return free_vars(term.body) - {term.var}
+    if isinstance(term, App):
+        return free_vars(term.fn) | free_vars(term.arg)
+    if isinstance(term, Let):
+        return free_vars(term.bound) | (free_vars(term.body) - {term.var})
+    raise TypeError(f"not a term: {term!r}")
+
+
+def bound_vars(term: Term) -> FrozenSet[str]:
+    """The set of variable names bound anywhere inside ``term``."""
+    if isinstance(term, (Var, Const, EqConst)):
+        return frozenset()
+    if isinstance(term, Abs):
+        return bound_vars(term.body) | {term.var}
+    if isinstance(term, App):
+        return bound_vars(term.fn) | bound_vars(term.arg)
+    if isinstance(term, Let):
+        return bound_vars(term.bound) | bound_vars(term.body) | {term.var}
+    raise TypeError(f"not a term: {term!r}")
+
+
+def all_vars(term: Term) -> FrozenSet[str]:
+    """Free and bound variable names of ``term``."""
+    return free_vars(term) | bound_vars(term)
+
+
+def subterms(term: Term) -> Iterator[Term]:
+    """Yield every subterm of ``term`` (pre-order, including ``term``)."""
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, Abs):
+            stack.append(node.body)
+        elif isinstance(node, App):
+            stack.append(node.arg)
+            stack.append(node.fn)
+        elif isinstance(node, Let):
+            stack.append(node.body)
+            stack.append(node.bound)
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes in ``term``."""
+    return sum(1 for _ in subterms(term))
+
+
+def constants_of(term: Term) -> FrozenSet[str]:
+    """Names of the atomic constants occurring in ``term``."""
+    return frozenset(
+        node.name for node in subterms(term) if isinstance(node, Const)
+    )
+
+
+def spine(term: Term) -> Tuple[Term, Tuple[Term, ...]]:
+    """Decompose ``term`` into head and arguments: ``f M1 ... Ml``.
+
+    Returns ``(f, (M1, ..., Ml))`` with ``f`` not an application.  The paper
+    calls ``f`` the *function symbol governing* the ``M_i`` (Section 5.1).
+    """
+    args = []
+    node = term
+    while isinstance(node, App):
+        args.append(node.arg)
+        node = node.fn
+    args.reverse()
+    return node, tuple(args)
+
+
+def binder_prefix(term: Term) -> Tuple[Tuple[str, ...], Term]:
+    """Strip the maximal prefix of lambda binders: ``λx1...λxk. M``.
+
+    Returns ``((x1, ..., xk), M)`` with ``M`` not an abstraction.
+    """
+    names = []
+    node = term
+    while isinstance(node, Abs):
+        names.append(node.var)
+        node = node.body
+    return tuple(names), node
+
+
+def map_subterms(term: Term, fn: Callable[[Term], Term]) -> Term:
+    """Rebuild ``term`` with ``fn`` applied to each immediate child."""
+    if isinstance(term, (Var, Const, EqConst)):
+        return term
+    if isinstance(term, Abs):
+        return Abs(term.var, fn(term.body), term.annotation)
+    if isinstance(term, App):
+        return App(fn(term.fn), fn(term.arg))
+    if isinstance(term, Let):
+        return Let(term.var, fn(term.bound), fn(term.body))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def expand_lets(term: Term) -> Term:
+    """Replace every ``let x = M in N`` by ``N[x := M]`` (Section 5).
+
+    This is the let-elimination step the paper performs on MLI=_i query
+    terms before structural analysis: "we can eliminate all let's from Q by
+    replacing every subterm of the form let x = N in M with M[x := N]".
+    Note the result can be exponentially larger than the input.
+    """
+    from repro.lam.subst import substitute
+
+    if isinstance(term, Let):
+        bound = expand_lets(term.bound)
+        body = expand_lets(term.body)
+        return substitute(body, term.var, bound)
+    return map_subterms(term, expand_lets)
+
+
+def contains_let(term: Term) -> bool:
+    """True iff ``term`` contains a ``let`` node (i.e. is strictly core-ML)."""
+    return any(isinstance(node, Let) for node in subterms(term))

@@ -1,0 +1,94 @@
+"""Fresh-name supply and constant interning.
+
+The paper works with a countably infinite set of term variables and a
+countably infinite set of atomic constants ``o_1, o_2, ...``.  This module
+provides:
+
+* :class:`NameSupply` — a deterministic generator of fresh variable names
+  that avoids a given set of used names.  Determinism matters: two runs over
+  the same input produce literally identical terms, which keeps golden tests
+  and benchmarks stable.
+* :func:`constant_name` / :func:`constant_index` — the bijection between the
+  paper's ``o_i`` notation and the strings this library uses for constants.
+
+Constants are plain interned strings.  Any string is a legal constant name;
+the ``o_i`` helpers exist because the paper's examples are phrased that way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterable, Iterator, Optional, Set
+
+_CONSTANT_RE = re.compile(r"^o_?(\d+)$")
+
+
+def constant_name(index: int) -> str:
+    """Return the canonical name of the paper's constant ``o_index``.
+
+    >>> constant_name(3)
+    'o3'
+    """
+    if index < 1:
+        raise ValueError(f"constant indices start at 1, got {index}")
+    return f"o{index}"
+
+
+def constant_index(name: str) -> Optional[int]:
+    """Return ``i`` if ``name`` is the canonical constant ``o_i``, else None.
+
+    >>> constant_index("o3")
+    3
+    >>> constant_index("alice") is None
+    True
+    """
+    match = _CONSTANT_RE.match(name)
+    if match is None:
+        return None
+    return int(match.group(1))
+
+
+class NameSupply:
+    """Deterministic supply of fresh variable names.
+
+    Names are drawn from ``base0, base1, base2, ...`` (or ``base`` itself if
+    unused), skipping anything in the avoid set.  The avoid set grows as
+    names are handed out, so a single supply never returns the same name
+    twice.
+    """
+
+    def __init__(self, avoid: Iterable[str] = ()):
+        self._avoid: Set[str] = set(avoid)
+
+    def avoid(self, names: Iterable[str]) -> None:
+        """Add names to the avoid set."""
+        self._avoid.update(names)
+
+    def fresh(self, base: str = "x") -> str:
+        """Return ``base`` itself if unused, else the first unused name in
+        ``stem0, stem1, ...`` where ``stem`` is ``base`` without its numeric
+        suffix."""
+        stem = base.rstrip("0123456789") or "x"
+        if base not in self._avoid:
+            self._avoid.add(base)
+            return base
+        for i in itertools.count():
+            candidate = f"{stem}{i}"
+            if candidate not in self._avoid:
+                self._avoid.add(candidate)
+                return candidate
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def fresh_many(self, count: int, base: str = "x") -> list:
+        """Return ``count`` distinct fresh names."""
+        return [self.fresh(base) for _ in range(count)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._avoid
+
+
+def numbered(base: str, start: int = 0) -> Iterator[str]:
+    """Infinite stream ``base0, base1, ...`` — handy for tests."""
+    for i in itertools.count(start):
+        yield f"{base}{i}"

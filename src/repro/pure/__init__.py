@@ -1,0 +1,53 @@
+"""The pure-TLC track: query languages *without* the equality constant.
+
+Section 1 of the paper summarizes the [25] results for pure TLC alongside
+TLC=: "(c) PTIME-embeddings exist for every FO-query using terms of order
+at most 3 in TLC= or order at most 4 in TLC".  The extra order comes from
+the input conventions: without the delta rule, the encodings themselves
+must make constants *comparable by application*.
+
+This package implements that convention:
+
+* constants become **domain-position selectors** ``λz1 ... zd. zi`` —
+  order-1 terms over the active domain ``D = (d1 < ... < dd)``;
+* each relation is the usual list iterator, but over selector components,
+  so its type is ``(sel -> ... -> sel -> t -> t) -> t -> t`` with
+  ``order(sel) = 1`` — order 3 instead of 2;
+* the input tuple is extended with an **equality tester** ``EQ`` — a
+  closed *data* term (the identity matrix of Church booleans, applied via
+  the selectors) with ``EQ a b u v`` reducing to ``u``/``v`` as ``a`` and
+  ``b`` select the same/different positions;
+* a query is ``λEQ. λR1 ... λRl. M``: pure lambda terms, beta reduction
+  only — the test suite asserts zero delta steps — of functionality
+  order 4 (the paper's pure-TLC bound).
+"""
+
+from repro.pure.encode import (
+    PureDatabase,
+    decode_pure_relation,
+    encode_pure_database,
+    equality_tester_term,
+    selector_term,
+)
+from repro.pure.operators import (
+    pure_equal_term,
+    pure_intersection_term,
+    pure_member_term,
+    pure_select_term,
+    pure_union_term,
+)
+from repro.pure.driver import run_pure_query
+
+__all__ = [
+    "PureDatabase",
+    "decode_pure_relation",
+    "encode_pure_database",
+    "equality_tester_term",
+    "pure_equal_term",
+    "pure_intersection_term",
+    "pure_member_term",
+    "pure_select_term",
+    "pure_union_term",
+    "run_pure_query",
+    "selector_term",
+]

@@ -1,0 +1,55 @@
+"""Running pure-TLC queries: apply, beta-reduce, decode.
+
+The whole point of the pure track is that *no delta rule fires*: the
+driver can therefore also assert purity (``require_pure=True`` re-runs the
+reduction on the small-step engine and checks ``delta_steps == 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.db.relations import Database, Relation
+from repro.errors import EvaluationError
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import normalize
+from repro.lam.terms import Term, app
+from repro.pure.encode import decode_pure_relation, encode_pure_database
+
+
+@dataclass
+class PureQueryRun:
+    relation: Relation
+    normal_form: Term
+    delta_steps: Optional[int]
+
+
+def run_pure_query(
+    query: Term,
+    database: Database,
+    arity: int,
+    *,
+    require_pure: bool = False,
+    max_depth: int = 600_000,
+) -> PureQueryRun:
+    """Apply a pure query ``λEQ. λR̄. M`` to the encoded database."""
+    encoded = encode_pure_database(database)
+    applied = app(query, *encoded.inputs)
+    delta_steps: Optional[int] = None
+    if require_pure:
+        outcome = normalize(applied, fuel=5_000_000)
+        if outcome.delta_steps:
+            raise EvaluationError(
+                f"pure query performed {outcome.delta_steps} delta steps"
+            )
+        delta_steps = outcome.delta_steps
+        normal_form = outcome.term
+    else:
+        normal_form = nbe_normalize(applied, max_depth=max_depth)
+    relation = decode_pure_relation(normal_form, arity, encoded.domain)
+    return PureQueryRun(
+        relation=relation,
+        normal_form=normal_form,
+        delta_steps=delta_steps,
+    )

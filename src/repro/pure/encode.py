@@ -1,0 +1,154 @@
+"""Pure-TLC encodings: selector constants and the input equality tester.
+
+The active domain ``D = (d1 < ... < dd)`` (first-appearance order, as in
+:mod:`repro.db.domain`) fixes the meaning of the selectors: the constant at
+position ``i`` encodes as ``λz1 ... zd. z_{i+1}``.  Selector equality by
+application: ``EQ a b u v = a row_1 ... row_d`` where ``row_i = b e_{i1}
+... e_{id}`` and the matrix entry ``e_{ij}`` is ``u`` exactly on the
+diagonal and ``v`` off it.  ``EQ`` is an O(d²)-size
+closed term, but it is *data* (part of the encoded input), not part of any
+query, so query terms stay data-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.db.relations import Database, Relation
+from repro.errors import DecodeError, EncodingError
+
+from repro.lam.terms import Abs, Term, Var, app, binder_prefix, lam, spine
+
+
+def selector_term(position: int, domain_size: int, base: str = "z") -> Term:
+    """The selector ``λz1 ... zd. z_{position+1}`` (0-based position)."""
+    if not 0 <= position < domain_size:
+        raise EncodingError(
+            f"selector position {position} out of range for domain size "
+            f"{domain_size}"
+        )
+    names = [f"{base}{i + 1}" for i in range(domain_size)]
+    return lam(names, Var(names[position]))
+
+
+def equality_tester_term(domain_size: int) -> Term:
+    """``EQ := λa. λb. λu. λv. a row_1 ... row_d`` where
+    ``row_i = b e_{i1} ... e_{id}`` and ``e_{ij}`` is ``u`` on the diagonal
+    and ``v`` off it.
+
+    ``EQ s_i s_j u v`` beta-reduces to ``u`` iff ``i = j`` — the pure
+    replacement for the ``Eq`` delta rule, packaged with the data.  Putting
+    ``u``/``v`` directly in the matrix (rather than Church booleans) keeps
+    both selectors at the order-1 type ``g -> ... -> g -> g``, which is
+    what gives pure-TLC queries the paper's functionality order 4 (one
+    above the TLC= order 3).
+    """
+    if domain_size == 0:
+        # Degenerate: no constants exist, so no comparison ever happens;
+        # any function of the right shape will do.
+        return lam(["a", "b", "u", "v"], Var("v"))
+    rows: List[Term] = []
+    for i in range(domain_size):
+        entries = [
+            Var("u") if i == j else Var("v")
+            for j in range(domain_size)
+        ]
+        rows.append(app(Var("b"), *entries))
+    body = app(Var("a"), *rows)
+    return lam(["a", "b", "u", "v"], body)
+
+
+@dataclass
+class PureDatabase:
+    """A database in the pure-TLC input convention.
+
+    ``inputs`` is the tuple the query is applied to: the equality tester
+    followed by the encoded relations.  ``domain`` fixes the
+    selector-position <-> constant bijection for decoding.
+    """
+
+    domain: Tuple[str, ...]
+    equality: Term
+    relations: Tuple[Tuple[str, Term], ...]
+
+    @property
+    def inputs(self) -> List[Term]:
+        return [self.equality] + [term for _, term in self.relations]
+
+
+def encode_pure_database(database: Database) -> PureDatabase:
+    """Encode ``database`` per the pure-TLC convention."""
+    domain = tuple(database.active_domain())
+    position: Dict[str, int] = {name: i for i, name in enumerate(domain)}
+    size = len(domain)
+
+    def encode_relation(relation: Relation) -> Term:
+        body: Term = Var("n")
+        for row in reversed(relation.tuples):
+            selectors = [
+                selector_term(position[value], size) for value in row
+            ]
+            body = app(Var("c"), *selectors, body)
+        return lam(["c", "n"], body)
+
+    return PureDatabase(
+        domain=domain,
+        equality=equality_tester_term(size),
+        relations=tuple(
+            (name, encode_relation(relation))
+            for name, relation in database
+        ),
+    )
+
+
+def _selector_position(term: Term, domain_size: int) -> int:
+    """Read the position a normal-form selector picks."""
+    names, body = binder_prefix(term)
+    if len(names) != domain_size or not isinstance(body, Var):
+        raise DecodeError(
+            f"not a {domain_size}-ary selector: {term.pretty()}"
+        )
+    try:
+        return names.index(body.name)
+    except ValueError:
+        raise DecodeError(
+            f"selector body {body.name} is not one of its binders"
+        ) from None
+
+
+def decode_pure_relation(
+    term: Term, arity: int, domain: Sequence[str]
+) -> Relation:
+    """Decode a normal-form pure encoding back to a relation.
+
+    The Lemma 3.2 analysis carries over: the normal form is
+    ``λc. λn. c s̄1 (... (c s̄m n))`` with every component a selector.
+    Duplicates are removed (first occurrence kept), as in
+    :func:`repro.db.decode.decode_relation`.
+    """
+    if not (isinstance(term, Abs) and isinstance(term.body, Abs)):
+        raise DecodeError(f"not a pure relation encoding: {term.pretty()}")
+    cons_name, nil_name = term.var, term.body.var
+    node = term.body.body
+    rows: List[Tuple[str, ...]] = []
+    size = len(domain)
+    while True:
+        if isinstance(node, Var) and node.name == nil_name:
+            break
+        head, args = spine(node)
+        if not (
+            isinstance(head, Var)
+            and head.name == cons_name
+            and len(args) == arity + 1
+        ):
+            raise DecodeError(
+                f"unexpected node in pure encoding: {node.pretty()}"
+            )
+        row = tuple(
+            domain[_selector_position(component, size)]
+            for component in args[:arity]
+        )
+        rows.append(row)
+        node = args[arity]
+    return Relation.deduplicated(arity, rows)

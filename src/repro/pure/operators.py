@@ -1,0 +1,100 @@
+"""Relational operators in pure TLC (no Eq constant).
+
+The Section 4 operator shapes carry over verbatim, with every
+``Eq S T U V`` replaced by an application ``EQ S T U V`` of the bound
+equality-tester variable.  An operator here is an *open* term over ``EQ``
+(closed by the query's leading ``λEQ`` binder), so the family composes the
+same way as the TLC= library.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lam.terms import Term, Var, app, lam
+
+EQ_VAR = "EQ"
+
+
+def _tuple_vars(base: str, count: int) -> List[str]:
+    return [f"{base}{i + 1}" for i in range(count)]
+
+
+def pure_equal_term(k: int) -> Term:
+    """``Equal_k`` with the tester threaded through:
+
+        λx̄. λȳ. λu. λv. EQ x1 y1 (EQ x2 y2 ... (EQ xk yk u v) v) v
+    """
+    xs = _tuple_vars("x", k)
+    ys = _tuple_vars("y", k)
+    body: Term = Var("u")
+    for x, y in reversed(list(zip(xs, ys))):
+        body = app(Var(EQ_VAR), Var(x), Var(y), body, Var("v"))
+    return lam(xs + ys + ["u", "v"], body)
+
+
+def pure_member_term(k: int) -> Term:
+    """``Member_k`` over selector tuples."""
+    xs = _tuple_vars("x", k)
+    ys = _tuple_vars("y", k)
+    loop = lam(
+        ys + ["T"],
+        app(
+            pure_equal_term(k),
+            *[Var(x) for x in xs],
+            *[Var(y) for y in ys],
+            Var("u"),
+            Var("T"),
+        ),
+    )
+    return lam(xs + ["R", "u", "v"], app(Var("R"), loop, Var("v")))
+
+
+def pure_intersection_term(k: int) -> Term:
+    """``Intersection_k`` over selector tuples (open in ``EQ``)."""
+    xs = _tuple_vars("x", k)
+    x_vars = [Var(x) for x in xs]
+    keep = app(Var("c"), *x_vars, Var("T"))
+    loop = lam(
+        xs + ["T"],
+        app(pure_member_term(k), *x_vars, Var("S"), keep, Var("T")),
+    )
+    return lam(["R", "S", "c", "n"], app(Var("R"), loop, Var("n")))
+
+
+def pure_union_term(k: int) -> Term:
+    """``Union_k`` needs no equality at all."""
+    return lam(
+        ["R", "S", "c", "n"],
+        app(Var("R"), Var("c"), app(Var("S"), Var("c"), Var("n"))),
+    )
+
+
+def pure_difference_term(k: int) -> Term:
+    """``Difference_k`` over selector tuples (open in ``EQ``)."""
+    xs = _tuple_vars("x", k)
+    x_vars = [Var(x) for x in xs]
+    keep = app(Var("c"), *x_vars, Var("T"))
+    loop = lam(
+        xs + ["T"],
+        app(pure_member_term(k), *x_vars, Var("S"), Var("T"), keep),
+    )
+    return lam(["R", "S", "c", "n"], app(Var("R"), loop, Var("n")))
+
+
+def pure_select_term(k: int, left: int, right: int) -> Term:
+    """Selection ``column left = column right`` (open in ``EQ``)."""
+    xs = _tuple_vars("x", k)
+    x_vars = [Var(x) for x in xs]
+    keep = app(Var("c"), *x_vars, Var("T"))
+    loop = lam(
+        xs + ["T"],
+        app(Var(EQ_VAR), x_vars[left], x_vars[right], keep, Var("T")),
+    )
+    return lam(["R", "c", "n"], app(Var("R"), loop, Var("n")))
+
+
+def pure_query(body: Term, input_names: List[str]) -> Term:
+    """Close an operator composition into the pure query shape
+    ``λEQ. λR1 ... λRl. body``."""
+    return lam([EQ_VAR] + list(input_names), body)

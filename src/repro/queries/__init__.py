@@ -1,0 +1,38 @@
+"""Query languages over encoded databases (Sections 3.2 and 4).
+
+* :mod:`repro.queries.operators` — the TLI=0 relational-operator terms
+  (Equal_k, Member_k, Intersection_k, Order_k, ... — Section 4 and the
+  Appendix).
+* :mod:`repro.queries.relalg_compile` — relational algebra to TLI=0 terms
+  (Theorem 4.1).
+* :mod:`repro.queries.fo_compile` — first-order formulas to relational
+  algebra (active-domain semantics; together with the above this embeds the
+  FO-queries of Definition 3.5).
+* :mod:`repro.queries.fixpoint` — the Section 4 fixpoint machinery
+  (ListToFunc, FuncToList, Copy gadgets, Crank) compiling fixpoint queries
+  to TLI=1 / MLI=1 terms (Theorem 4.2).
+* :mod:`repro.queries.language` — TLI=_i / MLI=_i query-term recognition
+  (Definitions 3.7/3.8, Lemma 3.9).
+"""
+
+from repro.queries.language import (
+    QueryArity,
+    is_mli_query_term,
+    is_tli_query_term,
+    mli_query_order,
+    tli_query_order,
+)
+from repro.queries.relalg_compile import build_ra_query, compile_ra
+from repro.queries.fixpoint import build_fixpoint_query, FixpointQuery
+
+__all__ = [
+    "FixpointQuery",
+    "QueryArity",
+    "build_fixpoint_query",
+    "build_ra_query",
+    "compile_ra",
+    "is_mli_query_term",
+    "is_tli_query_term",
+    "mli_query_order",
+    "tli_query_order",
+]

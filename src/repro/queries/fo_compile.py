@@ -1,0 +1,279 @@
+"""Compiling first-order formulas to relational algebra (Codd's theorem).
+
+Theorem 4.1 embeds the FO-queries into TLI=0 via "Codd's equivalence
+theorem for relational algebra and calculus".  This module is that step:
+an FO formula with free variables ``v1 < ... < vk`` compiles to an RA
+expression over the database schema plus the derived bases ``adom`` and
+``precedes(R)``, whose value is exactly the formula's active-domain answer
+set ``{x̄ : structure |= φ(x̄)}``.
+
+The translation is the standard active-domain one.  For every subformula,
+we produce an RA expression whose columns are the subformula's free
+variables in sorted order:
+
+* atoms compile to selections/projections over the base relation (constant
+  arguments become constant selections, repeated variables equality
+  selections), padded with ``adom`` columns when a variable list must grow;
+* ``and`` compiles to a natural join (product + equality selection +
+  projection), ``or`` to union after padding both sides to the joint
+  variable set, ``not φ`` to ``adom^k - φ``;
+* ``exists v`` projects the variable away; ``forall v`` is
+  ``not exists v not``.
+
+Composed with :mod:`repro.queries.relalg_compile`, every FO-query becomes a
+TLI=0 (MLI=0) query term, which is the constructive half of
+Theorem 4.1/5.1's equivalence — the tests check agreement of the full
+pipeline against :mod:`repro.folog.evaluate` on random databases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import EvaluationError, SchemaError
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FTerm,
+    FVar,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+    formula_free_vars,
+)
+from repro.relalg.ast import (
+    Base,
+    ColumnEqualsColumn,
+    ColumnEqualsConst,
+    CondAnd,
+    CondTrue,
+    Condition,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+    adom,
+    precedes,
+)
+
+
+def compile_fo(
+    formula: Formula,
+    output_vars: Sequence[str],
+    schema: Mapping[str, int],
+) -> RAExpr:
+    """Compile ``formula`` to an RA expression with one column per
+    ``output_vars`` entry (in the given order).
+
+    The formula's free variables must be contained in ``output_vars``;
+    variables not free in the formula range over the active domain.
+    """
+    free = formula_free_vars(formula)
+    missing = free - set(output_vars)
+    if missing:
+        raise EvaluationError(
+            f"free variables {sorted(missing)} not among output variables"
+        )
+    if len(set(output_vars)) != len(output_vars):
+        raise EvaluationError("output variables must be distinct")
+    expr, columns = _compile(formula, schema)
+    # Pad to the full output variable set, then project into order.
+    expr, columns = _pad(expr, columns, sorted(set(output_vars)))
+    return Project(
+        expr, tuple(columns.index(name) for name in output_vars)
+    )
+
+
+def _compile(
+    formula: Formula, schema: Mapping[str, int]
+) -> Tuple[RAExpr, List[str]]:
+    """Compile to (expression, column variable names in sorted order)."""
+    if isinstance(formula, TrueFormula):
+        # The zero-ary relation containing the empty tuple: adom projected
+        # to no columns (nonempty iff the domain is nonempty, which is the
+        # active-domain reading of "true").
+        return Project(adom(), ()), []
+    if isinstance(formula, FalseFormula):
+        return Difference(Project(adom(), ()), Project(adom(), ())), []
+    if isinstance(formula, Atom):
+        return _compile_atom(
+            Base(formula.relation), formula.terms, schema
+        )
+    if isinstance(formula, Precedes):
+        return _compile_atom(
+            precedes(formula.relation),
+            tuple(formula.left) + tuple(formula.right),
+            schema,
+        )
+    if isinstance(formula, Equals):
+        return _compile_equals(formula)
+    if isinstance(formula, And):
+        left, left_cols = _compile(formula.left, schema)
+        right, right_cols = _compile(formula.right, schema)
+        return _join(left, left_cols, right, right_cols)
+    if isinstance(formula, Or):
+        left, left_cols = _compile(formula.left, schema)
+        right, right_cols = _compile(formula.right, schema)
+        all_cols = sorted(set(left_cols) | set(right_cols))
+        left, left_cols = _pad(left, left_cols, all_cols)
+        right, right_cols = _pad(right, right_cols, all_cols)
+        right = Project(
+            right,
+            tuple(right_cols.index(name) for name in left_cols),
+        )
+        return Union(left, right), left_cols
+    if isinstance(formula, Not):
+        inner, columns = _compile(formula.inner, schema)
+        return Difference(_domain_power(len(columns)), inner), columns
+    if isinstance(formula, Exists):
+        inner, columns = _compile(formula.body, schema)
+        if formula.var not in columns:
+            return inner, columns
+        kept = [name for name in columns if name != formula.var]
+        return (
+            Project(
+                inner, tuple(columns.index(name) for name in kept)
+            ),
+            kept,
+        )
+    if isinstance(formula, Forall):
+        rewritten = Not(Exists(formula.var, Not(formula.body)))
+        return _compile(rewritten, schema)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _compile_atom(
+    base: RAExpr, terms: Tuple[FTerm, ...], schema: Mapping[str, int]
+) -> Tuple[RAExpr, List[str]]:
+    """Selection for constants/repeats, then projection to sorted vars."""
+    condition: Condition = CondTrue()
+    first_position: Dict[str, int] = {}
+    for index, term in enumerate(terms):
+        if isinstance(term, FConst):
+            condition = _conjoin(
+                condition, ColumnEqualsConst(index, term.name)
+            )
+        elif isinstance(term, FVar):
+            if term.name in first_position:
+                condition = _conjoin(
+                    condition,
+                    ColumnEqualsColumn(first_position[term.name], index),
+                )
+            else:
+                first_position[term.name] = index
+        else:
+            raise TypeError(f"not a term: {term!r}")
+    expr: RAExpr = base
+    if not isinstance(condition, CondTrue):
+        expr = Select(expr, condition)
+    columns = sorted(first_position)
+    return (
+        Project(expr, tuple(first_position[name] for name in columns)),
+        columns,
+    )
+
+
+def _compile_equals(formula: Equals) -> Tuple[RAExpr, List[str]]:
+    left, right = formula.left, formula.right
+    if isinstance(left, FConst) and isinstance(right, FConst):
+        if left.name == right.name:
+            return Project(adom(), ()), []
+        return Difference(Project(adom(), ()), Project(adom(), ())), []
+    if isinstance(left, FVar) and isinstance(right, FVar):
+        if left.name == right.name:
+            return adom(), [left.name]
+        columns = sorted((left.name, right.name))
+        return (
+            Select(
+                Product(adom(), adom()), ColumnEqualsColumn(0, 1)
+            ),
+            columns,
+        )
+    # variable = constant (either orientation)
+    var = left if isinstance(left, FVar) else right
+    const = right if isinstance(right, FConst) else left
+    assert isinstance(var, FVar) and isinstance(const, FConst)
+    return (
+        Select(adom(), ColumnEqualsConst(0, const.name)),
+        [var.name],
+    )
+
+
+def _conjoin(left: Condition, right: Condition) -> Condition:
+    if isinstance(left, CondTrue):
+        return right
+    return CondAnd(left, right)
+
+
+def _domain_power(arity: int) -> RAExpr:
+    """``adom^arity`` (the zero-ary one-row relation when arity is 0)."""
+    if arity == 0:
+        return Project(adom(), ())
+    expr: RAExpr = adom()
+    for _ in range(arity - 1):
+        expr = Product(expr, adom())
+    return expr
+
+
+def _pad(
+    expr: RAExpr, columns: List[str], target: Sequence[str]
+) -> Tuple[RAExpr, List[str]]:
+    """Extend ``expr`` with adom columns for the variables in ``target``
+    that it lacks; resulting columns are ``target`` order."""
+    extra = [name for name in target if name not in columns]
+    missing = [name for name in columns if name not in target]
+    if missing:
+        raise EvaluationError(
+            f"cannot pad away existing columns {missing}"
+        )
+    padded: RAExpr = expr
+    padded_cols = list(columns)
+    for name in extra:
+        padded = Product(padded, adom())
+        padded_cols.append(name)
+    return (
+        Project(
+            padded, tuple(padded_cols.index(name) for name in target)
+        ),
+        list(target),
+    )
+
+
+def _join(
+    left: RAExpr,
+    left_cols: List[str],
+    right: RAExpr,
+    right_cols: List[str],
+) -> Tuple[RAExpr, List[str]]:
+    """Natural join on shared variable names."""
+    shared = [name for name in left_cols if name in right_cols]
+    condition: Condition = CondTrue()
+    offset = len(left_cols)
+    for name in shared:
+        condition = _conjoin(
+            condition,
+            ColumnEqualsColumn(
+                left_cols.index(name), offset + right_cols.index(name)
+            ),
+        )
+    product: RAExpr = Product(left, right)
+    if not isinstance(condition, CondTrue):
+        product = Select(product, condition)
+    all_cols = sorted(set(left_cols) | set(right_cols))
+    positions = []
+    for name in all_cols:
+        if name in left_cols:
+            positions.append(left_cols.index(name))
+        else:
+            positions.append(offset + right_cols.index(name))
+    return Project(product, tuple(positions)), all_cols

@@ -1,0 +1,228 @@
+"""TLI=_i / MLI=_i query-term recognition (Definitions 3.7/3.8, Lemma 3.9).
+
+A query term of arity ``(k1, ..., kl; k)`` in TLI=_i is a typed TLC= term
+``Q = λR1 ... λRl. M`` of order ``i + 3`` such that for every encoded
+database of the right arities, ``(Q r̄1 ... r̄l)`` can be typed as
+``o^k_d`` for some type variable ``d`` different from ``o``.  MLI=_i is the
+same with core-ML= typing and the ``R`` bindings treated as lets.
+
+Lemma 3.9 makes the semantic quantification syntactic: it suffices to check
+the application against inputs of *principal* relation type ``o^{k_j}``.
+We realize this by typing the body with each ``R_j`` assumed at
+``o^{k_j}_{a_j}`` for a fresh accumulator variable ``a_j`` (TLI) or at the
+scheme ``forall a. o^{k_j}_a`` (MLI), then unifying the result with
+``o^k_d`` for a fresh ``d`` and checking that ``d`` stays a variable (or
+the fixed ``g``), never ``o`` or an arrow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import (
+    QueryTermError,
+    ReductionError,
+    TypeInferenceError,
+)
+from repro.lam.terms import Abs, Term, binder_prefix
+from repro.types.ml import TypeScheme, ml_infer
+from repro.types.infer import infer
+from repro.types.types import Arrow, BaseG, BaseO, Type, TypeVar, relation_type
+from repro.types.unify import UnificationError
+
+
+@dataclass(frozen=True)
+class QueryArity:
+    """The arity signature ``(k1, ..., kl; k)`` of a query."""
+
+    inputs: Tuple[int, ...]
+    output: int
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(k) for k in self.inputs)
+        return f"({ins}; {self.output})"
+
+
+@dataclass
+class RecognitionResult:
+    """Outcome of a successful recognition: the order actually required."""
+
+    arity: QueryArity
+    derivation_order: int
+    result_accumulator: Type
+
+
+def _split_query(term: Term, input_count: int) -> Tuple[Sequence[str], Term]:
+    binders, body = binder_prefix(term)
+    if len(binders) < input_count:
+        raise QueryTermError(
+            f"query term has {len(binders)} leading binders, "
+            f"needs {input_count}"
+        )
+    # Only the first l binders are relation inputs; re-wrap the rest.
+    from repro.lam.terms import lam
+
+    names = binders[:input_count]
+    if len(set(names)) != len(names):
+        raise QueryTermError(
+            "relation binders must be distinct variables"
+        )
+    rest = lam(list(binders[input_count:]), body) if (
+        len(binders) > input_count
+    ) else body
+    return names, rest
+
+
+def _check_result_accumulator(result_type: Type, subst, output: int) -> Type:
+    """Unify the body type with ``o^k_d`` (fresh d) and validate d."""
+    fresh = TypeVar("?result_acc")
+    try:
+        subst.unify(result_type, relation_type(output, fresh))
+    except UnificationError as exc:
+        raise QueryTermError(
+            f"query result does not have relation type o^{output}: {exc}"
+        ) from exc
+    accumulator = subst.walk(fresh)
+    if isinstance(accumulator, (TypeVar, BaseG)):
+        return accumulator
+    raise QueryTermError(
+        f"result accumulator is forced to {accumulator}, "
+        f"not a type variable different from o (Definition 3.7)"
+    )
+
+
+def recognize_tli(
+    term: Term,
+    arity: QueryArity,
+    max_order: Optional[int] = None,
+) -> RecognitionResult:
+    """Recognize ``term`` as a TLI= query term of the given arity.
+
+    ``max_order`` (when given) additionally enforces the order bound
+    ``i + 3``; use :func:`tli_query_order` to measure the least bound.
+    Raises :class:`QueryTermError` when the term is not a query term.
+    """
+    names, body = _split_query(term, len(arity.inputs))
+    env = {
+        name: relation_type(k, TypeVar(f"?acc_{name}"))
+        for name, k in zip(names, arity.inputs)
+    }
+    try:
+        result = infer(body, env)
+    except TypeInferenceError as exc:
+        raise QueryTermError(f"query body does not type: {exc}") from exc
+    accumulator = _check_result_accumulator(
+        result.occurrence_types[()], result.subst, arity.output
+    )
+    order_needed = result.derivation_order()
+    # The query term itself has type o^{k1} -> ... -> o^k; each input
+    # assumption contributes 1 + its own order (the lambda binder).
+    from repro.types.order import ground, order as type_order
+
+    for assumed in env.values():
+        order_needed = max(
+            order_needed,
+            1 + type_order(ground(result.subst.apply(assumed))),
+        )
+    if max_order is not None and order_needed > max_order:
+        raise QueryTermError(
+            f"query requires order {order_needed}, bound is {max_order}"
+        )
+    return RecognitionResult(arity, order_needed, accumulator)
+
+
+def recognize_mli(
+    term: Term,
+    arity: QueryArity,
+    max_order: Optional[int] = None,
+) -> RecognitionResult:
+    """Recognize ``term`` as an MLI= query term: as :func:`recognize_tli`
+    but with the relation bindings typed as lets (each occurrence of an
+    input may pick a different accumulator instance)."""
+    names, body = _split_query(term, len(arity.inputs))
+    schemes = {
+        name: TypeScheme(
+            (f"?sch_{name}",), relation_type(k, TypeVar(f"?sch_{name}"))
+        )
+        for name, k in zip(names, arity.inputs)
+    }
+    try:
+        result = ml_infer(body, env_schemes=schemes)
+    except TypeInferenceError as exc:
+        raise QueryTermError(f"query body does not ML-type: {exc}") from exc
+    accumulator = _check_result_accumulator(
+        result.occurrence_types[()], result.subst, arity.output
+    )
+    order_needed = result.derivation_order()
+    # Each occurrence of an input contributes 1 + the order of its
+    # instance (the lambda/let binder of the query term).
+    from repro.types.order import ground, order as type_order
+
+    for path in _var_occurrence_paths(body, set(names)):
+        occurrence = result.occurrence_types.get(path)
+        if occurrence is not None:
+            order_needed = max(
+                order_needed,
+                1 + type_order(ground(result.subst.apply(occurrence))),
+            )
+    if max_order is not None and order_needed > max_order:
+        raise QueryTermError(
+            f"query requires order {order_needed}, bound is {max_order}"
+        )
+    return RecognitionResult(arity, order_needed, accumulator)
+
+
+def _var_occurrence_paths(term, names):
+    """Paths (child-index tuples) of free occurrences of the given
+    variables — the same path scheme the inference engines record."""
+    from repro.lam.terms import Abs, App, Const, EqConst, Let, Var
+
+    paths = []
+
+    def walk(node, path, bound):
+        if isinstance(node, Var):
+            if node.name in names and node.name not in bound:
+                paths.append(path)
+        elif isinstance(node, Abs):
+            walk(node.body, path + (0,), bound | {node.var})
+        elif isinstance(node, App):
+            walk(node.fn, path + (0,), bound)
+            walk(node.arg, path + (1,), bound)
+        elif isinstance(node, Let):
+            walk(node.bound, path + (0,), bound)
+            walk(node.body, path + (1,), bound | {node.var})
+
+    walk(term, (), frozenset())
+    return paths
+
+
+def is_tli_query_term(term: Term, arity: QueryArity, i: int) -> bool:
+    """Is ``term`` a TLI=_i query term of the given arity (Lemma 3.9)?"""
+    try:
+        recognize_tli(term, arity, max_order=i + 3)
+        return True
+    except QueryTermError:
+        return False
+
+
+def is_mli_query_term(term: Term, arity: QueryArity, i: int) -> bool:
+    """Is ``term`` an MLI=_i query term of the given arity (Lemma 3.9)?"""
+    try:
+        recognize_mli(term, arity, max_order=i + 3)
+        return True
+    except QueryTermError:
+        return False
+
+
+def tli_query_order(term: Term, arity: QueryArity) -> int:
+    """The least order bound under which ``term`` is a TLI= query term;
+    the least ``i`` with ``term`` in TLI=_i is this value minus 3
+    (clamped at 0)."""
+    return recognize_tli(term, arity).derivation_order
+
+
+def mli_query_order(term: Term, arity: QueryArity) -> int:
+    """The least order bound under which ``term`` is an MLI= query term."""
+    return recognize_mli(term, arity).derivation_order

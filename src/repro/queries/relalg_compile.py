@@ -1,0 +1,156 @@
+"""Compiling relational algebra into TLI=0 query terms (Theorem 4.1).
+
+"These encodings, together with Codd's equivalence theorem for relational
+algebra and calculus, establish ... every FO-query, over list-represented
+databases, is a TLI=0 (MLI=0) query."
+
+:func:`compile_ra` maps an RA expression to an *open* term over the
+relation variables; :func:`build_ra_query` closes it into the query shape
+``λR1 ... λRl. M`` of Definition 3.7.  The derived bases (active domain,
+tuple order) compile to the Section 4 terms that compute them from the
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.db.relations import Database
+from repro.errors import QueryTermError, SchemaError
+from repro.lam.terms import Term, Var, app, lam
+from repro.queries import operators as ops
+from repro.relalg.ast import (
+    ADOM_NAME,
+    PRECEDES_PREFIX,
+    Base,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+    schema_with_derived,
+)
+
+
+def compile_ra(
+    expr: RAExpr,
+    schema: Mapping[str, int],
+    variables: Optional[Mapping[str, Term]] = None,
+) -> Term:
+    """Compile ``expr`` to a term open in the relation variables.
+
+    ``schema`` maps input names to arities; ``variables`` maps input names
+    to the terms standing for them (default: same-named variables).
+    """
+    full_schema = schema_with_derived(schema)
+    expr.arity(full_schema)  # arity-check everything up front
+
+    def var_of(name: str) -> Term:
+        if variables is not None:
+            if name not in variables:
+                raise QueryTermError(f"no variable for relation {name!r}")
+            return variables[name]
+        return Var(name)
+
+    def go(node: RAExpr) -> Term:
+        if isinstance(node, Base):
+            if node.name == ADOM_NAME:
+                return active_domain_expr_term(schema, var_of)
+            if node.name.startswith(PRECEDES_PREFIX):
+                base_name = node.name[len(PRECEDES_PREFIX):]
+                if base_name not in schema:
+                    raise SchemaError(f"unknown relation {base_name!r}")
+                return app(
+                    ops.precedes_relation_term(schema[base_name]),
+                    var_of(base_name),
+                )
+            return var_of(node.name)
+        if isinstance(node, Union):
+            arity = node.left.arity(full_schema)
+            return app(ops.union_term(arity), go(node.left), go(node.right))
+        if isinstance(node, Intersection):
+            arity = node.left.arity(full_schema)
+            return app(
+                ops.intersection_term(arity), go(node.left), go(node.right)
+            )
+        if isinstance(node, Difference):
+            arity = node.left.arity(full_schema)
+            return app(
+                ops.difference_term(arity), go(node.left), go(node.right)
+            )
+        if isinstance(node, Product):
+            left_arity = node.left.arity(full_schema)
+            right_arity = node.right.arity(full_schema)
+            return app(
+                ops.product_term(left_arity, right_arity),
+                go(node.left),
+                go(node.right),
+            )
+        if isinstance(node, Project):
+            inner_arity = node.inner.arity(full_schema)
+            return app(
+                ops.project_term(inner_arity, node.columns), go(node.inner)
+            )
+        if isinstance(node, Select):
+            inner_arity = node.inner.arity(full_schema)
+            return app(
+                ops.select_term(inner_arity, node.condition), go(node.inner)
+            )
+        raise TypeError(f"not an RA expression: {node!r}")
+
+    return go(expr)
+
+
+def active_domain_expr_term(
+    schema: Mapping[str, int], var_of, distinct: bool = True
+) -> Term:
+    """The term computing the active domain ``D`` from the inputs: the
+    union of all single-column projections of all input relations
+    (Section 4: "computed by a sequence of projections and unions").
+
+    With ``distinct=True`` (default) the duplicate-suppressing operator
+    variants are used, so the computed list has one entry per domain
+    constant — FuncToList iterates over powers of this list, and duplicate
+    entries would multiply its (still polynomial) cost by |r|^k factors.
+    The distinct variants branch on ``Eq`` and therefore require an
+    order-0 accumulator; callers iterating the domain at a higher-order
+    accumulator (the Crank) must pass ``distinct=False``.
+    """
+    if distinct:
+        projection = ops.distinct_projection_term
+        union = ops.distinct_union_term
+    else:
+        projection = lambda arity, column: ops.project_term(arity, [column])
+        union = ops.union_term
+    pieces = []
+    for name in schema:
+        arity = schema[name]
+        for column in range(arity):
+            pieces.append(app(projection(arity, column), var_of(name)))
+    if not pieces:
+        return ops.empty_relation_term()
+    result = pieces[0]
+    for piece in pieces[1:]:
+        result = app(union(1), piece, result)
+    return result
+
+
+def build_ra_query(
+    expr: RAExpr,
+    input_names: Sequence[str],
+    schema: Mapping[str, int],
+) -> Term:
+    """Close the compilation into a query term ``λR1 ... λRl. M``
+    (Definition 3.7), with one binder per input in the given order."""
+    for name in input_names:
+        if name not in schema:
+            raise SchemaError(f"input {name!r} missing from schema")
+    body = compile_ra(expr, {n: schema[n] for n in input_names})
+    return lam(list(input_names), body)
+
+
+def schema_of(database: Database) -> Dict[str, int]:
+    """Convenience: the schema of a database (name -> arity)."""
+    return {name: relation.arity for name, relation in database}

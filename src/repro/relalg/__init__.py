@@ -1,0 +1,48 @@
+"""Relational algebra: shared AST and the baseline in-memory engine (S15).
+
+The same AST is consumed by two independent implementations:
+
+* :mod:`repro.relalg.engine` — a direct Python evaluator over
+  :class:`repro.db.Relation` values (the baseline);
+* :mod:`repro.queries.relalg_compile` — the compiler into TLI=0 lambda
+  terms (Theorem 4.1).
+
+Agreement of the two on random databases is the executable content of the
+Theorem 4.1 benchmarks and tests.
+"""
+
+from repro.relalg.ast import (
+    Base,
+    ColumnEqualsColumn,
+    ColumnEqualsConst,
+    CondAnd,
+    CondNot,
+    CondOr,
+    CondTrue,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+)
+from repro.relalg.engine import evaluate_ra
+
+__all__ = [
+    "Base",
+    "ColumnEqualsColumn",
+    "ColumnEqualsConst",
+    "CondAnd",
+    "CondNot",
+    "CondOr",
+    "CondTrue",
+    "Difference",
+    "Intersection",
+    "Product",
+    "Project",
+    "RAExpr",
+    "Select",
+    "Union",
+    "evaluate_ra",
+]

@@ -1,0 +1,137 @@
+"""Baseline relational algebra engine over list-represented relations.
+
+Evaluates :mod:`repro.relalg.ast` expressions directly on
+:class:`repro.db.Relation` values.  Output order is deterministic: every
+operator preserves the left-to-right, first-occurrence order of its inputs,
+which makes golden tests possible; set-level agreement with the lambda
+pipeline is what the theorem tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.db.relations import Database, Relation
+from repro.errors import SchemaError
+from repro.relalg.ast import (
+    ADOM_NAME,
+    PRECEDES_PREFIX,
+    Base,
+    ColumnEqualsColumn,
+    ColumnEqualsConst,
+    CondAnd,
+    CondNot,
+    CondOr,
+    CondTrue,
+    Condition,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    RAExpr,
+    Select,
+    Union,
+)
+
+
+def database_schema(database: Database) -> Dict[str, int]:
+    """The schema (name -> arity) of a database."""
+    return {name: relation.arity for name, relation in database}
+
+
+def derived_relation(database: Database, name: str) -> Relation:
+    """Materialize a derived base relation (adom or precedes)."""
+    if name == ADOM_NAME:
+        return Relation.unary(database.active_domain())
+    if name.startswith(PRECEDES_PREFIX):
+        base_name = name[len(PRECEDES_PREFIX):]
+        base = database[base_name]
+        rows = [
+            left + right
+            for index, left in enumerate(base.tuples)
+            for right in base.tuples[index + 1:]
+        ]
+        return Relation.from_tuples(2 * base.arity, rows)
+    raise SchemaError(f"unknown derived relation {name!r}")
+
+
+def evaluate_ra(expr: RAExpr, database: Database) -> Relation:
+    """Evaluate ``expr`` over ``database``.
+
+    Arity errors raise :class:`SchemaError` before any tuple is touched.
+    """
+    schema = database_schema(database)
+    from repro.relalg.ast import schema_with_derived
+
+    expr.arity(schema_with_derived(schema))
+    return _eval(expr, database, schema)
+
+
+def _eval(
+    expr: RAExpr, database: Database, schema: Mapping[str, int]
+) -> Relation:
+    if isinstance(expr, Base):
+        if expr.name in schema:
+            return database[expr.name]
+        return derived_relation(database, expr.name)
+    if isinstance(expr, Union):
+        left = _eval(expr.left, database, schema)
+        right = _eval(expr.right, database, schema)
+        return Relation.deduplicated(
+            left.arity, list(left.tuples) + list(right.tuples)
+        )
+    if isinstance(expr, Intersection):
+        left = _eval(expr.left, database, schema)
+        right_set = _eval(expr.right, database, schema).as_set()
+        return Relation.from_tuples(
+            left.arity, [row for row in left.tuples if row in right_set]
+        )
+    if isinstance(expr, Difference):
+        left = _eval(expr.left, database, schema)
+        right_set = _eval(expr.right, database, schema).as_set()
+        return Relation.from_tuples(
+            left.arity, [row for row in left.tuples if row not in right_set]
+        )
+    if isinstance(expr, Product):
+        left = _eval(expr.left, database, schema)
+        right = _eval(expr.right, database, schema)
+        return Relation.from_tuples(
+            left.arity + right.arity,
+            [a + b for a in left.tuples for b in right.tuples],
+        )
+    if isinstance(expr, Project):
+        inner = _eval(expr.inner, database, schema)
+        return Relation.deduplicated(
+            len(expr.columns),
+            [
+                tuple(row[column] for column in expr.columns)
+                for row in inner.tuples
+            ],
+        )
+    if isinstance(expr, Select):
+        inner = _eval(expr.inner, database, schema)
+        return Relation.from_tuples(
+            inner.arity,
+            [
+                row
+                for row in inner.tuples
+                if _test(expr.condition, row)
+            ],
+        )
+    raise TypeError(f"not an RA expression: {expr!r}")
+
+
+def _test(condition: Condition, row) -> bool:
+    if isinstance(condition, CondTrue):
+        return True
+    if isinstance(condition, ColumnEqualsColumn):
+        return row[condition.left] == row[condition.right]
+    if isinstance(condition, ColumnEqualsConst):
+        return row[condition.column] == condition.constant
+    if isinstance(condition, CondAnd):
+        return _test(condition.left, row) and _test(condition.right, row)
+    if isinstance(condition, CondOr):
+        return _test(condition.left, row) or _test(condition.right, row)
+    if isinstance(condition, CondNot):
+        return not _test(condition.inner, row)
+    raise TypeError(f"not a condition: {condition!r}")

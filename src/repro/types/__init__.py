@@ -1,0 +1,60 @@
+"""Simple types, functionality order, unification, and type reconstruction.
+
+Implements the typing machinery of Sections 2.1 and 2.2:
+
+* simple types over the two fixed base types ``o`` (atomic constants) and
+  ``g`` (the result-type variable of ``Eq``), plus reconstruction variables,
+* *functionality order*: ``order(t) = 0`` for base types and variables,
+  ``order(a -> b) = max(1 + order(a), order(b))``,
+* first-order unification with occurs check,
+* Curry-style principal-type reconstruction for TLC= (:mod:`.infer`),
+* core-ML= reconstruction with let-polymorphism (:mod:`.ml`),
+* Church-style checking of annotated terms (:mod:`.check`).
+"""
+
+from repro.types.types import (
+    Arrow,
+    BaseG,
+    BaseO,
+    Type,
+    TypeVar,
+    arrow,
+    arrow_parts,
+    bool_type,
+    free_type_vars,
+    relation_type,
+    type_size,
+)
+from repro.types.order import order, derivation_order, ground
+from repro.types.pretty import pretty_type
+from repro.types.unify import Substitution, unify
+from repro.types.infer import TypingResult, infer, principal_type
+from repro.types.ml import MLTypingResult, ml_infer, ml_principal_type
+from repro.types.check import check_church
+
+__all__ = [
+    "Arrow",
+    "BaseG",
+    "BaseO",
+    "MLTypingResult",
+    "Substitution",
+    "Type",
+    "TypeVar",
+    "TypingResult",
+    "arrow",
+    "arrow_parts",
+    "bool_type",
+    "check_church",
+    "derivation_order",
+    "free_type_vars",
+    "ground",
+    "infer",
+    "ml_infer",
+    "ml_principal_type",
+    "order",
+    "pretty_type",
+    "principal_type",
+    "relation_type",
+    "type_size",
+    "unify",
+]

@@ -1,0 +1,95 @@
+"""Church-style type checking of fully annotated terms (Section 2.1).
+
+In the Church style "types and terms are defined together and lambda-bound
+variables are annotated with their type".  :func:`check_church` verifies a
+fully annotated term against the (Var), (Abs), (App) rules — no inference,
+no unification — and returns the computed type.  ``let`` is checked
+monomorphically (use :mod:`repro.types.ml` for polymorphic lets).
+
+This is the executable counterpart of the paper's "for clarity of
+exposition we often provide the annotations in Church style": every encoded
+operator in :mod:`repro.queries.operators` carries annotations, and the test
+suite checks them with this module *and* reconstructs them Curry-style,
+verifying the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import TypeInferenceError
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
+from repro.types.types import Arrow, Type, eq_type
+from repro.types.types import O as TYPE_O
+
+
+def check_church(
+    term: Term, env: Optional[Mapping[str, Type]] = None
+) -> Type:
+    """Compute the type of a fully annotated term.
+
+    Raises :class:`TypeInferenceError` when an annotation is missing or the
+    term does not check.
+    """
+    context: Dict[str, List[Type]] = {}
+    for name, type_ in (env or {}).items():
+        context[name] = [type_]
+
+    def visit(node: Term) -> Type:
+        if isinstance(node, Var):
+            stack = context.get(node.name)
+            if not stack:
+                raise TypeInferenceError(
+                    f"free variable {node.name} has no declared type"
+                )
+            return stack[-1]
+        if isinstance(node, Const):
+            return TYPE_O
+        if isinstance(node, EqConst):
+            return eq_type()
+        if isinstance(node, Abs):
+            if node.annotation is None:
+                raise TypeInferenceError(
+                    f"missing annotation on binder {node.var} "
+                    f"(Church-style checking needs fully annotated terms)"
+                )
+            context.setdefault(node.var, []).append(node.annotation)
+            try:
+                body_type = visit(node.body)
+            finally:
+                context[node.var].pop()
+            return Arrow(node.annotation, body_type)
+        if isinstance(node, App):
+            fn_type = visit(node.fn)
+            arg_type = visit(node.arg)
+            if not isinstance(fn_type, Arrow):
+                raise TypeInferenceError(
+                    f"applying a non-function of type {fn_type}"
+                )
+            if fn_type.left != arg_type:
+                raise TypeInferenceError(
+                    f"argument type mismatch: expected {fn_type.left}, "
+                    f"got {arg_type}"
+                )
+            return fn_type.right
+        if isinstance(node, Let):
+            bound_type = visit(node.bound)
+            context.setdefault(node.var, []).append(bound_type)
+            try:
+                return visit(node.body)
+            finally:
+                context[node.var].pop()
+        raise TypeError(f"not a term: {node!r}")
+
+    return visit(term)
+
+
+def fully_annotated(term: Term) -> bool:
+    """True iff every lambda binder in ``term`` carries an annotation."""
+    from repro.lam.terms import subterms
+
+    return all(
+        node.annotation is not None
+        for node in subterms(term)
+        if isinstance(node, Abs)
+    )

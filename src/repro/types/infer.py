@@ -1,0 +1,204 @@
+"""Curry-style principal-type reconstruction for TLC= (Section 2.1).
+
+Implements the inference rules (Var), (Abs), (App) plus the fixed typings
+``o_i : o`` and ``Eq : o -> o -> g -> g -> g``.  ``let x = M in N`` is
+accepted here too but typed *monomorphically* (exactly as ``(λx. N) M``
+would be) — the polymorphic (Let) rule lives in :mod:`repro.types.ml`.
+
+The entry point :func:`infer` returns a :class:`TypingResult` carrying the
+principal type, the types of all subterm occurrences (needed for
+order-of-derivation analysis, Section 5.1), and the final substitution.
+Church-style annotations on binders, when present, are unified against the
+inferred binder types, so an annotated term infers successfully only if its
+annotations are consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import OrderBoundError, TypeInferenceError
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
+from repro.types.order import ground, order
+from repro.types.types import Arrow, Type, TypeVar, eq_type
+from repro.types.types import O as TYPE_O
+from repro.types.unify import Substitution, UnificationError
+
+
+@dataclass
+class TypingResult:
+    """Outcome of a successful reconstruction.
+
+    Attributes:
+        type: the principal type of the whole term (fully substituted).
+        subst: the final substitution (triangular form).
+        occurrence_types: raw (unsubstituted) type of every subterm
+            *occurrence*, keyed by a path of child indices from the root —
+            the same subterm object may occur at several paths with
+            different types.
+    """
+
+    type: Type
+    subst: Substitution
+    occurrence_types: Dict[Tuple[int, ...], Type]
+
+    def occurrence_type(self, path: Tuple[int, ...]) -> Type:
+        """The fully substituted type of the occurrence at ``path``."""
+        return self.subst.apply(self.occurrence_types[path])
+
+    def derivation_order(self) -> int:
+        """The least order bound admitting this derivation: the maximum,
+        over all subterm occurrences, of the order of the minimal ground
+        instance of the occurrence's type."""
+        result = 0
+        for raw in self.occurrence_types.values():
+            result = max(result, order(ground(self.subst.apply(raw))))
+        return result
+
+
+class _VarSupply:
+    """Fresh type-variable supply (``?t0, ?t1, ...``).
+
+    The ``?`` prefix keeps generated variables disjoint from anything a user
+    can write in an annotation."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+
+    def fresh(self) -> TypeVar:
+        return TypeVar(f"?t{next(self._counter)}")
+
+
+def infer(
+    term: Term,
+    env: Optional[Mapping[str, Type]] = None,
+    *,
+    check_annotations: bool = True,
+) -> TypingResult:
+    """Reconstruct the principal type of ``term`` under ``env``.
+
+    ``env`` assigns types to free term variables; free variables not in the
+    environment get fresh type variables (so any closed-up typing is still
+    principal).  Raises :class:`TypeInferenceError` when no typing exists.
+    """
+    import sys
+
+    from repro.lam.terms import term_size
+
+    # The checker recurses along the term's spine; deep but legal terms
+    # (e.g. 1000-fold applications) need stack room beyond the default.
+    needed = 2 * term_size(term) + 1000
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
+    supply = _VarSupply()
+    subst = Substitution()
+    occurrence_types: Dict[Tuple[int, ...], Type] = {}
+    context: Dict[str, List[Type]] = {}
+    for name, type_ in (env or {}).items():
+        context[name] = [type_]
+
+    def lookup(name: str) -> Type:
+        stack = context.get(name)
+        if stack:
+            return stack[-1]
+        # Free variable without an assumption: invent one and remember it so
+        # all occurrences share it (the context Gamma is a *function*).
+        fresh = supply.fresh()
+        context[name] = [fresh]
+        return fresh
+
+    def visit(node: Term, path: Tuple[int, ...]) -> Type:
+        if isinstance(node, Var):
+            result: Type = lookup(node.name)
+        elif isinstance(node, Const):
+            result = TYPE_O
+        elif isinstance(node, EqConst):
+            result = eq_type()
+        elif isinstance(node, Abs):
+            arg_type: Type = supply.fresh()
+            if check_annotations and node.annotation is not None:
+                _unify(subst, arg_type, node.annotation, node)
+            context.setdefault(node.var, []).append(arg_type)
+            try:
+                body_type = visit(node.body, path + (0,))
+            finally:
+                context[node.var].pop()
+            result = Arrow(arg_type, body_type)
+        elif isinstance(node, App):
+            fn_type = visit(node.fn, path + (0,))
+            arg_type = visit(node.arg, path + (1,))
+            out = supply.fresh()
+            _unify(subst, fn_type, Arrow(arg_type, out), node)
+            result = out
+        elif isinstance(node, Let):
+            # Monomorphic let: type as ((λx. body) bound).
+            bound_type = visit(node.bound, path + (0,))
+            context.setdefault(node.var, []).append(bound_type)
+            try:
+                result = visit(node.body, path + (1,))
+            finally:
+                context[node.var].pop()
+        else:
+            raise TypeError(f"not a term: {node!r}")
+        occurrence_types[path] = result
+        return result
+
+    result_type = visit(term, ())
+    return TypingResult(
+        type=subst.apply(result_type),
+        subst=subst,
+        occurrence_types=occurrence_types,
+    )
+
+
+def _unify(subst: Substitution, left: Type, right: Type, node: Term) -> None:
+    try:
+        subst.unify(left, right)
+    except UnificationError as exc:
+        raise TypeInferenceError(
+            f"cannot type {node.pretty()}: {exc}"
+        ) from exc
+
+
+def principal_type(term: Term, env: Optional[Mapping[str, Type]] = None) -> Type:
+    """The principal type of ``term`` (Property 3 of Section 2.1)."""
+    return infer(term, env).type
+
+
+def typable(term: Term, env: Optional[Mapping[str, Type]] = None) -> bool:
+    """Is ``term`` a term of TLC= (Property 4: decidable typability)?"""
+    try:
+        infer(term, env)
+        return True
+    except TypeInferenceError:
+        return False
+
+
+def term_order(term: Term, env: Optional[Mapping[str, Type]] = None) -> int:
+    """The functionality order of ``term``: the order of the minimal ground
+    instance of its principal type (Section 2.1)."""
+    return order(ground(principal_type(term, env)))
+
+
+def check_order_bound(
+    term: Term,
+    bound: int,
+    env: Optional[Mapping[str, Type]] = None,
+) -> TypingResult:
+    """Type ``term`` in the order-``bound`` fragment of TLC=.
+
+    The fragment restricts *all* types in the derivation to order at most
+    ``bound`` (Section 2.1, "Functionality Order").  Since grounding free
+    type variables with ``o`` minimizes every order simultaneously, the term
+    is in the fragment iff the grounded principal derivation fits.
+    Raises :class:`OrderBoundError` otherwise.
+    """
+    result = infer(term, env)
+    actual = result.derivation_order()
+    if actual > bound:
+        raise OrderBoundError(
+            f"term requires derivation order {actual}, bound is {bound}"
+        )
+    return result

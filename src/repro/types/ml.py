@@ -1,0 +1,302 @@
+"""core-ML= type reconstruction: Algorithm W with let-polymorphism.
+
+Implements ML-typedness of Section 2.2.  The paper states the (Let) rule in
+substitution style:
+
+    Gamma |- E : t0        Gamma |- B[x := E] : t
+    ----------------------------------------------
+    Gamma |- let x = E in B : t
+
+which is equivalent (for this calculus) to the classical
+generalize-at-let discipline implemented here: the let-bound term is typed
+once, its type is generalized over the variables not free in the
+environment, and every use of the let variable receives a fresh instance.
+:func:`ml_typable_by_expansion` implements the substitution-style rule
+directly (type the expanded term, *and* the bound term itself); the test
+suite checks the two agree.
+
+Type reconstruction for core-ML is EXPTIME-complete in general [31, 32];
+the exponential lives in the *tree size* of principal types, which is why
+:class:`repro.types.unify.Substitution` keeps types in triangular (DAG)
+form — see :mod:`repro.hardness` and benchmark B5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import OrderBoundError, TypeInferenceError
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    expand_lets,
+)
+from repro.types.infer import infer
+from repro.types.order import ground, order
+from repro.types.types import Arrow, Type, TypeVar, eq_type
+from repro.types.types import O as TYPE_O
+from repro.types.unify import Substitution, UnificationError
+
+
+@dataclass(frozen=True)
+class TypeScheme:
+    """A quantified type ``forall q1 ... qn. body``."""
+
+    quantified: Tuple[str, ...]
+    body: Type
+
+    def __str__(self) -> str:
+        if not self.quantified:
+            return str(self.body)
+        names = " ".join(self.quantified)
+        return f"forall {names}. {self.body}"
+
+
+@dataclass
+class MLTypingResult:
+    """Outcome of a successful core-ML= reconstruction."""
+
+    type: Type
+    subst: Substitution
+    occurrence_types: Dict[Tuple[int, ...], Type]
+    let_schemes: Dict[Tuple[int, ...], TypeScheme]
+
+    def derivation_order(self) -> int:
+        """Max order over recorded occurrence types (minimal ground
+        instances), as in :meth:`TypingResult.derivation_order`."""
+        result = 0
+        for raw in self.occurrence_types.values():
+            result = max(result, order(ground(self.subst.apply(raw))))
+        return result
+
+
+def _walked_free_vars(type_: Type, subst: Substitution) -> Set[str]:
+    """Free variables of ``type_`` under the triangular substitution."""
+    result: Set[str] = set()
+    stack = [type_]
+    seen: Set[int] = set()
+    while stack:
+        node = subst.walk(stack.pop())
+        if isinstance(node, TypeVar):
+            result.add(node.name)
+        elif isinstance(node, Arrow):
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append(node.left)
+            stack.append(node.right)
+    return result
+
+
+def ml_infer(
+    term: Term,
+    env: Optional[Mapping[str, Type]] = None,
+    *,
+    check_annotations: bool = True,
+    env_schemes: Optional[Mapping[str, TypeScheme]] = None,
+) -> MLTypingResult:
+    """Reconstruct the principal core-ML= type of ``term``.
+
+    ``env`` assigns *monomorphic* types to free variables; ``env_schemes``
+    assigns polymorphic schemes (used e.g. to treat the relation variables
+    of an MLI=_i query term as let-bound, Definition 3.8).  Raises
+    :class:`TypeInferenceError` if the term is not ML-typable.
+    """
+    import sys
+
+    from repro.lam.terms import term_size
+
+    needed = 2 * term_size(term) + 1000
+    if sys.getrecursionlimit() < needed:
+        sys.setrecursionlimit(needed)
+    counter = itertools.count()
+    subst = Substitution()
+    occurrence_types: Dict[Tuple[int, ...], Type] = {}
+    let_schemes: Dict[Tuple[int, ...], TypeScheme] = {}
+
+    def fresh() -> TypeVar:
+        return TypeVar(f"?m{next(counter)}")
+
+    # The environment maps names to stacks of schemes (monomorphic types are
+    # schemes with no quantified variables).
+    context: Dict[str, List[TypeScheme]] = {}
+    for name, type_ in (env or {}).items():
+        context[name] = [TypeScheme((), type_)]
+    for name, scheme in (env_schemes or {}).items():
+        context[name] = [scheme]
+
+    def env_free_vars() -> Set[str]:
+        result: Set[str] = set()
+        for stack in context.values():
+            for scheme in stack:
+                body_free = _walked_free_vars(scheme.body, subst)
+                result |= body_free - set(scheme.quantified)
+        return result
+
+    def instantiate(scheme: TypeScheme) -> Type:
+        if not scheme.quantified:
+            return scheme.body
+        renaming = {name: fresh() for name in scheme.quantified}
+        # Memoized per walked node: principal types can be exponentially
+        # large as trees but polynomial as DAGs, and instantiation must
+        # preserve the sharing or Algorithm W itself goes exponential.
+        memo: Dict[int, Type] = {}
+
+        def rebuild(node: Type) -> Type:
+            node_w = subst.walk(node)
+            key = id(node_w)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if isinstance(node_w, TypeVar):
+                result: Type = renaming.get(node_w.name, node_w)
+            elif isinstance(node_w, Arrow):
+                result = Arrow(rebuild(node_w.left), rebuild(node_w.right))
+            else:
+                result = node_w
+            memo[key] = result
+            return result
+
+        return rebuild(scheme.body)
+
+    def visit(node: Term, path: Tuple[int, ...]) -> Type:
+        if isinstance(node, Var):
+            stack = context.get(node.name)
+            if stack:
+                result: Type = instantiate(stack[-1])
+            else:
+                # Unknown free variable: monomorphic fresh assumption shared
+                # by all its occurrences.
+                shared = fresh()
+                context[node.name] = [TypeScheme((), shared)]
+                result = shared
+        elif isinstance(node, Const):
+            result = TYPE_O
+        elif isinstance(node, EqConst):
+            result = eq_type()
+        elif isinstance(node, Abs):
+            arg_type: Type = fresh()
+            if check_annotations and node.annotation is not None:
+                _unify(subst, arg_type, node.annotation, node)
+            context.setdefault(node.var, []).append(TypeScheme((), arg_type))
+            try:
+                body_type = visit(node.body, path + (0,))
+            finally:
+                context[node.var].pop()
+            result = Arrow(arg_type, body_type)
+        elif isinstance(node, App):
+            fn_type = visit(node.fn, path + (0,))
+            arg_type = visit(node.arg, path + (1,))
+            out = fresh()
+            _unify(subst, fn_type, Arrow(arg_type, out), node)
+            result = out
+        elif isinstance(node, Let):
+            bound_type = visit(node.bound, path + (0,))
+            generalizable = (
+                _walked_free_vars(bound_type, subst) - env_free_vars()
+            )
+            scheme = TypeScheme(tuple(sorted(generalizable)), bound_type)
+            let_schemes[path] = scheme
+            context.setdefault(node.var, []).append(scheme)
+            try:
+                result = visit(node.body, path + (1,))
+            finally:
+                context[node.var].pop()
+        else:
+            raise TypeError(f"not a term: {node!r}")
+        occurrence_types[path] = result
+        return result
+
+    result_type = visit(term, ())
+    return MLTypingResult(
+        type=subst.apply(result_type),
+        subst=subst,
+        occurrence_types=occurrence_types,
+        let_schemes=let_schemes,
+    )
+
+
+def _unify(subst: Substitution, left: Type, right: Type, node: Term) -> None:
+    try:
+        subst.unify(left, right)
+    except UnificationError as exc:
+        raise TypeInferenceError(
+            f"cannot ML-type {node.pretty()}: {exc}"
+        ) from exc
+
+
+def ml_principal_type(
+    term: Term, env: Optional[Mapping[str, Type]] = None
+) -> Type:
+    """The principal core-ML= type of ``term``.
+
+    Warning: the fully applied type can be exponentially large (Section 6);
+    prefer :func:`ml_infer` and the triangular substitution when only
+    typability or order information is needed.
+    """
+    return ml_infer(term, env).type
+
+
+def ml_typable(term: Term, env: Optional[Mapping[str, Type]] = None) -> bool:
+    """Is ``term`` ML-typed (Section 2.2)?"""
+    try:
+        ml_infer(term, env)
+        return True
+    except TypeInferenceError:
+        return False
+
+
+def ml_typable_by_expansion(
+    term: Term, env: Optional[Mapping[str, Type]] = None
+) -> bool:
+    """Decide ML-typability via the paper's substitution-style (Let) rule:
+    ``let x = E in B`` is typable iff ``E`` is typable and ``B[x := E]`` is.
+
+    Exponential in the worst case — exists as an executable specification
+    against which :func:`ml_typable` is property-tested.
+    """
+    from repro.lam.terms import subterms
+    from repro.types.infer import typable
+
+    # Every let-bound term must itself be typable (the rule's left premise),
+    # even if the let variable never occurs in the body.
+    for node in subterms(term):
+        if isinstance(node, Let) and not _expansion_typable(node.bound, env):
+            return False
+    return _expansion_typable(term, env)
+
+
+def _expansion_typable(term, env) -> bool:
+    from repro.types.infer import typable
+
+    return typable(expand_lets(term), env)
+
+
+def ml_term_order(term: Term, env: Optional[Mapping[str, Type]] = None) -> int:
+    """Order of the minimal ground instance of the principal ML type."""
+    return order(ground(ml_principal_type(term, env)))
+
+
+def ml_check_order_bound(
+    term: Term,
+    bound: int,
+    env: Optional[Mapping[str, Type]] = None,
+) -> MLTypingResult:
+    """Type ``term`` in the order-``bound`` fragment of core-ML=.
+
+    Raises :class:`OrderBoundError` when the minimal derivation order
+    exceeds ``bound``."""
+    result = ml_infer(term, env)
+    actual = result.derivation_order()
+    if actual > bound:
+        raise OrderBoundError(
+            f"term requires ML derivation order {actual}, bound is {bound}"
+        )
+    return result

@@ -1,0 +1,55 @@
+"""Functionality order (Section 2.1).
+
+    order(t) = 0                         for a type variable or base type
+    order(a -> b) = max(1 + order(a), order(b))
+
+The order of a typed term is the order of its type; the order bound of the
+fragments TLI=_i / MLI=_i constrains *all* types in the derivation, which is
+captured by :func:`derivation_order`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.types.types import Arrow, BaseO, Type, TypeVar
+
+
+def order(type_: Type) -> int:
+    """The functionality order of ``type_``."""
+    # Iterative along the right spine (arrow chains can be long), recursive
+    # into the argument positions: order(a1 -> ... -> ak -> r) with r not an
+    # arrow is max_i(1 + order(a_i)), and 0 when k = 0.
+    result = 0
+    node = type_
+    while isinstance(node, Arrow):
+        result = max(result, 1 + order(node.left))
+        node = node.right
+    return result
+
+
+def ground(type_: Type, default: Type = BaseO()) -> Type:
+    """Replace every reconstruction variable with ``default``.
+
+    Grounding with ``o`` (order 0) realizes the *minimal-order* instance of
+    a type: substitution can only raise the order of a variable's position,
+    never lower it, so ``order(ground(t))`` is the least order among all
+    ground instances of ``t``.  This implements the paper's Section 3.2
+    convention that all typings use only the fixed variables ``o`` and
+    ``g``.
+    """
+    if isinstance(type_, TypeVar):
+        return default
+    if isinstance(type_, Arrow):
+        return Arrow(ground(type_.left, default), ground(type_.right, default))
+    return type_
+
+
+def derivation_order(subterm_types: Dict[object, Type]) -> int:
+    """The order of a typing derivation: the maximum order over all types it
+    assigns.  Takes the map produced by the inference engines (see
+    :class:`repro.types.infer.TypingResult`) and measures the minimal-order
+    ground instance of each assigned type."""
+    if not subterm_types:
+        return 0
+    return max(order(ground(t)) for t in subterm_types.values())

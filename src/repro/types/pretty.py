@@ -1,0 +1,26 @@
+"""Rendering of types in the paper's concrete syntax.
+
+Arrows are right-associative; parentheses appear only on the left of an
+arrow.  The two fixed base types print as ``o`` and ``g``.
+"""
+
+from __future__ import annotations
+
+from repro.types.types import Arrow, BaseG, BaseO, Type, TypeVar
+
+
+def pretty_type(type_: Type) -> str:
+    """Render ``type_`` as a parseable string (see the term parser's
+    annotation grammar)."""
+    if isinstance(type_, TypeVar):
+        return type_.name
+    if isinstance(type_, BaseO):
+        return "o"
+    if isinstance(type_, BaseG):
+        return "g"
+    if isinstance(type_, Arrow):
+        left = pretty_type(type_.left)
+        if isinstance(type_.left, Arrow):
+            left = f"({left})"
+        return f"{left} -> {pretty_type(type_.right)}"
+    raise TypeError(f"not a type: {type_!r}")

@@ -1,0 +1,174 @@
+"""Simple type syntax (Section 2.1).
+
+The paper's types are ``T ::= t | (T -> T)`` over type variables, with two
+*fixed* variables singled out: ``o`` (the type of atomic constants) and the
+variable — written gamma here as ``g`` — fixed for the typing
+``Eq : o -> o -> g -> g -> g``.  Because the fixed variables may never be
+instantiated (the constants' types are pinned), we model them as rigid base
+types :class:`BaseO` and :class:`BaseG`; :class:`TypeVar` is reserved for
+genuinely substitutable reconstruction variables.
+
+The paper's Section 3.2 convention — "all typings use only the distinct
+type variables o and g" — corresponds here to *ground* types: types built
+from ``BaseO``/``BaseG`` and arrows only (see :func:`repro.types.order.ground`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+
+class Type:
+    """Base class of all type nodes."""
+
+    __slots__ = ()
+
+    def __rshift__(self, other: "Type") -> "Arrow":
+        """Sugar: ``a >> b`` builds the arrow type ``a -> b``."""
+        return Arrow(self, other)
+
+    def __str__(self) -> str:
+        from repro.types.pretty import pretty_type
+
+        return pretty_type(self)
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class TypeVar(Type):
+    """A substitutable type variable used during reconstruction."""
+
+    name: str
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class BaseO(Type):
+    """The fixed type ``o`` of atomic constants."""
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class BaseG(Type):
+    """The fixed type ``g`` (the paper's gamma) in ``Eq``'s result."""
+
+
+@dataclass(frozen=True, repr=True, slots=True)
+class Arrow(Type):
+    """The function type ``left -> right``."""
+
+    left: Type
+    right: Type
+
+
+# Shared singletons — the classes are value-equal anyway, these just avoid
+# allocation churn in hot paths.
+O = BaseO()
+G = BaseG()
+
+
+def arrow(*types: Type) -> Type:
+    """Right-nested arrow: ``arrow(a, b, c)`` is ``a -> (b -> c)``.
+
+    Requires at least one type; with exactly one it returns it unchanged.
+    """
+    if not types:
+        raise ValueError("arrow() needs at least one type")
+    result = types[-1]
+    for part in reversed(types[:-1]):
+        result = Arrow(part, result)
+    return result
+
+
+def arrow_parts(type_: Type) -> Tuple[List[Type], Type]:
+    """Split ``a1 -> ... -> ak -> r`` into ``([a1, ..., ak], r)``.
+
+    ``r`` is not an arrow; for non-arrow inputs the argument list is empty.
+    """
+    args: List[Type] = []
+    node = type_
+    while isinstance(node, Arrow):
+        args.append(node.left)
+        node = node.right
+    return args, node
+
+
+def free_type_vars(type_: Type) -> FrozenSet[str]:
+    """Names of the reconstruction variables occurring in ``type_``."""
+    if isinstance(type_, TypeVar):
+        return frozenset((type_.name,))
+    if isinstance(type_, Arrow):
+        return free_type_vars(type_.left) | free_type_vars(type_.right)
+    return frozenset()
+
+
+def type_size(type_: Type) -> int:
+    """Number of nodes in ``type_`` (tree size, not DAG size)."""
+    if isinstance(type_, Arrow):
+        return 1 + type_size(type_.left) + type_size(type_.right)
+    return 1
+
+
+def type_dag_size(type_: Type) -> int:
+    """Number of *distinct* subterms of ``type_`` — the size of its maximally
+    shared DAG representation.  The gap between this and :func:`type_size`
+    is what makes exponential principal types representable (Section 6)."""
+    seen = set()
+
+    def walk(node: Type) -> None:
+        if node in seen:
+            return
+        seen.add(node)
+        if isinstance(node, Arrow):
+            walk(node.left)
+            walk(node.right)
+
+    walk(type_)
+    return len(seen)
+
+
+# ---------------------------------------------------------------------------
+# The paper's standard type abbreviations (Sections 2.3 and 3.1)
+# ---------------------------------------------------------------------------
+
+def bool_type(result: Type = G) -> Type:
+    """``Bool := g -> g -> g`` — Church booleans (Section 2.3)."""
+    return arrow(result, result, result)
+
+
+def int_type(base: Type = G) -> Type:
+    """``Int := (g -> g) -> g -> g`` — Church numerals (Section 2.3)."""
+    return arrow(Arrow(base, base), base, base)
+
+
+def relation_type(arity: int, accumulator: Type = G) -> Type:
+    """``o^k_d := (o -> ... -> o -> d -> d) -> d -> d`` (Section 3.1).
+
+    The type of an encoded ``arity``-ary relation used as a list iterator
+    with accumulator type ``accumulator`` (the paper writes the accumulator
+    type as a superscript).  Its order is ``order(accumulator) + 2``.
+    """
+    if arity < 0:
+        raise ValueError(f"arity must be nonnegative, got {arity}")
+    cons = arrow(*([O] * arity), accumulator, accumulator)
+    return arrow(cons, accumulator, accumulator)
+
+
+def characteristic_type(arity: int, result: Type = G) -> Type:
+    """``k-ary characteristic function: o -> ... -> o -> Bool`` (Section 4).
+
+    The order-1 intermediate representation of relations used inside the
+    TLI=1 fixpoint iteration.
+    """
+    if arity < 0:
+        raise ValueError(f"arity must be nonnegative, got {arity}")
+    return arrow(*([O] * arity), bool_type(result))
+
+
+def eq_type() -> Type:
+    """The fixed type of the equality constant: ``o -> o -> g -> g -> g``."""
+    return arrow(O, O, G, G, G)
+
+
+def tuple_consumer_type(arity: int, accumulator: Type = G) -> Type:
+    """``o -> ... -> o -> d -> d`` — the type of a list iterator's "loop
+    body" (the ``c`` argument of a relation encoding)."""
+    return arrow(*([O] * arity), accumulator, accumulator)

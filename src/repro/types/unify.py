@@ -1,0 +1,154 @@
+"""First-order unification with occurs check.
+
+The reconstruction algorithms of the paper "use first-order unification and
+reconstruct types" (Section 2.1).  We implement the standard
+substitution-in-triangular-form approach: a :class:`Substitution` maps
+variable names to types whose variables may themselves be bound, and
+:meth:`Substitution.walk` / :meth:`Substitution.apply` chase bindings on
+demand.  This keeps unification near-linear in practice and — crucially for
+the Section 6 experiments — lets principal types be *represented* compactly
+even when their tree size is exponential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import UnificationError
+from repro.types.types import Arrow, BaseG, BaseO, Type, TypeVar
+
+
+class Substitution:
+    """A mutable triangular substitution over type variables."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Type] = {}
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def bind(self, name: str, type_: Type) -> None:
+        """Bind ``name`` to ``type_``.  Callers must have walked ``name``."""
+        if name in self._bindings:  # pragma: no cover - internal invariant
+            raise AssertionError(f"variable {name} already bound")
+        self._bindings[name] = type_
+
+    def walk(self, type_: Type) -> Type:
+        """Chase variable bindings until the head is not a bound variable."""
+        while isinstance(type_, TypeVar):
+            bound = self._bindings.get(type_.name)
+            if bound is None:
+                return type_
+            type_ = bound
+        return type_
+
+    def apply(self, type_: Type) -> Type:
+        """Fully substitute ``type_`` — may be exponentially larger than the
+        triangular representation as a *tree*, but the result preserves
+        DAG sharing: the memo is keyed by node identity (hashing the nodes
+        themselves would re-traverse shared structure exponentially often).
+        """
+        memo: Dict[int, Type] = {}
+
+        def go(node: Type) -> Type:
+            node = self.walk(node)
+            key = id(node)
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+            if isinstance(node, Arrow):
+                result: Type = Arrow(go(node.left), go(node.right))
+            else:
+                result = node
+            memo[key] = result
+            return result
+
+        return go(type_)
+
+    def occurs(self, name: str, type_: Type) -> bool:
+        """Does variable ``name`` occur in ``type_`` (after walking)?"""
+        stack = [type_]
+        seen = set()
+        while stack:
+            node = self.walk(stack.pop())
+            if isinstance(node, TypeVar):
+                if node.name == name:
+                    return True
+            elif isinstance(node, Arrow):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                stack.append(node.left)
+                stack.append(node.right)
+        return False
+
+    def unify(self, left: Type, right: Type) -> None:
+        """Destructively extend this substitution to unify the two types.
+
+        Raises :class:`UnificationError` on a clash or occurs-check failure.
+        Iterative with a work stack and a processed-pair cache so that
+        DAG-shaped problems (exponential tree size) stay polynomial.
+        """
+        work = [(left, right)]
+        done = set()
+        while work:
+            a, b = work.pop()
+            a = self.walk(a)
+            b = self.walk(b)
+            # Identity and *atomic* equality only: structural equality on
+            # deep types would re-traverse shared structure exponentially.
+            if a is b:
+                continue
+            if isinstance(a, TypeVar) and isinstance(b, TypeVar):
+                if a.name == b.name:
+                    continue
+            key = (id(a), id(b))
+            if key in done:
+                continue
+            done.add(key)
+            if isinstance(a, TypeVar):
+                if self.occurs(a.name, b):
+                    raise UnificationError(
+                        f"occurs check: {a.name} in {b}"
+                    )
+                self.bind(a.name, b)
+            elif isinstance(b, TypeVar):
+                if self.occurs(b.name, a):
+                    raise UnificationError(
+                        f"occurs check: {b.name} in {a}"
+                    )
+                self.bind(b.name, a)
+            elif isinstance(a, Arrow) and isinstance(b, Arrow):
+                work.append((a.right, b.right))
+                work.append((a.left, b.left))
+            elif isinstance(a, BaseO) and isinstance(b, BaseO):
+                continue
+            elif isinstance(a, BaseG) and isinstance(b, BaseG):
+                continue
+            else:
+                raise UnificationError(f"cannot unify {a} with {b}")
+
+    def copy(self) -> "Substitution":
+        """An independent snapshot (used by backtracking callers)."""
+        clone = Substitution()
+        clone._bindings = dict(self._bindings)
+        return clone
+
+
+def unify(left: Type, right: Type) -> Substitution:
+    """Unify two types from scratch, returning the resulting substitution."""
+    subst = Substitution()
+    subst.unify(left, right)
+    return subst
+
+
+def unifiable(left: Type, right: Type) -> bool:
+    """True iff the two types unify."""
+    try:
+        unify(left, right)
+        return True
+    except UnificationError:
+        return False

@@ -1,0 +1,98 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.db.generators import (
+    constant_universe,
+    random_database,
+    random_graph_relation,
+    random_relation,
+)
+from repro.db.relations import Database, Relation
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
+
+
+# ---------------------------------------------------------------------------
+# Databases
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def small_db() -> Database:
+    """A deterministic two-relation database used across integration tests."""
+    return random_database([2, 2], [5, 4], universe_size=4, seed=11)
+
+
+@pytest.fixture
+def tiny_graph() -> Relation:
+    return random_graph_relation(5, 0.3, seed=7)
+
+
+def transitive_closure(rel: Relation) -> frozenset:
+    """Reference transitive closure used as ground truth."""
+    edges = set(rel.tuples)
+    while True:
+        new = {
+            (a, d)
+            for (a, b) in edges
+            for (c, d) in edges
+            if b == c
+        } - edges
+        if not new:
+            return frozenset(edges)
+        edges |= new
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+constant_names = st.sampled_from(constant_universe(6))
+variable_names = st.sampled_from(["x", "y", "z", "f", "g", "h"])
+
+
+@st.composite
+def untyped_terms(draw, max_depth: int = 5) -> Term:
+    """Arbitrary (possibly untypable) terms for syntax-level properties.
+
+    Reduction-level tests must not use these (untyped terms may diverge);
+    they exercise parsing, printing, substitution, and alpha-conversion.
+    """
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    return draw(_term_at(depth))
+
+
+def _term_at(depth: int):
+    leaf = st.one_of(
+        variable_names.map(Var),
+        constant_names.map(Const),
+        st.just(EqConst()),
+    )
+    if depth == 0:
+        return leaf
+    smaller = st.deferred(lambda: _term_at(depth - 1))
+    return st.one_of(
+        leaf,
+        st.builds(App, smaller, smaller),
+        st.builds(Abs, variable_names, smaller),
+        st.builds(Let, variable_names, smaller, smaller),
+    )
+
+
+@st.composite
+def relations(draw, max_arity: int = 3, max_size: int = 6) -> Relation:
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_relation(arity, size, constant_universe(5), seed=seed)
+
+
+@st.composite
+def boolean_lists(draw, max_size: int = 8):
+    return draw(
+        st.lists(st.booleans(), min_size=0, max_size=max_size)
+    )

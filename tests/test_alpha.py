@@ -1,0 +1,76 @@
+"""Tests for alpha-equivalence and de Bruijn conversion."""
+
+from hypothesis import given
+
+from repro.lam.alpha import (
+    alpha_equal,
+    alpha_key,
+    canonical_names,
+    from_debruijn,
+    to_debruijn,
+)
+from repro.lam.subst import rename_bound
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Var, app, lam
+from tests.conftest import untyped_terms
+
+
+class TestAlphaEqual:
+    def test_renamed_binder(self):
+        assert alpha_equal(Abs("x", Var("x")), Abs("y", Var("y")))
+
+    def test_free_variables_matter(self):
+        assert not alpha_equal(Var("x"), Var("y"))
+
+    def test_shadowing_distinguished(self):
+        left = Abs("x", Abs("x", Var("x")))
+        right = Abs("x", Abs("y", Var("x")))
+        assert not alpha_equal(left, right)
+
+    def test_paper_example(self):
+        # λx. λy. y alpha-converts to λx. λz. z (Section 2.1).
+        assert alpha_equal(
+            lam(["x", "y"], Var("y")), lam(["x", "z"], Var("z"))
+        )
+
+    def test_lets_alpha(self):
+        assert alpha_equal(
+            Let("x", Const("o1"), Var("x")),
+            Let("y", Const("o1"), Var("y")),
+        )
+
+    def test_structure_matters(self):
+        assert not alpha_equal(
+            app(Var("f"), Var("x")), app(Var("x"), Var("f"))
+        )
+
+    def test_eq_constant(self):
+        assert alpha_equal(EqConst(), EqConst())
+        assert not alpha_equal(EqConst(), Const("Eq"))
+
+
+class TestDeBruijnRoundTrip:
+    @given(untyped_terms())
+    def test_roundtrip_is_alpha_equal(self, term):
+        assert alpha_equal(from_debruijn(to_debruijn(term)), term)
+
+    @given(untyped_terms())
+    def test_canonical_names_idempotent(self, term):
+        once = canonical_names(term)
+        assert canonical_names(once) == once
+
+    @given(untyped_terms(), untyped_terms())
+    def test_key_equality_iff_alpha_equal(self, left, right):
+        assert (alpha_key(left) == alpha_key(right)) == alpha_equal(
+            left, right
+        )
+
+    def test_free_variable_name_collision(self):
+        # A free variable named like a generated binder must not be
+        # captured by the roundtrip.
+        term = Abs("a", Var("x0"))
+        result = from_debruijn(to_debruijn(term))
+        assert alpha_equal(result, term)
+
+    @given(untyped_terms())
+    def test_rename_bound_preserves_key(self, term):
+        assert alpha_key(rename_bound(term)) == alpha_key(term)

@@ -1,0 +1,191 @@
+"""Tests for canonical forms (Lemma 5.4) and structure analysis
+(Lemmas 5.5/5.6)."""
+
+import pytest
+
+from repro.db.generators import random_database
+from repro.errors import CanonicalFormError
+from repro.eval.canonical import CanonicalQuery, canonical_query
+from repro.eval.driver import run_query
+from repro.eval.structure import (
+    ConsIR,
+    EqIR,
+    IterIR,
+    OConstIR,
+    OIterIR,
+    OVarIR,
+    TailVarIR,
+    analyze_query,
+)
+from repro.lam.parser import parse
+from repro.lam.terms import Abs, binder_prefix, spine, subterms
+from repro.queries.language import QueryArity
+from repro.queries.operators import intersection_term, union_term
+from repro.queries.relalg_compile import build_ra_query
+from repro.relalg.ast import Base
+
+
+class TestCanonicalForm:
+    def test_union_becomes_eta_long(self):
+        # Union's body R c (S c n) has the non-expanded c; Lemma 5.4
+        # eta-expands it into λx̄. λy. c x̄ y.
+        canonical = canonical_query(union_term(2), QueryArity((2, 2), 2))
+        binders, _ = binder_prefix(canonical.body)
+        assert len(binders) == 2  # c and n
+
+        # Every iterator in the canonical body takes a fully expanded
+        # loop function.
+        analysis = analyze_query(canonical)
+        assert isinstance(analysis.body, IterIR)
+
+    def test_canonical_body_annotated(self):
+        canonical = canonical_query(
+            intersection_term(1), QueryArity((1, 1), 1)
+        )
+        for node in subterms(canonical.body):
+            if isinstance(node, Abs):
+                assert node.annotation is not None
+
+    def test_occurrences_are_split(self):
+        # Intersection uses S once, R once; the identity query R ∩ R uses
+        # R twice and must get two occurrence variables.
+        from repro.lam.terms import app, lam, Var
+
+        query = lam(
+            "R", app(intersection_term(1), Var("R"), Var("R"))
+        )
+        canonical = canonical_query(query, QueryArity((1,), 1))
+        assert len(canonical.occurrences) == 2
+        assert set(canonical.occurrences.values()) == {0}
+
+    def test_canonical_form_preserves_semantics(self, small_db=None):
+        db = random_database([2, 2], [4, 3], universe_size=3, seed=23)
+        expr = Base("R1").intersect(Base("R2")).project(1, 0)
+        query = build_ra_query(expr, ["R1", "R2"], {"R1": 2, "R2": 2})
+        canonical = canonical_query(query, QueryArity((2, 2), 2))
+        # Rebuild a runnable query from the canonical body.
+        from repro.lam.subst import substitute_many
+        from repro.lam.terms import Var, lam
+
+        body = substitute_many(
+            canonical.body,
+            {
+                occ: Var(f"IN{i}")
+                for occ, i in canonical.occurrences.items()
+            },
+        )
+        rebuilt = lam(["IN0", "IN1"], body)
+        direct = run_query(query, db, arity=2).relation
+        via_canonical = run_query(rebuilt, db, arity=2).relation
+        assert direct.same_set(via_canonical)
+
+    def test_non_query_rejected(self):
+        with pytest.raises(CanonicalFormError):
+            canonical_query(parse(r"\R. R R"), QueryArity((2,), 2))
+
+    def test_eta_reduced_query_accepted(self):
+        # λR. R is the identity query without explicit c/n binders.
+        canonical = canonical_query(parse(r"\R. R"), QueryArity((2,), 2))
+        analysis = analyze_query(canonical)
+        assert isinstance(analysis.body, IterIR)
+        assert isinstance(analysis.body.body, ConsIR)
+
+
+class TestStructureAnalysis:
+    def analyze(self, source, arity):
+        return analyze_query(
+            canonical_query(parse(source), arity)
+        )
+
+    def test_lemma_5_6_cases_delta(self):
+        analysis = self.analyze(
+            r"\R. \c. \n. R (\x y T. Eq x y (c x y T) T) n",
+            QueryArity((2,), 2),
+        )
+        iteration = analysis.body
+        assert isinstance(iteration, IterIR)
+        branch = iteration.body
+        assert isinstance(branch, EqIR)
+        assert isinstance(branch.then_branch, ConsIR)
+        assert isinstance(branch.else_branch, TailVarIR)
+        assert branch.else_branch.name == iteration.acc_var
+        assert isinstance(iteration.init, TailVarIR)
+        assert iteration.init.name == analysis.nil_var
+
+    def test_lemma_5_6_cases_o(self):
+        analysis = self.analyze(
+            r"\R. \c. \n. c (R (\x y T. x) o9) o8 n",
+            QueryArity((2,), 2),
+        )
+        cons = analysis.body
+        assert isinstance(cons, ConsIR)
+        first, second = cons.components
+        assert isinstance(first, OIterIR)
+        assert isinstance(first.body, OVarIR)
+        assert isinstance(first.init, OConstIR)
+        assert isinstance(second, OConstIR)
+
+    def test_tuple_and_acc_vars_recorded(self):
+        analysis = self.analyze(
+            r"\R. \c. \n. R (\x y T. c y x T) n", QueryArity((2,), 2)
+        )
+        iteration = analysis.body
+        assert len(iteration.tuple_vars) == 2
+        assert iteration.acc_var not in iteration.tuple_vars
+
+    def test_order_1_query_rejected(self):
+        # A small TLI=1 query (iteration with an order-1 accumulator, the
+        # Copy gadget's shape) violates the Lemma 5.6 classification for
+        # order 0: the analyzer must reject it.
+        term = parse(
+            r"\R. \c. \n. R (\x y A. \m. c x y (A m)) (\m. m) n"
+        )
+        from repro.queries.language import is_tli_query_term
+
+        assert is_tli_query_term(term, QueryArity((2,), 2), 1)
+        assert not is_tli_query_term(term, QueryArity((2,), 2), 0)
+        with pytest.raises(CanonicalFormError):
+            analyze_query(canonical_query(term, QueryArity((2,), 2)))
+
+
+class TestIsCanonical:
+    """Executable Definition 5.3."""
+
+    def cases(self):
+        from repro.queries.operators import (
+            difference_term,
+            intersection_term,
+            union_term,
+        )
+
+        return [
+            (union_term(2), QueryArity((2, 2), 2)),
+            (intersection_term(1), QueryArity((1, 1), 1)),
+            (difference_term(2), QueryArity((2, 2), 2)),
+            (parse(r"\R. R"), QueryArity((2,), 2)),
+            (parse(r"\R. \c. \n. c o1 n"), QueryArity((2,), 1)),
+        ]
+
+    def test_canonical_query_postcondition(self):
+        from repro.eval.canonical import is_canonical
+
+        for term, arity in self.cases():
+            canonical = canonical_query(term, arity)
+            assert is_canonical(canonical), term.pretty()[:60]
+
+    def test_rejects_tampered_bodies(self):
+        from dataclasses import replace
+
+        from repro.eval.canonical import is_canonical
+        from repro.lam.terms import Abs, App, Var
+
+        canonical = canonical_query(parse(r"\R. R"), QueryArity((2,), 2))
+        assert is_canonical(canonical)
+        # Strip the body's eta-long binders: no longer canonical.
+        body = canonical.body
+        assert isinstance(body, Abs)
+        tampered = replace(canonical, body=body.body)
+        assert not is_canonical(tampered)
+        # Introduce a redex: not a normal form.
+        redex = App(Abs("w", Var("w")), canonical.body)
+        assert not is_canonical(replace(canonical, body=redex))

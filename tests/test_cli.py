@@ -1,0 +1,182 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.json"
+    path.write_text(
+        json.dumps({"E": [["o1", "o2"], ["o2", "o3"]]})
+    )
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestNormalize:
+    def test_nbe(self, capsys):
+        code, out, _ = run_cli(capsys, "normalize", r"(\x. x) o1")
+        assert code == 0 and out.strip() == "o1"
+
+    def test_smallstep_with_steps(self, capsys):
+        code, out, err = run_cli(
+            capsys, "normalize", r"(\x. x) o1",
+            "--engine", "normal", "--steps",
+        )
+        assert code == 0
+        assert out.strip() == "o1"
+        assert "steps: 1" in err
+
+    def test_applicative(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "normalize", "Eq o1 o1 a b", "--engine", "applicative"
+        )
+        assert code == 0 and out.strip() == "a"
+
+
+class TestType:
+    def test_tlc(self, capsys):
+        code, out, _ = run_cli(capsys, "type", r"\x. Eq x x")
+        assert code == 0
+        assert "o -> g -> g -> g" in out
+
+    def test_ml(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "type", r"let f = \x. x in f f", "--ml"
+        )
+        assert code == 0 and "principal type" in out
+
+    def test_untypable_reports_error(self, capsys):
+        code, _, err = run_cli(capsys, "type", r"\x. x x")
+        assert code == 1 and "error" in err
+
+
+class TestRunAndTranslate:
+    def test_run(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "run", r"\E. \c. \n. E (\x y T. c y x T) n",
+            "--db", db_file, "--arity", "2",
+        )
+        assert code == 0
+        rows = {tuple(line.split("\t")) for line in out.strip().splitlines()}
+        assert rows == {("o2", "o1"), ("o3", "o2")}
+
+    def test_translate_and_evaluate(self, capsys, db_file):
+        code, out, err = run_cli(
+            capsys, "translate", r"\E. E",
+            "--inputs", "2", "--output", "2", "--db", db_file,
+        )
+        assert code == 0
+        assert "IN0" in out  # the formula
+        assert "o1\to2" in out
+
+    def test_recognize(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "recognize", r"\E. E", "--inputs", "2", "--output", "2"
+        )
+        assert code == 0
+        assert "TLI=0 query term" in out
+        assert "MLI=0 query term" in out
+
+    def test_recognize_rejects(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "recognize", r"\E. E",
+            "--inputs", "2", "--output", "3",
+        )
+        assert code == 0
+        assert "not a TLI=" in out
+
+
+class TestEncodeDecode:
+    def test_encode(self, capsys, db_file):
+        code, out, _ = run_cli(capsys, "encode", "--db", db_file)
+        assert code == 0
+        assert out.startswith("E = \\c. \\n. c o1 o2")
+
+    def test_decode(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "decode", r"\c. \n. c o1 (c o1 n)"
+        )
+        assert code == 0
+        assert out.strip() == "o1"
+
+    def test_decode_garbage(self, capsys):
+        code, _, err = run_cli(capsys, "decode", "o1")
+        assert code == 1 and "error" in err
+
+    def test_term_from_file(self, capsys, tmp_path):
+        path = tmp_path / "term.lam"
+        path.write_text(r"\c. \n. c o5 n")
+        code, out, _ = run_cli(capsys, "decode", f"@{path}")
+        assert code == 0 and out.strip() == "o5"
+
+
+class TestDatalogCommand:
+    def test_baseline_engine(self, capsys, db_file, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text(
+            "tc(X, Y) :- E(X, Y).\ntc(X, Y) :- E(X, Z), tc(Z, Y)."
+        )
+        code, out, _ = run_cli(
+            capsys, "datalog", str(program), "--db", db_file
+        )
+        assert code == 0
+        rows = {tuple(line.split("\t")) for line in out.strip().splitlines()}
+        assert ("tc", "o1", "o3") in rows
+
+    def test_lambda_engine_agrees(self, capsys, db_file, tmp_path):
+        program = tmp_path / "tc.dl"
+        program.write_text(
+            "tc(X, Y) :- E(X, Y).\ntc(X, Y) :- E(X, Z), tc(Z, Y)."
+        )
+        _, baseline, _ = run_cli(
+            capsys, "datalog", str(program), "--db", db_file
+        )
+        code, via_lambda, _ = run_cli(
+            capsys, "datalog", str(program), "--db", db_file,
+            "--engine", "lambda",
+        )
+        assert code == 0
+        assert set(baseline.splitlines()) == set(via_lambda.splitlines())
+
+    def test_missing_program_file(self, capsys, db_file):
+        code, _, err = run_cli(
+            capsys, "datalog", "/nope.dl", "--db", db_file
+        )
+        assert code == 1 and "error" in err
+
+
+class TestFOCommand:
+    def test_direct_and_lambda_agree(self, capsys, db_file):
+        code, direct, _ = run_cli(
+            capsys, "fo", "exists y. E(x, y)", "--vars", "x",
+            "--db", db_file,
+        )
+        assert code == 0
+        code, via_lambda, _ = run_cli(
+            capsys, "fo", "exists y. E(x, y)", "--vars", "x",
+            "--db", db_file, "--engine", "lambda",
+        )
+        assert code == 0
+        assert set(direct.splitlines()) == set(via_lambda.splitlines())
+
+    def test_parse_error_is_clean(self, capsys, db_file):
+        code, _, err = run_cli(
+            capsys, "fo", "E(x", "--vars", "x", "--db", db_file
+        )
+        assert code == 1 and "error" in err
+
+    def test_free_var_not_in_vars(self, capsys, db_file):
+        code, _, err = run_cli(
+            capsys, "fo", "E(x, y)", "--vars", "x", "--db", db_file
+        )
+        assert code == 1 and "error" in err

@@ -1,0 +1,236 @@
+"""Tests for the Section 2.3 combinators (booleans, numerals, lists)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lam.alpha import alpha_equal
+from repro.lam.combinators import (
+    add_term,
+    and_term,
+    boolean_list,
+    boolean_term,
+    boolean_value,
+    church_numeral,
+    compose_term,
+    false_term,
+    identity_term,
+    length_term,
+    list_iterator,
+    mul_term,
+    not_term,
+    numeral_value,
+    or_term,
+    parity_term,
+    succ_term,
+    true_term,
+    xor_term,
+    zero_term,
+)
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import normalize
+from repro.lam.terms import Const, app, term_size
+from repro.types.check import check_church
+from repro.types.infer import principal_type
+from repro.types.types import bool_type
+
+
+def run(term):
+    return normalize(term).term
+
+
+class TestBooleans:
+    def test_true_false_distinct(self):
+        assert not alpha_equal(true_term(), false_term())
+
+    def test_boolean_value_decoding(self):
+        assert boolean_value(true_term()) is True
+        assert boolean_value(false_term()) is False
+
+    def test_boolean_value_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            boolean_value(Const("o1"))
+
+    @given(st.booleans(), st.booleans())
+    def test_xor_truth_table(self, a, b):
+        result = run(app(xor_term(), boolean_term(a), boolean_term(b)))
+        assert boolean_value(result) == (a != b)
+
+    @given(st.booleans(), st.booleans())
+    def test_and_or_truth_tables(self, a, b):
+        assert boolean_value(
+            run(app(and_term(), boolean_term(a), boolean_term(b)))
+        ) == (a and b)
+        assert boolean_value(
+            run(app(or_term(), boolean_term(a), boolean_term(b)))
+        ) == (a or b)
+
+    @given(st.booleans())
+    def test_not(self, a):
+        assert boolean_value(run(app(not_term(), boolean_term(a)))) == (
+            not a
+        )
+
+    def test_booleans_are_church_typed(self):
+        assert check_church(true_term()) == bool_type()
+        assert check_church(xor_term()) is not None
+
+
+class TestNumerals:
+    @given(st.integers(min_value=0, max_value=20))
+    def test_roundtrip(self, n):
+        assert numeral_value(church_numeral(n)) == n
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            church_numeral(-1)
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=8),
+    )
+    def test_addition(self, m, n):
+        term = app(add_term(), church_numeral(m), church_numeral(n))
+        assert numeral_value(run(term)) == m + n
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_multiplication(self, m, n):
+        term = app(mul_term(), church_numeral(m), church_numeral(n))
+        assert numeral_value(run(term)) == m * n
+
+    def test_succ_and_zero(self):
+        assert numeral_value(run(app(succ_term(), zero_term()))) == 1
+
+    def test_numeral_value_rejects_non_numerals(self):
+        with pytest.raises(ValueError):
+            numeral_value(true_term())
+
+
+class TestListIteration:
+    @given(st.lists(st.booleans(), max_size=10))
+    def test_parity(self, values):
+        term = app(parity_term(), boolean_list(values))
+        expected = (sum(values) % 2) == 1
+        assert boolean_value(run(term)) == expected
+
+    @given(st.lists(st.booleans(), max_size=10))
+    def test_length(self, values):
+        term = app(length_term(), boolean_list(values))
+        assert numeral_value(run(term)) == len(values)
+
+    def test_parity_program_size_is_constant(self):
+        # "The size of the program computing parity is constant, because
+        # the iterative machinery is taken from the data" (Section 2.3).
+        assert term_size(parity_term()) == term_size(parity_term())
+        short = term_size(app(parity_term(), boolean_list([True])))
+        long = term_size(app(parity_term(), boolean_list([True] * 50)))
+        assert long - short == 49 * (
+            term_size(boolean_list([True] * 2))
+            - term_size(boolean_list([True]))
+        )
+
+    def test_list_iterator_unfolds_as_fold(self):
+        # (Parity L) reduces to Xor e1 (Xor e2 ... (Xor ek False)).
+        term = app(parity_term(), boolean_list([True, False]))
+        partial = normalize(term).term
+        expected = normalize(
+            app(
+                xor_term(),
+                true_term(),
+                app(xor_term(), false_term(), false_term()),
+            )
+        ).term
+        assert alpha_equal(partial, expected)
+
+    def test_empty_list(self):
+        assert boolean_value(run(app(parity_term(), boolean_list([])))) is False
+        assert numeral_value(run(app(length_term(), list_iterator([])))) == 0
+
+
+class TestMiscCombinators:
+    def test_identity(self):
+        assert alpha_equal(
+            run(app(identity_term(), Const("o3"))), Const("o3")
+        )
+
+    def test_compose(self):
+        term = app(
+            compose_term(),
+            succ_term(),
+            succ_term(),
+            church_numeral(1),
+        )
+        assert numeral_value(run(term)) == 3
+
+    def test_principal_types_exist(self):
+        for combinator in (
+            true_term(),
+            xor_term(),
+            parity_term(),
+            length_term(),
+            add_term(),
+            mul_term(),
+        ):
+            assert principal_type(combinator) is not None
+
+    def test_nbe_agrees_on_combinator_workloads(self):
+        for term in (
+            app(add_term(), church_numeral(3), church_numeral(4)),
+            app(parity_term(), boolean_list([True, True, False])),
+            app(length_term(), boolean_list([False] * 6)),
+        ):
+            assert alpha_equal(
+                nbe_normalize(term), normalize(term).term
+            )
+
+
+class TestNumeralArithmetic:
+    def test_pred(self):
+        from repro.lam.combinators import pred_term
+
+        for n in (0, 1, 5):
+            result = run(app(pred_term(), church_numeral(n)))
+            assert numeral_value(result) == max(n - 1, 0)
+
+    def test_monus(self):
+        from repro.lam.combinators import monus_term
+
+        for m, n in ((5, 2), (2, 5), (3, 3)):
+            result = run(
+                app(monus_term(), church_numeral(m), church_numeral(n))
+            )
+            assert numeral_value(result) == max(m - n, 0)
+
+    def test_is_zero(self):
+        from repro.lam.combinators import is_zero_term
+
+        assert boolean_value(run(app(is_zero_term(), church_numeral(0))))
+        assert not boolean_value(
+            run(app(is_zero_term(), church_numeral(3)))
+        )
+
+    def test_pairs(self):
+        from repro.lam.combinators import fst_term, pair_term, snd_term
+
+        paired = app(pair_term(), Const("o1"), Const("o2"))
+        assert run(app(fst_term(), paired)) == Const("o1")
+        assert run(app(snd_term(), paired)) == Const("o2")
+
+    def test_nat_eq_computes_but_is_untypable(self):
+        # The docstring's point: symmetric numeral equality works under
+        # reduction but is not simply typable (nor ML-typable with
+        # lambda-bound arguments) — the reason the paper adds Eq.
+        from repro.lam.combinators import nat_eq_term
+        from repro.types.infer import typable
+        from repro.types.ml import ml_typable
+
+        for m, n in ((2, 2), (2, 3), (0, 0), (0, 1)):
+            result = run(
+                app(nat_eq_term(), church_numeral(m), church_numeral(n))
+            )
+            assert boolean_value(result) == (m == n)
+        assert not typable(nat_eq_term())
+        assert not ml_typable(nat_eq_term())

@@ -1,0 +1,367 @@
+"""Tests for the Datalog(-not) baseline engine and its fixpoint compiler."""
+
+import pytest
+
+from repro.datalog.ast import Fact, Literal, Program, RConst, RVar, Rule
+from repro.datalog.compile import datalog_to_fixpoint
+from repro.datalog.engine import EvaluationStats, evaluate_program
+from repro.datalog.stratify import dependency_edges, stratify
+from repro.db.generators import chain_graph_relation, random_graph_relation
+from repro.db.relations import Database, Relation
+from repro.errors import (
+    EvaluationError,
+    QueryTermError,
+    SchemaError,
+    StratificationError,
+)
+from repro.eval.ptime import run_fixpoint_query
+from tests.conftest import transitive_closure
+
+V = RVar
+C = RConst
+
+
+def lit(predicate, *terms, positive=True):
+    return Literal(predicate, tuple(terms), positive)
+
+
+def tc_program():
+    return Program.of(
+        [
+            Rule(lit("tc", V("x"), V("y")), (lit("E", V("x"), V("y")),)),
+            Rule(
+                lit("tc", V("x"), V("y")),
+                (lit("E", V("x"), V("z")), lit("tc", V("z"), V("y"))),
+            ),
+        ],
+        {"E": 2},
+    )
+
+
+class TestSafety:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(SchemaError):
+            Rule(lit("p", V("x"), V("y")), (lit("E", V("x"), V("x")),))
+
+    def test_unsafe_negated_variable(self):
+        with pytest.raises(SchemaError):
+            Rule(
+                lit("p", V("x")),
+                (
+                    lit("E", V("x"), V("x")),
+                    lit("E", V("y"), V("y"), positive=False),
+                ),
+            )
+
+    def test_negative_head_rejected(self):
+        with pytest.raises(SchemaError):
+            Rule(lit("p", V("x"), positive=False), (lit("E", V("x"), V("x")),))
+
+    def test_arity_consistency(self):
+        with pytest.raises(SchemaError):
+            Program.of(
+                [
+                    Rule(lit("p", V("x")), (lit("E", V("x"), V("x")),)),
+                    Rule(
+                        lit("p", V("x"), V("y")),
+                        (lit("E", V("x"), V("y")),),
+                    ),
+                ],
+                {"E": 2},
+            )
+
+    def test_head_cannot_be_edb(self):
+        with pytest.raises(SchemaError):
+            Program.of(
+                [Rule(lit("E", V("x"), V("x")), (lit("E", V("x"), V("x")),))],
+                {"E": 2},
+            ).idb_schema()
+
+    def test_unknown_body_predicate(self):
+        with pytest.raises(SchemaError):
+            Program.of(
+                [Rule(lit("p", V("x")), (lit("Q", V("x")),))], {"E": 2}
+            )
+
+
+class TestStratification:
+    def test_positive_program_single_stratum(self):
+        assert stratify(tc_program()) == [["tc"]]
+
+    def test_negation_pushes_to_later_stratum(self):
+        program = Program.of(
+            [
+                Rule(lit("p", V("x")), (lit("N", V("x")),)),
+                Rule(
+                    lit("q", V("x")),
+                    (lit("N", V("x")), lit("p", V("x"), positive=False)),
+                ),
+            ],
+            {"N": 1},
+        )
+        assert stratify(program) == [["p"], ["q"]]
+
+    def test_negation_through_recursion_rejected(self):
+        program = Program.of(
+            [
+                Rule(
+                    lit("p", V("x")),
+                    (lit("N", V("x")), lit("q", V("x"), positive=False)),
+                ),
+                Rule(
+                    lit("q", V("x")),
+                    (lit("N", V("x")), lit("p", V("x"), positive=False)),
+                ),
+            ],
+            {"N": 1},
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_dependency_edges(self):
+        edges = dependency_edges(tc_program())
+        assert ("tc", "tc", False) in edges
+
+
+class TestEngine:
+    def test_tc_against_reference(self):
+        graph = random_graph_relation(6, 0.3, seed=13)
+        db = Database.of({"E": graph})
+        result = evaluate_program(tc_program(), db)["tc"]
+        assert result.as_set() == transitive_closure(graph)
+
+    def test_naive_and_seminaive_agree(self):
+        graph = random_graph_relation(6, 0.3, seed=14)
+        db = Database.of({"E": graph})
+        naive = evaluate_program(tc_program(), db, strategy="naive")
+        seminaive = evaluate_program(
+            tc_program(), db, strategy="seminaive"
+        )
+        assert naive["tc"].same_set(seminaive["tc"])
+
+    def test_seminaive_fires_fewer_rules(self):
+        graph = chain_graph_relation(8)
+        db = Database.of({"E": graph})
+        naive_stats = EvaluationStats()
+        evaluate_program(
+            tc_program(), db, strategy="naive", stats=naive_stats
+        )
+        seminaive_stats = EvaluationStats()
+        evaluate_program(
+            tc_program(), db, strategy="seminaive", stats=seminaive_stats
+        )
+        assert seminaive_stats.rule_firings < naive_stats.rule_firings
+
+    def test_inflationary_agrees_on_positive_programs(self):
+        graph = random_graph_relation(5, 0.4, seed=15)
+        db = Database.of({"E": graph})
+        stratified = evaluate_program(tc_program(), db)
+        inflationary = evaluate_program(
+            tc_program(), db, semantics="inflationary"
+        )
+        assert stratified["tc"].same_set(inflationary["tc"])
+
+    def test_stratified_negation(self):
+        # non_edge(x, y) over the vertex set.
+        program = Program.of(
+            [
+                Rule(
+                    lit("ne", V("x"), V("y")),
+                    (
+                        lit("Vx", V("x")),
+                        lit("Vx", V("y")),
+                        lit("E", V("x"), V("y"), positive=False),
+                    ),
+                ),
+            ],
+            {"E": 2, "Vx": 1},
+        )
+        graph = chain_graph_relation(4)
+        vertices = Relation.unary(sorted({a for t in graph.tuples for a in t}))
+        db = Database.of({"E": graph, "Vx": vertices})
+        result = evaluate_program(program, db)["ne"]
+        expected = {
+            (a, b)
+            for (a,) in vertices
+            for (b,) in vertices
+            if (a, b) not in graph.as_set()
+        }
+        assert result.as_set() == expected
+
+    def test_missing_edb_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_program(tc_program(), Database.of({}))
+
+    def test_edb_arity_mismatch_rejected(self):
+        db = Database.of({"E": Relation.empty(3)})
+        with pytest.raises(EvaluationError):
+            evaluate_program(tc_program(), db)
+
+    def test_constants_in_rules(self):
+        program = Program.of(
+            [
+                Rule(
+                    lit("from1", V("y")),
+                    (lit("E", C("o1"), V("y")),),
+                )
+            ],
+            {"E": 2},
+        )
+        db = Database.of({"E": chain_graph_relation(3)})
+        result = evaluate_program(program, db)["from1"]
+        assert result.as_set() == {("o2",)}
+
+
+class TestFixpointCompilation:
+    def test_single_idb_required(self):
+        program = Program.of(
+            [
+                Rule(lit("p", V("x")), (lit("N", V("x")),)),
+                Rule(lit("q", V("x")), (lit("p", V("x")),)),
+            ],
+            {"N": 1},
+        )
+        with pytest.raises(QueryTermError):
+            datalog_to_fixpoint(program)
+
+    def test_tc_compilation_agrees(self):
+        graph = random_graph_relation(6, 0.25, seed=16)
+        db = Database.of({"E": graph})
+        expected = evaluate_program(tc_program(), db)["tc"]
+        run = run_fixpoint_query(datalog_to_fixpoint(tc_program()), db)
+        assert run.relation.same_set(expected)
+
+    def test_negated_edb_in_rule(self):
+        program = Program.of(
+            [
+                Rule(
+                    lit("ne", V("x"), V("y")),
+                    (
+                        lit("Vx", V("x")),
+                        lit("Vx", V("y")),
+                        lit("E", V("x"), V("y"), positive=False),
+                    ),
+                ),
+            ],
+            {"E": 2, "Vx": 1},
+        )
+        graph = chain_graph_relation(4)
+        vertices = Relation.unary(
+            sorted({a for t in graph.tuples for a in t})
+        )
+        db = Database.of({"E": graph, "Vx": vertices})
+        expected = evaluate_program(program, db)["ne"]
+        run = run_fixpoint_query(datalog_to_fixpoint(program), db)
+        assert run.relation.same_set(expected)
+
+    def test_ground_fact_rules(self):
+        program = Program.of(
+            [
+                Rule(lit("p", C("o1"), C("o2")), ()),
+                Rule(lit("p", V("y"), V("x")), (lit("p", V("x"), V("y")),)),
+            ],
+            {"E": 2},
+        )
+        db = Database.of({"E": chain_graph_relation(3)})
+        expected = evaluate_program(program, db)["p"]
+        run = run_fixpoint_query(datalog_to_fixpoint(program), db)
+        assert run.relation.same_set(expected)
+        assert run.relation.as_set() == {("o1", "o2"), ("o2", "o1")}
+
+    def test_non_ground_bodyless_rule_rejected(self):
+        with pytest.raises(SchemaError):
+            datalog_to_fixpoint(
+                Program.of(
+                    [Rule(lit("p", C("o1"), C("o1")), ()),
+                     Rule(lit("p", V("x"), V("x")), ())],
+                    {"E": 2},
+                )
+            )
+
+
+class TestMultiIDB:
+    def _even_odd_program(self):
+        # even(x) <- S(x);  odd(y) <- even(x), E(x, y);
+        # even(y) <- odd(x), E(x, y) — mutually recursive IDBs.
+        return Program.of(
+            [
+                Rule(lit("even", V("x")), (lit("S", V("x")),)),
+                Rule(
+                    lit("odd", V("y")),
+                    (lit("even", V("x")), lit("E", V("x"), V("y"))),
+                ),
+                Rule(
+                    lit("even", V("y")),
+                    (lit("odd", V("x")), lit("E", V("x"), V("y"))),
+                ),
+            ],
+            {"S": 1, "E": 2},
+        )
+
+    def test_tagging_reduction_agrees_with_engine(self):
+        from repro.datalog.compile import run_multi_idb_via_fixpoint
+
+        program = self._even_odd_program()
+        graph = chain_graph_relation(6)
+        db = Database.of(
+            {"S": Relation.unary(["o1"]), "E": graph}
+        )
+        baseline = evaluate_program(
+            program, db, semantics="inflationary"
+        )
+        derived = run_multi_idb_via_fixpoint(program, db)
+        for name in ("even", "odd"):
+            assert derived[name].same_set(baseline[name]), name
+
+    def test_even_odd_semantics(self):
+        from repro.datalog.compile import run_multi_idb_via_fixpoint
+
+        program = self._even_odd_program()
+        graph = chain_graph_relation(5)
+        db = Database.of({"S": Relation.unary(["o1"]), "E": graph})
+        derived = run_multi_idb_via_fixpoint(program, db)
+        assert derived["even"].as_set() == {("o1",), ("o3",), ("o5",)}
+        assert derived["odd"].as_set() == {("o2",), ("o4",)}
+
+    def test_explicit_tags(self):
+        from repro.datalog.compile import run_multi_idb_via_fixpoint
+
+        program = self._even_odd_program()
+        db = Database.of(
+            {"S": Relation.unary(["o1"]), "E": chain_graph_relation(4)}
+        )
+        derived = run_multi_idb_via_fixpoint(
+            program, db, tags={"even": "o1", "odd": "o2"}, pad="o3"
+        )
+        assert ("o1",) in derived["even"]
+
+    def test_tags_must_be_in_domain(self):
+        from repro.datalog.compile import run_multi_idb_via_fixpoint
+
+        program = self._even_odd_program()
+        db = Database.of(
+            {"S": Relation.unary(["o1"]), "E": chain_graph_relation(3)}
+        )
+        with pytest.raises(SchemaError):
+            run_multi_idb_via_fixpoint(
+                program, db, tags={"even": "zz1", "odd": "zz2"}, pad="zz3"
+            )
+
+    def test_domain_too_small_for_auto_tags(self):
+        from repro.datalog.compile import run_multi_idb_via_fixpoint
+
+        program = self._even_odd_program()
+        db = Database.of(
+            {"S": Relation.unary(["o1"]), "E": Relation.empty(2)}
+        )
+        with pytest.raises(SchemaError):
+            run_multi_idb_via_fixpoint(program, db)
+
+    def test_distinct_tags_required(self):
+        from repro.datalog.compile import multi_idb_program
+
+        program = self._even_odd_program()
+        with pytest.raises(SchemaError):
+            multi_idb_program(
+                program, {"even": "o1", "odd": "o1"}, "o2"
+            )

@@ -1,0 +1,112 @@
+"""Tests for the Datalog text syntax."""
+
+import pytest
+
+from repro.datalog.ast import Literal, RConst, RVar, Rule
+from repro.datalog.engine import evaluate_program
+from repro.datalog.parser import parse_program
+from repro.db.generators import random_graph_relation
+from repro.db.relations import Database, Relation
+from repro.errors import ParseError, SchemaError
+from tests.conftest import transitive_closure
+
+
+class TestParsing:
+    def test_tc_program(self):
+        program = parse_program(
+            """
+            % transitive closure
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            """
+        )
+        assert len(program.rules) == 2
+        assert program.edb() == {"e": 2}
+        assert program.idb_schema() == {"tc": 2}
+
+    def test_variables_are_uppercase(self):
+        program = parse_program("p(X, bob) :- e(X, bob).")
+        rule = program.rules[0]
+        assert rule.head.terms == (RVar("X"), RConst("bob"))
+
+    def test_quoted_constants(self):
+        program = parse_program("p(X) :- e(X, 'Weird Name').")
+        assert program.rules[0].body[0].terms[1] == RConst("Weird Name")
+
+    def test_numeric_constants(self):
+        program = parse_program("p(X) :- e(X, 42).")
+        assert program.rules[0].body[0].terms[1] == RConst("42")
+
+    def test_negation(self):
+        program = parse_program(
+            "p(X) :- v(X), not e(X, X)."
+        )
+        literals = program.rules[0].body
+        assert literals[0].positive and not literals[1].positive
+
+    def test_predicate_named_not_requires_care(self):
+        # An atom whose predicate is literally "not" still parses.
+        program = parse_program("p(X) :- not(X).")
+        assert program.rules[0].body[0].predicate == "not"
+        assert program.rules[0].body[0].positive
+
+    def test_facts(self):
+        program = parse_program(
+            "p(a, b).\np(Y, X) :- p(X, Y).", edb={"e": 2}
+        )
+        assert program.rules[0].body == ()
+
+    def test_explicit_edb_schema(self):
+        program = parse_program("p(X) :- e(X, X).", edb={"e": 2, "v": 1})
+        assert program.edb() == {"e": 2, "v": 1}
+
+    def test_comments_and_whitespace(self):
+        program = parse_program(
+            "% nothing\n  p(X)\n  :- e(X, X)  . % trailing"
+        )
+        assert len(program.rules) == 1
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "p(X)",              # missing dot
+            "p(X) :- .",         # empty body after :-
+            "p(X) :- e(X,).",    # trailing comma
+            "p(X? :- e(X, X).",  # bad character
+            ":- e(X, X).",       # missing head
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_program(source)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(SchemaError):
+            parse_program("p(X, Y) :- e(X, X).")
+
+    def test_inconsistent_edb_arity_rejected(self):
+        with pytest.raises((ParseError, SchemaError)):
+            parse_program("p(X) :- e(X, X).\nq(X) :- e(X, X, X).")
+
+
+class TestParsedProgramsRun:
+    def test_tc_end_to_end(self):
+        program = parse_program(
+            "tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y)."
+        )
+        graph = random_graph_relation(6, 0.3, seed=20)
+        db = Database.of({"e": graph})
+        result = evaluate_program(program, db)["tc"]
+        assert result.as_set() == transitive_closure(graph)
+
+    def test_parsed_program_through_lambda_pipeline(self):
+        from repro.datalog.compile import datalog_to_fixpoint
+        from repro.eval.ptime import run_fixpoint_query
+
+        program = parse_program(
+            "tc(X, Y) :- e(X, Y).\ntc(X, Y) :- e(X, Z), tc(Z, Y)."
+        )
+        graph = random_graph_relation(5, 0.3, seed=21)
+        db = Database.of({"e": graph})
+        run = run_fixpoint_query(datalog_to_fixpoint(program), db)
+        assert run.relation.as_set() == transitive_closure(graph)

@@ -1,0 +1,230 @@
+"""Tests for relations, databases, and the Definition 3.1 / Lemma 3.2
+encode-decode machinery."""
+
+import pytest
+from hypothesis import given
+
+from repro.db.decode import decode_relation
+from repro.db.domain import active_domain, active_domain_relation
+from repro.db.encode import encode_constant_list, encode_relation
+from repro.db.generators import (
+    chain_graph_relation,
+    constant_universe,
+    cycle_graph_relation,
+    random_database,
+    random_relation,
+)
+from repro.db.relations import Database, Relation
+from repro.errors import DecodeError, EncodingError, SchemaError
+from repro.lam.alpha import alpha_equal
+from repro.lam.parser import parse
+from repro.lam.terms import Abs, Const, Var, app, lam
+from repro.types.infer import principal_type
+from repro.types.order import order
+from repro.types.types import relation_type
+from repro.types.unify import unifiable
+from tests.conftest import relations
+
+
+class TestRelation:
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Relation(2, (("o1",),))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(1, (("o1",), ("o1",)))
+
+    def test_order_is_significant(self):
+        left = Relation.from_tuples(1, [("o1",), ("o2",)])
+        right = Relation.from_tuples(1, [("o2",), ("o1",)])
+        assert left != right
+        assert left.same_set(right)
+
+    def test_deduplicated_keeps_first(self):
+        rel = Relation.deduplicated(
+            1, [("o2",), ("o1",), ("o2",)]
+        )
+        assert rel.tuples == (("o2",), ("o1",))
+
+    def test_precedes(self):
+        rel = Relation.from_tuples(1, [("o3",), ("o1",)])
+        assert rel.precedes(("o3",), ("o1",))
+        assert not rel.precedes(("o1",), ("o3",))
+
+    def test_position_of_missing_tuple(self):
+        rel = Relation.from_tuples(1, [("o1",)])
+        with pytest.raises(ValueError):
+            rel.position(("o9",))
+
+    def test_constants_in_first_appearance_order(self):
+        rel = Relation.from_tuples(2, [("o3", "o1"), ("o1", "o2")])
+        assert rel.constants() == ["o3", "o1", "o2"]
+
+    def test_membership(self):
+        rel = Relation.from_tuples(2, [("o1", "o2")])
+        assert ("o1", "o2") in rel
+        assert ("o2", "o1") not in rel
+
+
+class TestDatabase:
+    def test_lookup(self):
+        db = Database.of({"R": Relation.empty(2)})
+        assert db["R"].arity == 2
+        with pytest.raises(KeyError):
+            db["S"]
+
+    def test_active_domain_order(self):
+        db = Database.of(
+            {
+                "R": Relation.from_tuples(1, [("o3",)]),
+                "S": Relation.from_tuples(2, [("o1", "o3")]),
+            }
+        )
+        assert db.active_domain() == ["o3", "o1"]
+
+    def test_with_relation_replaces_and_appends(self):
+        db = Database.of({"R": Relation.empty(1)})
+        db2 = db.with_relation("R", Relation.unary(["o1"]))
+        assert len(db2["R"]) == 1
+        db3 = db.with_relation("S", Relation.empty(2))
+        assert "S" in db3 and "S" not in db
+
+
+class TestEncoding:
+    def test_definition_3_1_shape(self):
+        rel = Relation.from_tuples(2, [("o1", "o2"), ("o3", "o4")])
+        term = encode_relation(rel)
+        expected = parse(r"\c. \n. c o1 o2 (c o3 o4 n)")
+        assert alpha_equal(term, expected)
+
+    def test_empty_relation(self):
+        assert alpha_equal(
+            encode_relation(Relation.empty(3)), parse(r"\c. \n. n")
+        )
+
+    def test_cons_nil_names_must_differ(self):
+        with pytest.raises(EncodingError):
+            encode_relation(
+                Relation.empty(1), cons_var="c", nil_var="c"
+            )
+
+    def test_principal_type_with_two_tuples(self):
+        # "If r contains at least two tuples, the principal type of r̄ is
+        # o^k" (Section 3.1).
+        rel = Relation.from_tuples(2, [("o1", "o2"), ("o3", "o4")])
+        inferred = principal_type(encode_relation(rel))
+        from repro.types.types import TypeVar
+
+        assert unifiable(inferred, relation_type(2, TypeVar("?d")))
+        assert order(inferred) == 0 or True  # inferred has free vars
+        # Grounded, the order is 2 regardless of arity.
+        from repro.types.order import ground
+
+        assert order(ground(inferred)) == 2
+
+    def test_single_tuple_type_is_more_general(self):
+        # With one tuple the o^k type is only an instance of the principal
+        # type (Section 3.1).
+        rel = Relation.from_tuples(1, [("o1",)])
+        inferred = principal_type(encode_relation(rel))
+        assert unifiable(inferred, relation_type(1))
+
+    def test_annotated_encoding_types(self):
+        from repro.types.check import check_church
+
+        rel = Relation.from_tuples(2, [("o1", "o2"), ("o2", "o1")])
+        term = encode_relation(rel, annotate=True)
+        assert check_church(term) == relation_type(2)
+
+    def test_constant_list(self):
+        term = encode_constant_list(["o1", "o2"])
+        assert alpha_equal(term, parse(r"\c. \n. c o1 (c o2 n)"))
+
+
+class TestDecoding:
+    @given(relations())
+    def test_roundtrip(self, rel):
+        decoded = decode_relation(encode_relation(rel), rel.arity)
+        assert decoded.relation == rel
+        assert not decoded.had_duplicates
+
+    def test_duplicates_reported(self):
+        term = parse(r"\c. \n. c o1 (c o1 n)")
+        decoded = decode_relation(term)
+        assert decoded.had_duplicates
+        assert decoded.relation.tuples == (("o1",),)
+        assert decoded.raw_tuples == (("o1",), ("o1",))
+
+    def test_eta_variant_single_tuple(self):
+        # Remark 3.3: λc. c o1 o2 is a valid single-tuple encoding.
+        decoded = decode_relation(parse(r"\c. c o1 o2"))
+        assert decoded.eta_variant
+        assert decoded.relation.tuples == (("o1", "o2"),)
+
+    def test_empty_decodes_with_declared_arity(self):
+        decoded = decode_relation(parse(r"\c. \n. n"), 3)
+        assert decoded.relation.arity == 3
+        assert len(decoded.relation) == 0
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "o1",                      # not an abstraction
+            r"\c. \n. c o1 (d o2 n)",  # foreign head
+            r"\c. \n. c x n",          # non-constant component
+            r"\c. \n. c o1 (c o1 o2 n)",  # mixed arities
+            r"\c. \n. Eq o1 o2 n n",   # Eq inside
+            r"\c. \n. c o1",           # missing tail
+        ],
+    )
+    def test_rejects_non_encodings(self, source):
+        with pytest.raises(DecodeError):
+            decode_relation(parse(source))
+
+    def test_lemma_3_2_on_query_outputs(self):
+        # Any normal form of relation type decodes (Lemma 3.2): exercise
+        # through an actual reduction.
+        from repro.lam.nbe import nbe_normalize
+
+        rel = Relation.from_tuples(1, [("o1",), ("o2",)])
+        doubled = app(
+            parse(r"\R. \c. \n. R c (R c n)"), encode_relation(rel)
+        )
+        decoded = decode_relation(nbe_normalize(doubled), 1)
+        assert decoded.had_duplicates
+        assert decoded.relation.same_set(rel)
+
+
+class TestGenerators:
+    def test_random_relation_size(self):
+        rel = random_relation(2, 5, seed=1)
+        assert len(rel) == 5 and rel.arity == 2
+
+    def test_random_relation_capped_by_space(self):
+        rel = random_relation(1, 100, universe=["o1", "o2"], seed=1)
+        assert len(rel) == 2
+
+    def test_determinism(self):
+        assert random_relation(2, 5, seed=3) == random_relation(
+            2, 5, seed=3
+        )
+
+    def test_chain_and_cycle(self):
+        chain = chain_graph_relation(4)
+        assert len(chain) == 3
+        cycle = cycle_graph_relation(4)
+        assert len(cycle) == 4
+
+    def test_random_database_schema(self):
+        db = random_database([1, 2, 3], [2, 3, 4], seed=0)
+        assert db.arities == [1, 2, 3]
+        assert db.names == ["R1", "R2", "R3"]
+
+    def test_active_domain_relation(self):
+        db = random_database([2], [4], seed=5)
+        adom = active_domain_relation(db)
+        assert adom.arity == 1
+        assert set(v for (v,) in adom.tuples) == set(
+            active_domain(db)
+        )

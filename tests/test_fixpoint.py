@@ -1,0 +1,226 @@
+"""Tests for the Theorem 4.2 machinery: ListToFunc, FuncToList, Copy,
+Crank, and whole fixpoint queries."""
+
+import pytest
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_relation
+from repro.db.generators import chain_graph_relation, random_relation
+from repro.db.relations import Database, Relation
+from repro.lam.alpha import alpha_equal
+from repro.lam.combinators import boolean_value, church_numeral, numeral_value
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import normalize
+from repro.lam.terms import Const, Var, app, lam
+from repro.queries.fixpoint import (
+    FIX_NAME,
+    FixpointQuery,
+    build_fixpoint_query,
+    copy_gadget_term,
+    crank_term,
+    empty_characteristic_term,
+    fix,
+    func_to_list_term,
+    list_to_func_term,
+    transitive_closure_query,
+)
+from repro.queries.language import QueryArity
+from repro.relalg.ast import Base, Union
+
+
+class TestListToFunc:
+    def test_membership_semantics(self):
+        rel = Relation.from_tuples(2, [("o1", "o2"), ("o2", "o1")])
+        converter = list_to_func_term(2)
+        for row, expected in ((("o1", "o2"), True), (("o1", "o1"), False)):
+            term = app(
+                converter,
+                encode_relation(rel),
+                *[Const(v) for v in row],
+            )
+            assert boolean_value(normalize(term).term) is expected
+
+
+class TestFuncToList:
+    def test_enumerates_domain_in_order(self):
+        domain = encode_relation(Relation.unary(["o1", "o2", "o3"]))
+        accept_all = lam(["x", "u", "v"], Var("u"))
+        term = app(func_to_list_term(1, domain), accept_all)
+        decoded = decode_relation(nbe_normalize(term), 1)
+        assert decoded.relation.tuples == (("o1",), ("o2",), ("o3",))
+
+    def test_filters_by_characteristic_function(self):
+        domain = encode_relation(Relation.unary(["o1", "o2"]))
+        # Accept only o2.
+        accept = lam(
+            ["x", "u", "v"],
+            app(
+                __import__("repro.lam.terms", fromlist=["EqConst"]).EqConst(),
+                Var("x"),
+                Const("o2"),
+                Var("u"),
+                Var("v"),
+            ),
+        )
+        term = app(func_to_list_term(1, domain), accept)
+        decoded = decode_relation(nbe_normalize(term), 1)
+        assert decoded.relation.tuples == (("o2",),)
+
+    def test_binary_enumeration(self):
+        domain = encode_relation(Relation.unary(["o1", "o2"]))
+        accept_all = lam(["x", "y", "u", "v"], Var("u"))
+        term = app(func_to_list_term(2, domain), accept_all)
+        decoded = decode_relation(nbe_normalize(term), 2)
+        assert decoded.relation.tuples == (
+            ("o1", "o1"),
+            ("o1", "o2"),
+            ("o2", "o1"),
+            ("o2", "o2"),
+        )
+
+    def test_nullary(self):
+        accept_all = lam(["u", "v"], Var("u"))
+        term = app(
+            func_to_list_term(0, encode_relation(Relation.unary(["o1"]))),
+            accept_all,
+        )
+        decoded = decode_relation(nbe_normalize(term), 0)
+        assert len(decoded.relation) == 1
+
+    def test_composition_round_trips_membership(self):
+        rel = random_relation(1, 3, seed=8)
+        domain = encode_relation(Relation.unary(rel.constants()))
+        term = app(
+            func_to_list_term(1, domain),
+            app(list_to_func_term(1), encode_relation(rel)),
+        )
+        decoded = decode_relation(nbe_normalize(term), 1)
+        assert decoded.relation.same_set(rel)
+
+
+class TestCopyGadget:
+    @pytest.mark.parametrize("pad", [0, 1, 2, 3])
+    def test_copy_is_identity_on_encodings(self, pad):
+        rel = random_relation(2, 4, seed=9)
+        term = app(copy_gadget_term(2, pad), encode_relation(rel))
+        assert alpha_equal(
+            nbe_normalize(term), encode_relation(rel)
+        )
+
+    def test_copy_of_empty(self):
+        term = app(
+            copy_gadget_term(1, 2), encode_relation(Relation.empty(1))
+        )
+        decoded = decode_relation(nbe_normalize(term), 1)
+        assert len(decoded.relation) == 0
+
+    def test_copy_launders_the_accumulator_type(self):
+        # R itself is used at accumulator Phi while (Copy R) has o^k_g.
+        from repro.types.infer import infer
+        from repro.types.order import ground, order
+
+        result = infer(copy_gadget_term(2, 2))
+        input_type = ground(result.type.left)
+        # R's accumulator inside Copy: o -> o -> g -> g -> g (order 1).
+        assert order(input_type) == 3  # iterator over an order-1 acc
+
+
+class TestCrank:
+    def test_applies_domain_power_times(self):
+        domain = encode_relation(Relation.unary(["o1", "o2", "o3"]))
+        crank = crank_term(2, domain)
+        # Count applications with a Church numeral successor.
+        from repro.lam.combinators import succ_term, zero_term
+
+        term = app(crank, succ_term(), zero_term())
+        assert numeral_value(nbe_normalize(term)) == 9
+
+    def test_nullary_crank_applies_once(self):
+        crank = crank_term(0, encode_relation(Relation.empty(1)))
+        from repro.lam.combinators import succ_term, zero_term
+
+        term = app(crank, succ_term(), zero_term())
+        assert numeral_value(nbe_normalize(term)) == 1
+
+
+class TestWholeFixpointTerm:
+    @pytest.mark.parametrize("style", ["tli", "mli"])
+    def test_tc_by_direct_reduction(self, style):
+        # Whole-term reduction on a tiny instance (the PTIME evaluator is
+        # exercised in test_ptime_eval.py).
+        term = build_fixpoint_query(transitive_closure_query("E"), style)
+        db = Database.of(
+            {"E": Relation.from_tuples(2, [("o1", "o2")])}
+        )
+        from repro.db.encode import encode_database
+
+        nf = nbe_normalize(
+            app(term, *encode_database(db)), max_depth=2_000_000
+        )
+        decoded = decode_relation(nf, 2)
+        assert decoded.relation.as_set() == {("o1", "o2")}
+
+    def test_non_inflationary_step(self):
+        # A monotone step without the inflationary wrapper.
+        query = FixpointQuery.of(
+            Union(Base("E"), fix()), 2, {"E": 2}, inflationary=False
+        )
+        from repro.eval.ptime import run_fixpoint_query
+
+        db = Database.of({"E": chain_graph_relation(3)})
+        run = run_fixpoint_query(query, db)
+        assert run.relation.same_set(db["E"])
+
+    def test_style_validation(self):
+        from repro.errors import QueryTermError
+
+        with pytest.raises(QueryTermError):
+            build_fixpoint_query(
+                transitive_closure_query("E"), style="nonsense"
+            )
+
+    def test_empty_characteristic(self):
+        term = app(
+            empty_characteristic_term(2),
+            Const("o1"),
+            Const("o2"),
+        )
+        assert boolean_value(nbe_normalize(term)) is False
+
+
+class TestPrebuiltQueries:
+    def test_reachability_query(self):
+        from repro.eval.ptime import run_fixpoint_query
+        from repro.queries.fixpoint import reachability_query
+
+        graph = chain_graph_relation(5)
+        db = Database.of(
+            {"S": Relation.unary(["o2"]), "E": graph}
+        )
+        run = run_fixpoint_query(reachability_query(), db)
+        assert run.relation.as_set() == {
+            ("o2",), ("o3",), ("o4",), ("o5",)
+        }
+
+    def test_same_generation_query(self):
+        from repro.eval.ptime import run_fixpoint_query
+        from repro.queries.fixpoint import same_generation_query
+
+        up = Relation.from_tuples(2, [("o1", "o3"), ("o2", "o3")])
+        flat = Relation.from_tuples(2, [("o3", "o3")])
+        down = Relation.from_tuples(2, [("o3", "o1"), ("o3", "o2")])
+        db = Database.of({"flat": flat, "up": up, "down": down})
+        run = run_fixpoint_query(same_generation_query(), db)
+        assert {("o1", "o2"), ("o2", "o1")} <= run.relation.as_set()
+
+    def test_prebuilt_queries_are_order_4_terms(self):
+        from repro.queries.fixpoint import (
+            reachability_query,
+            same_generation_query,
+        )
+        from repro.queries.language import is_mli_query_term
+
+        reach = build_fixpoint_query(reachability_query(), "mli")
+        assert is_mli_query_term(reach, QueryArity((1, 2), 1), 1)
+        sg = build_fixpoint_query(same_generation_query(), "mli")
+        assert is_mli_query_term(sg, QueryArity((2, 2, 2), 2), 1)

@@ -1,0 +1,131 @@
+"""Tests for the FO -> relational algebra compiler (Codd / Theorem 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.generators import random_database
+from repro.errors import EvaluationError
+from repro.folog.evaluate import evaluate_fo_query
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FVar,
+    FalseFormula,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+)
+from repro.queries.fo_compile import compile_fo
+from repro.relalg.engine import database_schema, evaluate_ra
+
+SCHEMA = {"R1": 2, "R2": 2}
+x, y, z = FVar("x"), FVar("y"), FVar("z")
+
+
+def R(*terms):
+    return Atom("R1", terms)
+
+
+def S(*terms):
+    return Atom("R2", terms)
+
+
+@st.composite
+def fo_formulas(draw, depth: int = 3) -> Formula:
+    """Random FO formulas over SCHEMA with free vars among x, y, z."""
+    variables = [x, y, z]
+
+    def term():
+        return draw(
+            st.sampled_from(variables + [FConst("o1"), FConst("o2")])
+        )
+
+    def build(d) -> Formula:
+        if d == 0:
+            choice = draw(st.integers(min_value=0, max_value=3))
+            if choice == 0:
+                return Atom("R1", (term(), term()))
+            if choice == 1:
+                return Atom("R2", (term(), term()))
+            if choice == 2:
+                return Equals(term(), term())
+            return Precedes("R1", (term(), term()), (term(), term()))
+        choice = draw(st.integers(min_value=0, max_value=5))
+        if choice == 0:
+            return build(0)
+        if choice == 1:
+            return And(build(d - 1), build(d - 1))
+        if choice == 2:
+            return Or(build(d - 1), build(d - 1))
+        if choice == 3:
+            return Not(build(d - 1))
+        if choice == 4:
+            return Exists(draw(st.sampled_from("xyz")), build(d - 1))
+        return Forall(draw(st.sampled_from("xyz")), build(d - 1))
+
+    return build(depth)
+
+
+class TestCompileAgainstDirectEvaluation:
+    @given(fo_formulas(), st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_random_formulas_agree(self, phi, seed):
+        db = random_database([2, 2], [4, 3], universe_size=3, seed=seed)
+        from repro.folog.formulas import formula_free_vars
+
+        output = sorted(formula_free_vars(phi) | {"x"})
+        expected = evaluate_fo_query(phi, output, db)
+        expr = compile_fo(phi, output, SCHEMA)
+        got = evaluate_ra(expr, db)
+        assert got.same_set(expected)
+
+    @pytest.mark.parametrize(
+        "phi, output",
+        [
+            (TrueFormula(), ["x"]),
+            (FalseFormula(), ["x", "y"]),
+            (Equals(x, x), ["x"]),
+            (Equals(FConst("o1"), FConst("o1")), ["x"]),
+            (Equals(FConst("o1"), FConst("o2")), ["x"]),
+            (Equals(x, FConst("o1")), ["x"]),
+            (Equals(FConst("o1"), x), ["x"]),
+            (Equals(x, y), ["x", "y"]),
+            (R(x, x), ["x"]),
+            (R(FConst("o1"), x), ["x"]),
+            (Exists("x", R(x, y)), ["y", "z"]),
+            (Forall("y", Or(Not(R(x, y)), S(x, y))), ["x"]),
+            (Precedes("R2", (x, y), (z, x)), ["x", "y", "z"]),
+        ],
+    )
+    def test_curated_cases(self, phi, output):
+        db = random_database([2, 2], [4, 4], universe_size=3, seed=17)
+        expected = evaluate_fo_query(phi, output, db)
+        got = evaluate_ra(compile_fo(phi, output, SCHEMA), db)
+        assert got.same_set(expected)
+
+
+class TestCompileErrors:
+    def test_free_vars_must_be_outputs(self):
+        with pytest.raises(EvaluationError):
+            compile_fo(R(x, y), ["x"], SCHEMA)
+
+    def test_output_vars_distinct(self):
+        with pytest.raises(EvaluationError):
+            compile_fo(R(x, y), ["x", "x"], SCHEMA)
+
+    def test_output_column_order_respected(self):
+        db = random_database([2, 2], [4, 4], universe_size=3, seed=21)
+        forward = evaluate_ra(
+            compile_fo(R(x, y), ["x", "y"], SCHEMA), db
+        )
+        backward = evaluate_ra(
+            compile_fo(R(x, y), ["y", "x"], SCHEMA), db
+        )
+        assert {t[::-1] for t in forward.as_set()} == backward.as_set()

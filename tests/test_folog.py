@@ -1,0 +1,162 @@
+"""Tests for the first-order logic substrate (Definition 3.5 baseline)."""
+
+import pytest
+
+from repro.db.relations import Database, Relation
+from repro.errors import EvaluationError
+from repro.folog.evaluate import evaluate_fo_query, evaluate_formula
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FVar,
+    FalseFormula,
+    Forall,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+    and_all,
+    exists_many,
+    forall_many,
+    formula_constants,
+    formula_free_vars,
+    formula_size,
+    or_all,
+)
+
+
+@pytest.fixture
+def db():
+    return Database.of(
+        {
+            "R": Relation.from_tuples(
+                2, [("o1", "o2"), ("o2", "o3"), ("o3", "o3")]
+            )
+        }
+    )
+
+
+x, y, z = FVar("x"), FVar("y"), FVar("z")
+
+
+class TestFormulaBasics:
+    def test_free_vars(self):
+        phi = Exists("y", And(Atom("R", (x, y)), Equals(y, z)))
+        assert formula_free_vars(phi) == {"x", "z"}
+
+    def test_constants(self):
+        phi = Or(Equals(x, FConst("o5")), Atom("R", (FConst("o1"), x)))
+        assert formula_constants(phi) == {"o5", "o1"}
+
+    def test_connective_sugar(self):
+        phi = ~Atom("R", (x, y)) & TrueFormula() | FalseFormula()
+        assert isinstance(phi, Or)
+
+    def test_builders(self):
+        assert isinstance(and_all([]), TrueFormula)
+        assert isinstance(or_all([]), FalseFormula)
+        assert formula_free_vars(
+            exists_many(["x", "y"], Atom("R", (x, y)))
+        ) == frozenset()
+        assert isinstance(
+            forall_many(["x"], TrueFormula()), Forall
+        )
+
+    def test_size(self):
+        assert formula_size(And(TrueFormula(), Not(FalseFormula()))) == 4
+
+    def test_str_rendering(self):
+        phi = Forall("x", Precedes("R", (x, y), (y, x)))
+        assert "Precedes_R" in str(phi)
+
+
+class TestEvaluation:
+    def test_atom(self, db):
+        assert evaluate_formula(
+            Atom("R", (x, y)), db, {"x": "o1", "y": "o2"}
+        )
+        assert not evaluate_formula(
+            Atom("R", (x, y)), db, {"x": "o2", "y": "o1"}
+        )
+
+    def test_unbound_variable_rejected(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_formula(Atom("R", (x, y)), db, {"x": "o1"})
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_formula(Atom("Q", (x,)), db, {"x": "o1"})
+
+    def test_equality_and_constants(self, db):
+        assert evaluate_formula(Equals(FConst("o1"), FConst("o1")), db)
+        assert not evaluate_formula(Equals(FConst("o1"), FConst("o2")), db)
+
+    def test_quantifiers(self, db):
+        # Every element has an R-successor? o2->o3, o3->o3, o1->o2: yes.
+        phi = Forall("x", Exists("y", Atom("R", (x, y))))
+        assert evaluate_formula(phi, db)
+        # Some element relates to itself.
+        assert evaluate_formula(
+            Exists("x", Atom("R", (x, x))), db
+        )
+        # Every element relates to itself: no.
+        assert not evaluate_formula(
+            Forall("x", Atom("R", (x, x))), db
+        )
+
+    def test_quantifier_shadowing(self, db):
+        phi = Exists("x", Exists("x", Atom("R", (x, x))))
+        assert evaluate_formula(phi, db)
+
+    def test_precedes_semantics(self, db):
+        assert evaluate_formula(
+            Precedes("R", (FConst("o1"), FConst("o2")),
+                     (FConst("o2"), FConst("o3"))),
+            db,
+        )
+        assert not evaluate_formula(
+            Precedes("R", (FConst("o2"), FConst("o3")),
+                     (FConst("o1"), FConst("o2"))),
+            db,
+        )
+        # Tuples not in the relation never precede.
+        assert not evaluate_formula(
+            Precedes("R", (FConst("o9"), FConst("o9")),
+                     (FConst("o1"), FConst("o2"))),
+            db,
+        )
+
+
+class TestFOQueries:
+    def test_query_output_in_domain_order(self, db):
+        rel = evaluate_fo_query(Atom("R", (x, y)), ["x", "y"], db)
+        assert rel.same_set(db["R"])
+
+    def test_free_variable_check(self, db):
+        with pytest.raises(EvaluationError):
+            evaluate_fo_query(Atom("R", (x, y)), ["x"], db)
+
+    def test_unused_output_variable_ranges_over_domain(self, db):
+        rel = evaluate_fo_query(TrueFormula(), ["x"], db)
+        assert len(rel) == 3  # |adom| = 3
+
+    def test_extra_constants_extend_domain(self, db):
+        rel = evaluate_fo_query(
+            Equals(x, FConst("o9")),
+            ["x"],
+            db,
+            extra_constants=["o9"],
+        )
+        assert rel.tuples == (("o9",),)
+
+    def test_formula_constants_flag(self, db):
+        phi = Equals(x, FConst("o9"))
+        assert len(evaluate_fo_query(phi, ["x"], db)) == 0
+        assert len(
+            evaluate_fo_query(
+                phi, ["x"], db, include_formula_constants=True
+            )
+        ) == 1

@@ -1,0 +1,129 @@
+"""Tests for the first-order formula text syntax."""
+
+import pytest
+
+from repro.db.generators import random_database
+from repro.errors import ParseError
+from repro.folog.evaluate import evaluate_fo_query
+from repro.folog.formulas import (
+    And,
+    Atom,
+    Equals,
+    Exists,
+    FConst,
+    FVar,
+    FalseFormula,
+    Forall,
+    Not,
+    Or,
+    Precedes,
+    TrueFormula,
+)
+from repro.folog.parser import parse_formula
+
+
+class TestParsing:
+    def test_relation_atom(self):
+        assert parse_formula("R(x, y)") == Atom(
+            "R", (FVar("x"), FVar("y"))
+        )
+
+    def test_constants(self):
+        phi = parse_formula("R(o1, 'weird name', alice)",
+                            constants=["alice"])
+        assert phi.terms == (
+            FConst("o1"),
+            FConst("weird name"),
+            FVar("alice") if False else FConst("alice"),
+        )
+
+    def test_equality(self):
+        assert parse_formula("x = y") == Equals(FVar("x"), FVar("y"))
+        assert parse_formula("x = 'o9'") == Equals(
+            FVar("x"), FConst("o9")
+        )
+
+    def test_connective_precedence(self):
+        # ~ binds tighter than &, & tighter than |.
+        phi = parse_formula("~R(x, x) & S(x, x) | T(x)")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.left, And)
+        assert isinstance(phi.left.left, Not)
+
+    def test_implication_sugar(self):
+        phi = parse_formula("R(x, x) -> S(x, x)")
+        assert isinstance(phi, Or)
+        assert isinstance(phi.left, Not)
+
+    def test_quantifiers_extend_right(self):
+        phi = parse_formula("exists x y. R(x, y) & S(y, x)")
+        assert isinstance(phi, Exists)
+        assert isinstance(phi.body, Exists)
+        assert isinstance(phi.body.body, And)
+
+    def test_forall(self):
+        phi = parse_formula("forall x. true")
+        assert isinstance(phi, Forall)
+        assert isinstance(phi.body, TrueFormula)
+
+    def test_truth_constants(self):
+        assert isinstance(parse_formula("true"), TrueFormula)
+        assert isinstance(parse_formula("false"), FalseFormula)
+
+    def test_precedes_atom(self):
+        phi = parse_formula("precedes[R](x, y; z, w)")
+        assert phi == Precedes(
+            "R", (FVar("x"), FVar("y")), (FVar("z"), FVar("w"))
+        )
+
+    def test_parentheses(self):
+        phi = parse_formula("~(R(x, x) | S(x, x))")
+        assert isinstance(phi, Not)
+        assert isinstance(phi.inner, Or)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "R(x",
+            "exists. R(x, x)",
+            "x =",
+            "R(x, x) &",
+            "precedes[R](x; y",
+            "R(x, x) extra",
+            "@",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse_formula(source)
+
+
+class TestParsedFormulasEvaluate:
+    def test_end_to_end_agreement_with_ast(self):
+        db = random_database([2, 2], [4, 3], universe_size=3, seed=51)
+        x, y = FVar("x"), FVar("y")
+        pairs = [
+            ("exists y. R1(x, y) & ~R2(x, y)",
+             Exists("y", And(Atom("R1", (x, y)),
+                             Not(Atom("R2", (x, y)))))),
+            ("forall y. R1(x, y) -> R2(x, y)",
+             Forall("y", Or(Not(Atom("R1", (x, y))),
+                            Atom("R2", (x, y))))),
+        ]
+        for source, ast in pairs:
+            parsed = parse_formula(source)
+            assert evaluate_fo_query(parsed, ["x"], db) == (
+                evaluate_fo_query(ast, ["x"], db)
+            )
+
+    def test_through_the_theorem_4_1_pipeline(self):
+        from repro.eval.materialize import run_ra_query_materialized
+        from repro.queries.fo_compile import compile_fo
+
+        db = random_database([2, 2], [4, 3], universe_size=3, seed=52)
+        phi = parse_formula("exists y. R1(x, y) & R2(y, z)")
+        expected = evaluate_fo_query(phi, ["x", "z"], db)
+        expr = compile_fo(phi, ["x", "z"], {"R1": 2, "R2": 2})
+        got = run_ra_query_materialized(expr, db).relation
+        assert got.same_set(expected)

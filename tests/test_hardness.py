@@ -1,0 +1,147 @@
+"""Tests for the Section 6 complexity lab."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness.gadgets import (
+    let_pairing_chain,
+    monomorphic_pairing_chain,
+    pairing_chain_expanded_size,
+    principal_type_tree_size,
+    tlc_linear_family,
+    wide_equality_family,
+)
+from repro.hardness.reduction import cnf_to_ml_term, instance_sizes
+from repro.hardness.sat import (
+    CNF,
+    brute_force_satisfiable,
+    pigeonhole_cnf,
+    random_cnf,
+)
+from repro.lam.terms import term_size
+from repro.types.infer import infer, typable
+from repro.types.ml import ml_infer, ml_typable
+from repro.types.types import type_size
+
+
+class TestPairingChain:
+    def test_term_size_is_linear(self):
+        sizes = [term_size(let_pairing_chain(d)) for d in (2, 4, 8)]
+        assert sizes[2] - sizes[1] == 2 * (sizes[1] - sizes[0])
+        # Linear growth: constant increment per level.
+        assert (sizes[1] - sizes[0]) % 2 == 0
+
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3, 6, 10])
+    def test_principal_type_tree_size_matches_recurrence(self, depth):
+        result = ml_infer(let_pairing_chain(depth))
+        measured = principal_type_tree_size(
+            result.subst, result.occurrence_types[()]
+        )
+        # The recurrence counts the chain value's type; the whole term
+        # adds the x0 arrow (2 extra nodes).
+        assert measured == pairing_chain_expanded_size(depth) + 2
+
+    def test_exponential_growth(self):
+        small = ml_infer(let_pairing_chain(4))
+        large = ml_infer(let_pairing_chain(8))
+        small_size = principal_type_tree_size(
+            small.subst, small.occurrence_types[()]
+        )
+        large_size = principal_type_tree_size(
+            large.subst, large.occurrence_types[()]
+        )
+        assert large_size > 15 * small_size
+
+    def test_monomorphic_chain_also_types(self):
+        # Each x_i is used twice but at the same type: TLC= accepts it.
+        assert typable(monomorphic_pairing_chain(4))
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            let_pairing_chain(-1)
+
+
+class TestLinearFamilies:
+    @pytest.mark.parametrize("depth", [1, 8, 64])
+    def test_tlc_family_has_constant_type_size(self, depth):
+        type_ = infer(tlc_linear_family(depth)).type
+        assert type_size(type_) <= 7
+
+    def test_wide_equality_is_low_order(self):
+        from repro.types.ml import ml_infer
+        from repro.types.order import ground, order
+
+        for arity in (1, 3, 5):
+            result = ml_infer(wide_equality_family(arity))
+            assert (
+                order(ground(result.subst.apply(result.occurrence_types[()])))
+                <= 2
+            )
+
+
+class TestSAT:
+    def test_satisfied_by(self):
+        cnf = CNF(2, ((1, -2),))
+        assert cnf.satisfied_by([True, True])
+        assert not cnf.satisfied_by([False, True])
+
+    def test_brute_force_finds_assignment(self):
+        cnf = CNF(3, ((1, 2, 3), (-1, -2, -3)))
+        assignment = brute_force_satisfiable(cnf)
+        assert assignment is not None
+        assert cnf.satisfied_by(assignment)
+
+    def test_unsat_detected(self):
+        cnf = CNF(1, ((1,), (-1,)))
+        assert brute_force_satisfiable(cnf) is None
+
+    def test_pigeonhole_unsat(self):
+        assert brute_force_satisfiable(pigeonhole_cnf(2)) is None
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(ValueError):
+            CNF(2, ((0,),))
+        with pytest.raises(ValueError):
+            CNF(2, ((3,),))
+
+    @given(st.integers(min_value=1, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_random_cnf_well_formed(self, seed):
+        cnf = random_cnf(5, 8, seed=seed)
+        assert cnf.num_vars == 5
+        assert len(cnf.clauses) == 8
+        assert all(len(clause) == 3 for clause in cnf.clauses)
+        assert all(
+            len({abs(l) for l in clause}) == 3 for clause in cnf.clauses
+        )
+
+    def test_random_cnf_deterministic(self):
+        assert random_cnf(4, 6, seed=9) == random_cnf(4, 6, seed=9)
+
+    def test_clause_size_bound(self):
+        with pytest.raises(ValueError):
+            random_cnf(2, 3, clause_size=3)
+
+
+class TestCNFTerms:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_generated_terms_are_ml_typable(self, seed):
+        cnf = random_cnf(4, 6, seed=seed)
+        assert ml_typable(cnf_to_ml_term(cnf))
+
+    def test_term_size_linear_in_instance(self):
+        small = instance_sizes(random_cnf(4, 4, seed=1))
+        large = instance_sizes(random_cnf(4, 12, seed=1))
+        per_clause = (
+            large["term_size"] - small["term_size"]
+        ) / (large["clauses"] - small["clauses"])
+        assert per_clause < 30  # constant-size clause gadgets
+
+    def test_bounded_order(self):
+        from repro.types.ml import ml_infer
+
+        cnf = random_cnf(3, 5, seed=2)
+        result = ml_infer(cnf_to_ml_term(cnf))
+        assert result.derivation_order() <= 4  # the MLI=1 bound

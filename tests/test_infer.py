@@ -1,0 +1,138 @@
+"""Tests for Curry-style TLC= principal-type reconstruction."""
+
+import pytest
+
+from repro.errors import OrderBoundError, TypeInferenceError
+from repro.lam.combinators import (
+    church_numeral,
+    parity_term,
+    true_term,
+    xor_term,
+)
+from repro.lam.parser import parse
+from repro.lam.terms import Abs, Var, app
+from repro.types.check import check_church, fully_annotated
+from repro.types.infer import (
+    check_order_bound,
+    infer,
+    principal_type,
+    term_order,
+    typable,
+)
+from repro.types.pretty import pretty_type
+from repro.types.types import Arrow, G, O, TypeVar, arrow, bool_type, eq_type
+from repro.types.unify import unifiable, unify
+
+
+class TestPrincipalTypes:
+    def test_identity(self):
+        type_ = principal_type(parse(r"\x. x"))
+        assert isinstance(type_, Arrow)
+        assert type_.left == type_.right
+
+    def test_constants_are_o(self):
+        assert principal_type(parse("o1")) == O
+
+    def test_eq_constant_type(self):
+        assert principal_type(parse("Eq")) == eq_type()
+
+    def test_church_true(self):
+        # Annotated True types exactly at Bool.
+        assert principal_type(true_term()) == bool_type()
+
+    def test_unannotated_k_is_polymorphic(self):
+        type_ = principal_type(parse(r"\x. \y. x"))
+        args, base = (type_.left, type_.right)
+        assert isinstance(type_, Arrow)
+        # a -> b -> a with a, b distinct variables.
+        assert isinstance(args, TypeVar)
+        assert isinstance(base, Arrow)
+        assert base.right == args
+        assert base.left != args
+
+    def test_application_propagates(self):
+        type_ = principal_type(parse(r"(\x. Eq x) o1"))
+        assert type_ == arrow(O, G, G, G)
+
+    def test_self_application_untypable(self):
+        assert not typable(parse(r"\x. x x"))
+
+    def test_eq_forces_operand_types(self):
+        assert not typable(parse(r"\x. Eq x x (x o1) (x o1)"))
+
+    def test_free_variables_get_shared_assumptions(self):
+        # f used at two argument types that must unify.
+        assert typable(parse("f o1"))
+        assert not typable(parse(r"\g. g (f o1) (f (\y. y))"))
+
+    def test_env_assumption_respected(self):
+        result = infer(parse("x"), env={"x": O})
+        assert result.type == O
+        with pytest.raises(TypeInferenceError):
+            infer(parse("x o1"), env={"x": O})
+
+    def test_principality(self):
+        # Every other typing is an instance of the principal one.
+        term = parse(r"\x. \y. x")
+        principal = principal_type(term)
+        specific = arrow(O, G, O)
+        assert unifiable(principal, specific)
+
+
+class TestAnnotations:
+    def test_consistent_annotation_accepted(self):
+        assert typable(parse(r"\x:o. Eq x x"))
+
+    def test_inconsistent_annotation_rejected(self):
+        assert not typable(parse(r"\x:g. Eq x x"))
+
+    def test_annotations_can_be_ignored(self):
+        term = parse(r"\x:g. Eq x x")
+        assert infer(term, check_annotations=False) is not None
+
+    def test_church_check_agrees_with_curry(self):
+        for term in (true_term(), xor_term(), parity_term()):
+            assert fully_annotated(term)
+            church = check_church(term)
+            curry = principal_type(term)
+            # The Church typing must be an instance of the principal type.
+            assert unifiable(curry, church)
+
+    def test_church_check_requires_annotations(self):
+        with pytest.raises(TypeInferenceError):
+            check_church(parse(r"\x. x"))
+
+
+class TestOrders:
+    def test_term_order_of_identity(self):
+        assert term_order(parse(r"\x. x")) == 1
+
+    def test_term_order_of_numerals(self):
+        assert term_order(church_numeral(3)) == 2
+
+    def test_order_bound_check(self):
+        check_order_bound(parse(r"\x. x"), 1)
+        with pytest.raises(OrderBoundError):
+            check_order_bound(church_numeral(2), 1)
+
+    def test_derivation_order_includes_subterms(self):
+        # (λn. o1) 2̄ has type o (order 0) but its derivation mentions the
+        # numeral's order-2 type and the order-3 consumer (λn. o1).
+        term = app(Abs("n", parse("o1")), church_numeral(2))
+        result = infer(term)
+        assert result.type == O
+        assert result.derivation_order() == 3
+
+    def test_occurrence_types_are_tracked(self):
+        result = infer(parse(r"(\x. x) o1"))
+        assert result.occurrence_type((1,)) == O  # the argument
+        assert result.occurrence_type(()) == O
+
+
+class TestMonomorphicLet:
+    def test_let_in_tlc_is_monomorphic(self):
+        # let f = λx. x in f f needs polymorphism: TLC= rejects it.
+        assert not typable(parse(r"let f = \x. x in f f"))
+
+    def test_monomorphic_let_accepted(self):
+        assert typable(parse(r"let f = \x. x in f o1"))

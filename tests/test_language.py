@@ -1,0 +1,142 @@
+"""Tests for TLI=_i / MLI=_i query-term recognition (Lemma 3.9)."""
+
+import pytest
+
+from repro.errors import QueryTermError
+from repro.lam.parser import parse
+from repro.queries.fixpoint import build_fixpoint_query, transitive_closure_query
+from repro.queries.language import (
+    QueryArity,
+    is_mli_query_term,
+    is_tli_query_term,
+    mli_query_order,
+    recognize_mli,
+    recognize_tli,
+    tli_query_order,
+)
+from repro.queries.operators import intersection_term, union_term
+from repro.types.types import BaseG, TypeVar
+
+
+class TestRecognitionBasics:
+    def test_identity_query(self):
+        assert is_tli_query_term(parse(r"\R. R"), QueryArity((2,), 2), 0)
+
+    def test_empty_query(self):
+        assert is_tli_query_term(
+            parse(r"\R. \c. \n. n"), QueryArity((2,), 3), 0
+        )
+
+    def test_constant_query(self):
+        assert is_tli_query_term(
+            parse(r"\R. \c. \n. c o1 o2 n"), QueryArity((2,), 2), 0
+        )
+
+    def test_intersection_is_tli0(self):
+        signature = QueryArity((2, 2), 2)
+        assert is_tli_query_term(intersection_term(2), signature, 0)
+        assert is_mli_query_term(intersection_term(2), signature, 0)
+
+    def test_wrong_output_arity_rejected(self):
+        assert not is_tli_query_term(
+            intersection_term(2), QueryArity((2, 2), 3), 0
+        )
+
+    def test_wrong_input_arity_rejected(self):
+        assert not is_tli_query_term(
+            intersection_term(2), QueryArity((2, 1), 2), 0
+        )
+
+    def test_untypable_rejected(self):
+        assert not is_tli_query_term(
+            parse(r"\R. R R"), QueryArity((2,), 2), 0
+        )
+
+    def test_too_few_binders_rejected(self):
+        with pytest.raises(QueryTermError):
+            recognize_tli(parse(r"\R. R"), QueryArity((2, 2), 2))
+
+    def test_duplicate_binders_rejected(self):
+        with pytest.raises(QueryTermError):
+            recognize_tli(
+                parse(r"\R. \R. R"), QueryArity((2, 2), 2)
+            )
+
+
+class TestResultAccumulatorRule:
+    def test_accumulator_must_not_be_o(self):
+        # λR. λc. λn. c (c o1 o1) n would force the accumulator to o —
+        # build a term where the tail has type o.
+        term = parse(r"\R. \c. \n. c o1 o2")
+        # c o1 o2 : d forces n-position absent; this one just isn't of
+        # relation type at all.
+        assert not is_tli_query_term(term, QueryArity((2,), 2), 0)
+
+    def test_free_accumulator_reported(self):
+        result = recognize_tli(parse(r"\R. R"), QueryArity((2,), 2))
+        assert isinstance(
+            result.result_accumulator, (TypeVar, BaseG)
+        )
+
+    def test_eq_forces_g_accumulator(self):
+        term = parse(r"\R. \c. \n. R (\x y T. Eq x y (c x y T) T) n")
+        result = recognize_tli(term, QueryArity((2,), 2))
+        assert isinstance(result.result_accumulator, BaseG)
+
+
+class TestOrderMeasurement:
+    def test_tli0_queries_have_order_3(self):
+        assert tli_query_order(
+            intersection_term(2), QueryArity((2, 2), 2)
+        ) == 3
+        assert tli_query_order(
+            union_term(1), QueryArity((1, 1), 1)
+        ) == 3
+
+    def test_fixpoint_query_has_order_4(self):
+        term = build_fixpoint_query(
+            transitive_closure_query("E"), style="tli"
+        )
+        assert tli_query_order(term, QueryArity((2,), 2)) == 4
+
+    def test_mli_order_of_fixpoint(self):
+        term = build_fixpoint_query(
+            transitive_closure_query("E"), style="mli"
+        )
+        assert mli_query_order(term, QueryArity((2,), 2)) == 4
+
+
+class TestTLIvsMLI:
+    def test_mli_style_fixpoint_is_not_tli(self):
+        # Without Copy gadgets the occurrences of E need two accumulator
+        # types: "These typings do not unify, so ... it is necessary to
+        # use let-polymorphism" (Section 4).
+        term = build_fixpoint_query(
+            transitive_closure_query("E"), style="mli"
+        )
+        signature = QueryArity((2,), 2)
+        assert is_mli_query_term(term, signature, 1)
+        assert not is_tli_query_term(term, signature, 1)
+
+    def test_tli_style_fixpoint_is_both(self):
+        term = build_fixpoint_query(
+            transitive_closure_query("E"), style="tli"
+        )
+        signature = QueryArity((2,), 2)
+        assert is_tli_query_term(term, signature, 1)
+        assert is_mli_query_term(term, signature, 1)
+
+    def test_fixpoint_is_not_order_0(self):
+        term = build_fixpoint_query(
+            transitive_closure_query("E"), style="tli"
+        )
+        assert not is_tli_query_term(term, QueryArity((2,), 2), 0)
+
+    def test_every_tli_query_is_mli(self):
+        # TLC= is a subset of core-ML= (Section 2.2).
+        for term, signature in (
+            (intersection_term(2), QueryArity((2, 2), 2)),
+            (parse(r"\R. R"), QueryArity((1,), 1)),
+        ):
+            if is_tli_query_term(term, signature, 0):
+                assert is_mli_query_term(term, signature, 0)

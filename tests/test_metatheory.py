@@ -1,0 +1,119 @@
+"""Property tests for the Section 2.1 metatheory on randomized terms.
+
+The paper relies on three classical properties of TLC= / core-ML=
+(Church-Rosser, strong normalization, subject reduction "reduction
+preserves types").  These are theorems about the calculus, not about this
+implementation — but an implementation bug in substitution, delta, or the
+normalizers would break them, so they make sharp property tests.
+Random *typable* terms are obtained by filtering the untyped generator.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro.errors import FuelExhausted
+from repro.lam.alpha import alpha_equal
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import Strategy, is_normal_form, normalize, step
+from repro.types.infer import infer, typable
+from repro.types.order import ground
+from repro.types.unify import unifiable
+from tests.conftest import untyped_terms
+
+FUEL = 3000
+
+
+def _matches(general, specific, bindings):
+    """Is ``specific`` a substitution instance of ``general``?
+
+    One-way matching: only ``general``'s variables may bind.  The two types
+    come from independent ``infer`` runs, so their variable names overlap
+    with unrelated meanings — plain unification would clash spuriously.
+    """
+    from repro.types.types import Arrow, TypeVar
+
+    if isinstance(general, TypeVar):
+        bound = bindings.get(general.name)
+        if bound is None:
+            bindings[general.name] = specific
+            return True
+        return bound == specific
+    if isinstance(general, Arrow):
+        return (
+            isinstance(specific, Arrow)
+            and _matches(general.left, specific.left, bindings)
+            and _matches(general.right, specific.right, bindings)
+        )
+    return general == specific
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_subject_reduction(term):
+    """If e types at t and e > e', then e' types at t: the reduct's
+    principal type is at least as general (t is an instance of it)."""
+    assume(typable(term))
+    before = infer(term).type
+    outcome = step(term)
+    assume(outcome is not None)
+    after = infer(outcome[0]).type
+    assert _matches(after, before, {})
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_strong_normalization(term):
+    """Typable terms reach a normal form within bounded fuel."""
+    assume(typable(term))
+    outcome = normalize(term, fuel=FUEL)
+    assert is_normal_form(outcome.term)
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_church_rosser(term):
+    """Normal order and applicative order meet at the same normal form."""
+    assume(typable(term))
+    normal = normalize(term, Strategy.NORMAL_ORDER, fuel=FUEL).term
+    applicative = normalize(
+        term, Strategy.APPLICATIVE_ORDER, fuel=FUEL
+    ).term
+    assert alpha_equal(normal, applicative)
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_nbe_equals_smallstep(term):
+    """The two normalizers implement the same reduction relation."""
+    assume(typable(term))
+    assert alpha_equal(
+        nbe_normalize(term), normalize(term, fuel=FUEL).term
+    )
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_normal_forms_are_fixed_points(term):
+    """Normalizing twice equals normalizing once."""
+    assume(typable(term))
+    once = normalize(term, fuel=FUEL).term
+    twice = normalize(once, fuel=FUEL)
+    assert twice.steps == 0
+    assert twice.term == once
+
+
+@given(untyped_terms(max_depth=4))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_untypable_terms_may_diverge_but_reduction_is_safe(term):
+    """Even on untypable terms the engine either normalizes or runs out of
+    fuel — it never crashes or produces a non-term."""
+    try:
+        outcome = normalize(term, fuel=200)
+    except FuelExhausted:
+        return
+    assert is_normal_form(outcome.term)

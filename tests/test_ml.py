@@ -1,0 +1,124 @@
+"""Tests for core-ML= reconstruction with let-polymorphism (Section 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import OrderBoundError, TypeInferenceError
+from repro.lam.parser import parse
+from repro.lam.terms import expand_lets
+from repro.types.infer import typable
+from repro.types.ml import (
+    TypeScheme,
+    ml_check_order_bound,
+    ml_infer,
+    ml_principal_type,
+    ml_term_order,
+    ml_typable,
+    ml_typable_by_expansion,
+)
+from repro.types.types import Arrow, G, O, TypeVar, relation_type
+from tests.conftest import untyped_terms
+
+
+class TestLetPolymorphism:
+    def test_paper_example(self):
+        # "let x = (λz. z) in (x x) is in core-ML but (λx. x x)(λz. z) is
+        # not in TLC" (Section 2.2).
+        assert ml_typable(parse(r"let x = \z. z in x x"))
+        assert not typable(parse(r"(\x. x x) (\z. z)"))
+
+    def test_lambda_bound_stays_monomorphic(self):
+        assert not ml_typable(parse(r"\x. (\f. f f) x"))
+        assert not ml_typable(parse(r"\f. f f"))
+
+    def test_polymorphic_use_at_two_types(self):
+        term = parse(r"let f = \x. x in Eq (f o1) (f o2) (f a) (f b)")
+        assert ml_typable(term)
+
+    def test_generalization_respects_environment(self):
+        # The classic soundness pitfall: in λy. let g = λz. y in ..., the
+        # scheme of g must generalize z's type but NOT y's.
+        good = parse(r"\y. let g = \z. y in Eq (g o1) (g (\w. w)) a b")
+        # g used at two argument types (generalized z) but one result type.
+        assert ml_typable(good)
+        # Using g's *result* at two incompatible types must fail — y is
+        # lambda-bound, hence monomorphic.
+        bad = parse(
+            r"\y. let g = \z. y in Eq ((g o1) o1) ((g o2) (\w. w)) a b"
+        )
+        assert not ml_typable(bad)
+
+    def test_tlc_subset_of_ml(self):
+        # "TLC= is a subset of core-ML=".
+        for source in (r"\x. x", r"\x. Eq x x", r"(\x. \y. x) o1"):
+            term = parse(source)
+            assert typable(term) and ml_typable(term)
+
+    def test_same_expressive_power_via_expansion(self):
+        # Operationally let x = M in N is (λx. N) M; expansion preserves
+        # normal forms, and ML-typability matches expansion typability.
+        term = parse(r"let f = \x. x in f f")
+        assert typable(expand_lets(term))
+
+
+class TestExpansionAgreement:
+    @given(untyped_terms(max_depth=4))
+    @settings(max_examples=60, deadline=None)
+    def test_ml_typability_equals_expansion_typability(self, term):
+        assert ml_typable(term) == ml_typable_by_expansion(term)
+
+    def test_unused_let_binding_still_checked(self):
+        # The (Let) rule's left premise requires E typable even when x is
+        # unused in B.
+        term = parse(r"let x = (\f. f f) in o1")
+        assert not ml_typable(term)
+        assert not ml_typable_by_expansion(term)
+
+
+class TestSchemes:
+    def test_scheme_rendering(self):
+        scheme = TypeScheme(("a",), Arrow(TypeVar("a"), TypeVar("a")))
+        assert "forall a" in str(scheme)
+
+    def test_let_schemes_recorded(self):
+        result = ml_infer(parse(r"let f = \x. x in f o1"))
+        assert any(
+            scheme.quantified for scheme in result.let_schemes.values()
+        )
+
+    def test_env_schemes_enable_polymorphic_assumptions(self):
+        scheme = TypeScheme(
+            ("?a",), relation_type(1, TypeVar("?a"))
+        )
+        # R used at two different accumulator instances (order 0 and
+        # order 1) — exactly the MLI= typing device of Definition 3.8.
+        term = parse(r"\c. \n. R (\x. \t. c x t) (R (\x. \f. f) (\u. u) n)")
+        try:
+            ml_infer(term, env_schemes={"R": scheme})
+        except TypeInferenceError as exc:  # pragma: no cover
+            pytest.fail(f"polymorphic assumption rejected: {exc}")
+
+    def test_monomorphic_env_rejects_the_same(self):
+        term = parse(r"\c. \n. R (\x. \t. c x t) (R (\x. \f. f) (\u. u) n)")
+        with pytest.raises(TypeInferenceError):
+            ml_infer(term, env={"R": relation_type(1, TypeVar("?mono"))})
+
+
+class TestMLOrders:
+    def test_ml_term_order(self):
+        # The term's *type* is o (order 0); the derivation mentions the
+        # order-1 identity.
+        assert ml_term_order(parse(r"let f = \x. x in f o1")) == 0
+        result = ml_infer(parse(r"let f = \x. x in f o1"))
+        assert result.derivation_order() == 1
+
+    def test_order_bound(self):
+        ml_check_order_bound(parse(r"let f = \x. x in f o1"), 1)
+        with pytest.raises(OrderBoundError):
+            ml_check_order_bound(
+                parse(r"let t = \s. \z. s (s z) in t"), 1
+            )
+
+    def test_principal_type(self):
+        type_ = ml_principal_type(parse(r"let f = \x. x in f f"))
+        assert isinstance(type_, Arrow)

@@ -1,0 +1,152 @@
+"""Tests for the concrete syntax: parser and pretty-printer."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParseError
+from repro.lam.alpha import alpha_equal
+from repro.lam.parser import parse, tokenize
+from repro.lam.pretty import pretty, pretty_compact
+from repro.lam.terms import Abs, App, Const, EqConst, Let, Var, app, lam
+from tests.conftest import untyped_terms
+
+
+class TestParsing:
+    def test_variable(self):
+        assert parse("x") == Var("x")
+
+    def test_constant_convention(self):
+        assert parse("o1") == Const("o1")
+        assert parse("o42") == Const("o42")
+
+    def test_explicit_constants(self):
+        assert parse("alice", constants=["alice"]) == Const("alice")
+        assert parse("alice") == Var("alice")
+
+    def test_eq_keyword(self):
+        assert parse("Eq") == EqConst()
+
+    def test_lambda_backslash_and_unicode(self):
+        expected = Abs("x", Var("x"))
+        assert parse(r"\x. x") == expected
+        assert parse("λx. x") == expected
+
+    def test_multi_binder(self):
+        assert parse(r"\x y. x") == lam(["x", "y"], Var("x"))
+
+    def test_application_left_assoc(self):
+        assert parse("f a b") == app(Var("f"), Var("a"), Var("b"))
+
+    def test_application_parens(self):
+        assert parse("f (a b)") == App(
+            Var("f"), App(Var("a"), Var("b"))
+        )
+
+    def test_lambda_body_extends_right(self):
+        term = parse(r"\x. f x y")
+        assert term == Abs("x", app(Var("f"), Var("x"), Var("y")))
+
+    def test_let(self):
+        term = parse(r"let x = \y. y in x x")
+        assert term == Let(
+            "x", Abs("y", Var("y")), App(Var("x"), Var("x"))
+        )
+
+    def test_nested_let(self):
+        term = parse("let a = o1 in let b = o2 in Eq a b")
+        assert isinstance(term, Let) and isinstance(term.body, Let)
+
+    def test_annotation(self):
+        term = parse(r"\x:o. x")
+        from repro.types.types import O
+
+        assert isinstance(term, Abs)
+        assert term.annotation == O
+
+    def test_arrow_annotation_right_assoc(self):
+        term = parse(r"\f:o -> o -> g. f")
+        from repro.types.types import Arrow, G, O
+
+        assert term.annotation == Arrow(O, Arrow(O, G))
+
+    def test_parenthesized_annotation(self):
+        term = parse(r"\f:(o -> o) -> g. f")
+        from repro.types.types import Arrow, G, O
+
+        assert term.annotation == Arrow(Arrow(O, O), G)
+
+    def test_primed_names(self):
+        assert parse("x'") == Var("x'")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "(x",
+            "x)",
+            r"\x",
+            r"\x x",
+            "let x = in y",
+            "let x y in z",
+            "x @ y",
+            r"\. x",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_carries_position(self):
+        try:
+            parse("f (a")
+        except ParseError as exc:
+            assert exc.position >= 0
+        else:  # pragma: no cover
+            raise AssertionError("expected ParseError")
+
+
+class TestRoundTrip:
+    @given(untyped_terms())
+    def test_pretty_parse_roundtrip(self, term):
+        assert alpha_equal(parse(pretty(term)), term)
+
+    @given(untyped_terms())
+    def test_unicode_roundtrip(self, term):
+        assert alpha_equal(
+            parse(pretty(term, unicode_lambda=True)), term
+        )
+
+    @given(untyped_terms())
+    def test_compact_roundtrip(self, term):
+        assert alpha_equal(parse(pretty_compact(term)), term)
+
+    def test_annotated_roundtrip(self):
+        source = r"\x:o. \y:g. Eq x x y y"
+        term = parse(source)
+        reparsed = parse(pretty(term, annotations=True))
+        assert reparsed == term
+        assert reparsed.annotation == term.annotation
+
+
+class TestTokenizer:
+    def test_token_kinds(self):
+        tokens = tokenize(r"let x = \y. Eq in z")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "let",
+            "name",
+            "equals",
+            "lambda",
+            "name",
+            "dot",
+            "Eq",
+            "in",
+            "name",
+            "eof",
+        ]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("x # y")

@@ -1,0 +1,152 @@
+"""Tests for the polynomial-time fixpoint evaluator (Theorem 5.2)."""
+
+import pytest
+
+from repro.db.encode import encode_database
+from repro.db.generators import (
+    chain_graph_relation,
+    cycle_graph_relation,
+    random_graph_relation,
+)
+from repro.db.relations import Database, Relation
+from repro.eval.ptime import run_fixpoint_query
+from repro.lam.alpha import alpha_equal
+from repro.lam.nbe import nbe_normalize
+from repro.lam.terms import app
+from repro.queries.fixpoint import (
+    FixpointQuery,
+    build_fixpoint_query,
+    fix,
+    transitive_closure_query,
+)
+from repro.relalg.ast import Base, ColumnEqualsColumn, Product, Project, Select, Union
+from tests.conftest import transitive_closure
+
+
+class TestTransitiveClosure:
+    @pytest.mark.parametrize("style", ["tli", "mli"])
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            chain_graph_relation(6),
+            cycle_graph_relation(5),
+            random_graph_relation(7, 0.3, seed=4),
+            Relation.empty(2),
+        ],
+        ids=["chain", "cycle", "random", "empty"],
+    )
+    def test_tc_matches_reference(self, style, graph):
+        db = Database.of({"E": graph})
+        run = run_fixpoint_query(
+            transitive_closure_query("E"), db, style=style
+        )
+        assert run.relation.as_set() == transitive_closure(graph)
+
+    def test_stage_sizes_monotone(self):
+        db = Database.of({"E": chain_graph_relation(6)})
+        run = run_fixpoint_query(transitive_closure_query("E"), db)
+        assert run.stage_sizes == sorted(run.stage_sizes)
+
+    def test_convergence_within_crank_length(self):
+        db = Database.of({"E": chain_graph_relation(5)})
+        run = run_fixpoint_query(transitive_closure_query("E"), db)
+        assert run.converged_at is not None
+        assert run.converged_at <= len(db.active_domain()) ** 2
+
+    def test_full_crank_equals_early_stopping(self):
+        db = Database.of({"E": chain_graph_relation(4)})
+        query = transitive_closure_query("E")
+        early = run_fixpoint_query(query, db, stop_on_convergence=True)
+        full = run_fixpoint_query(query, db, stop_on_convergence=False)
+        assert alpha_equal(early.normal_form, full.normal_form)
+        assert full.stages == len(db.active_domain()) ** 2
+
+
+class TestAgreementWithNaiveReduction:
+    @pytest.mark.parametrize("style", ["tli", "mli"])
+    def test_exact_normal_form_on_tiny_instance(self, style):
+        # The stage-materializing strategy reduces the query's own
+        # subterms; by Church-Rosser the result is literally the normal
+        # form of (Fix r̄) — checked here against whole-term reduction.
+        query = transitive_closure_query("E")
+        db = Database.of({"E": Relation.from_tuples(2, [("o1", "o2")])})
+        term = build_fixpoint_query(query, style)
+        naive = nbe_normalize(
+            app(term, *encode_database(db)), max_depth=2_000_000
+        )
+        staged = run_fixpoint_query(
+            query, db, style=style, stop_on_convergence=False
+        )
+        assert alpha_equal(naive, staged.normal_form)
+
+
+class TestOtherFixpoints:
+    def test_symmetric_closure(self):
+        step = Union(Base("E"), Project(fix(), (1, 0)))
+        query = FixpointQuery.of(step, 2, {"E": 2})
+        graph = chain_graph_relation(4)
+        db = Database.of({"E": graph})
+        run = run_fixpoint_query(query, db)
+        expected = set(graph.tuples) | {
+            (b, a) for (a, b) in graph.tuples
+        }
+        assert run.relation.as_set() == expected
+
+    def test_reachable_from_source(self):
+        # reach(x) <- S(x) | reach(y), E(y, x)
+        step = Union(
+            Base("S"),
+            Project(
+                Select(
+                    Product(fix(), Base("E")), ColumnEqualsColumn(0, 1)
+                ),
+                (2,),
+            ),
+        )
+        query = FixpointQuery.of(step, 1, {"S": 1, "E": 2})
+        graph = chain_graph_relation(5)
+        db = Database.of(
+            {"S": Relation.unary(["o2"]), "E": graph}
+        )
+        run = run_fixpoint_query(query, db)
+        assert run.relation.as_set() == {
+            ("o2",), ("o3",), ("o4",), ("o5",)
+        }
+
+    def test_same_generation(self):
+        up = Relation.from_tuples(2, [("o1", "o3"), ("o2", "o3")])
+        flat = Relation.from_tuples(2, [("o3", "o3")])
+        down = Relation.from_tuples(2, [("o3", "o1"), ("o3", "o2")])
+        step = Union(
+            Base("flat"),
+            Project(
+                Select(
+                    Product(
+                        Base("up"), Product(fix(), Base("down"))
+                    ),
+                    # up(x, x1), sg(x1, y1), down(y1, y): join columns
+                    # 1=2 and 3=4 in (x, x1, x1', y1, y1', y).
+                    ColumnEqualsColumn(1, 2),
+                ).where(ColumnEqualsColumn(3, 4)),
+                (0, 5),
+            ),
+        )
+        query = FixpointQuery.of(
+            step, 2, {"flat": 2, "up": 2, "down": 2}
+        )
+        db = Database.of({"flat": flat, "up": up, "down": down})
+        run = run_fixpoint_query(query, db)
+        # o1 and o2 are in the same generation (both one step below o3).
+        assert ("o1", "o2") in run.relation.as_set()
+        assert ("o2", "o1") in run.relation.as_set()
+
+    def test_arity_one_domain_closure(self):
+        # Everything in the domain: fix(x) <- adom(x).
+        from repro.relalg.ast import adom
+
+        query = FixpointQuery.of(adom(), 1, {"R": 2})
+        db = Database.of(
+            {"R": Relation.from_tuples(2, [("o1", "o2")])}
+        )
+        run = run_fixpoint_query(query, db)
+        assert run.relation.as_set() == {("o1",), ("o2",)}

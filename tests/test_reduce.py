@@ -1,0 +1,173 @@
+"""Tests for the small-step reduction engine (Section 2.1 semantics)."""
+
+import pytest
+
+from repro.errors import FuelExhausted
+from repro.lam.alpha import alpha_equal
+from repro.lam.combinators import church_numeral, numeral_value
+from repro.lam.parser import parse
+from repro.lam.reduce import (
+    FALSE,
+    TRUE,
+    Strategy,
+    contract_root,
+    eta_normalize,
+    eta_step,
+    find_redex,
+    is_normal_form,
+    normalize,
+    step,
+)
+from repro.lam.terms import Abs, App, Const, EqConst, Var, app, lam, let
+
+
+class TestBetaReduction:
+    def test_identity_application(self):
+        term = app(Abs("x", Var("x")), Const("o1"))
+        result, kind = contract_root(term)
+        assert result == Const("o1")
+        assert kind == "beta"
+
+    def test_normal_form_reached(self):
+        outcome = normalize(parse(r"(\x. x x) (\y. y)"))
+        assert alpha_equal(outcome.term, Abs("y", Var("y")))
+        assert outcome.beta_steps == 2
+
+    def test_normal_order_avoids_argument_work(self):
+        # K-combinator discards its second argument: normal order never
+        # reduces it, applicative order does.
+        k = lam(["a", "b"], Var("a"))
+        expensive = app(Abs("x", Var("x")), Const("o9"))
+        term = app(k, Const("o1"), expensive)
+        normal = normalize(term, Strategy.NORMAL_ORDER)
+        applicative = normalize(term, Strategy.APPLICATIVE_ORDER)
+        assert normal.term == applicative.term == Const("o1")
+        assert normal.steps < applicative.steps
+
+
+class TestDeltaReduction:
+    def test_equal_constants(self):
+        term = app(EqConst(), Const("o1"), Const("o1"))
+        result, kind = contract_root(term)
+        assert kind == "delta"
+        assert alpha_equal(result, TRUE)
+
+    def test_unequal_constants(self):
+        term = app(EqConst(), Const("o1"), Const("o2"))
+        result, _ = contract_root(term)
+        assert alpha_equal(result, FALSE)
+
+    def test_if_then_else_idiom(self):
+        # Eq x y p q as "if x = y then p else q" (Section 2.1).
+        term = parse("Eq o1 o1 p q")
+        assert normalize(term).term == Var("p")
+        term = parse("Eq o1 o2 p q")
+        assert normalize(term).term == Var("q")
+
+    def test_eq_stuck_on_variables(self):
+        term = app(EqConst(), Var("x"), Const("o1"))
+        assert is_normal_form(term)
+
+    def test_delta_after_beta(self):
+        term = parse(r"(\x. Eq x o2 a b) o2")
+        outcome = normalize(term)
+        assert outcome.term == Var("a")
+        assert outcome.delta_steps == 1
+
+
+class TestLetReduction:
+    def test_let_contracts_to_substitution(self):
+        term = let("x", Const("o1"), app(Var("f"), Var("x")))
+        result, kind = contract_root(term)
+        assert kind == "let"
+        assert result == app(Var("f"), Const("o1"))
+
+    def test_let_polymorphic_use_reduces(self):
+        term = parse(r"let f = \x. x in f f")
+        outcome = normalize(term)
+        assert alpha_equal(outcome.term, Abs("x", Var("x")))
+        assert outcome.let_steps == 1
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            r"(\x. x) o1",
+            r"(\f. \x. f (f x)) (\y. y) o2",
+            "Eq o1 o1 (Eq o2 o3 a b) c",
+            r"let g = \x. \y. x in g o1 o2",
+        ],
+    )
+    def test_same_normal_form(self, source):
+        term = parse(source)
+        normal = normalize(term, Strategy.NORMAL_ORDER).term
+        applicative = normalize(term, Strategy.APPLICATIVE_ORDER).term
+        assert alpha_equal(normal, applicative)
+
+    def test_weak_head_stops_under_binder(self):
+        term = Abs("x", app(Abs("y", Var("y")), Var("x")))
+        outcome = normalize(term, Strategy.WEAK_HEAD)
+        assert outcome.term == term  # redex is under the binder
+        assert normalize(term).steps == 1
+
+
+class TestNormalForms:
+    def test_is_normal_form(self):
+        assert is_normal_form(Var("x"))
+        assert is_normal_form(Abs("x", app(Var("x"), Const("o1"))))
+        assert not is_normal_form(app(Abs("x", Var("x")), Var("y")))
+
+    def test_find_redex(self):
+        redex = app(Abs("x", Var("x")), Var("y"))
+        term = Abs("z", app(Var("f"), redex))
+        assert find_redex(term) == redex
+
+    def test_fuel_exhaustion(self):
+        omega = app(
+            Abs("x", app(Var("x"), Var("x"))),
+            Abs("x", app(Var("x"), Var("x"))),
+        )
+        with pytest.raises(FuelExhausted):
+            normalize(omega, fuel=50)
+
+    def test_step_counts_accumulate(self):
+        outcome = normalize(
+            app(church_numeral(3), Abs("u", Var("u")), Const("o1"))
+        )
+        assert outcome.steps == (
+            outcome.beta_steps
+            + outcome.delta_steps
+            + outcome.let_steps
+        )
+
+
+class TestEta:
+    def test_eta_contraction(self):
+        term = Abs("x", app(Var("f"), Var("x")))
+        assert eta_step(term) == Var("f")
+
+    def test_eta_blocked_when_var_free_in_fn(self):
+        term = Abs("x", app(Var("x"), Var("x")))
+        assert eta_step(term) is None
+
+    def test_eta_normalize(self):
+        term = Abs("x", app(Abs("y", app(Var("f"), Var("y"))), Var("x")))
+        # Two eta steps: inner λy. f y, then λx. f x.
+        assert eta_normalize(term) == Var("f")
+
+    def test_eta_not_part_of_default_reduction(self):
+        term = Abs("x", app(Var("f"), Var("x")))
+        assert is_normal_form(term)
+
+
+class TestChurchRosser:
+    def test_numeral_arithmetic_any_order(self):
+        from repro.lam.combinators import add_term
+
+        term = app(add_term(), church_numeral(2), church_numeral(2))
+        for strategy in (
+            Strategy.NORMAL_ORDER,
+            Strategy.APPLICATIVE_ORDER,
+        ):
+            assert numeral_value(normalize(term, strategy).term) == 4

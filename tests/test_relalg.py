@@ -1,0 +1,150 @@
+"""Tests for the relational algebra AST and baseline engine."""
+
+import pytest
+
+from repro.db.generators import random_database, random_relation
+from repro.db.relations import Database, Relation
+from repro.errors import SchemaError
+from repro.relalg.ast import (
+    Base,
+    ColumnEqualsColumn,
+    ColumnEqualsConst,
+    CondNot,
+    Difference,
+    Intersection,
+    Product,
+    Project,
+    Select,
+    Union,
+    adom,
+    condition_columns,
+    join,
+    precedes,
+    schema_with_derived,
+)
+from repro.relalg.engine import database_schema, derived_relation, evaluate_ra
+
+
+@pytest.fixture
+def db():
+    return Database.of(
+        {
+            "R": Relation.from_tuples(
+                2, [("o1", "o2"), ("o2", "o2"), ("o3", "o1")]
+            ),
+            "S": Relation.from_tuples(2, [("o2", "o2"), ("o1", "o3")]),
+        }
+    )
+
+
+class TestArityChecking:
+    def test_base_arity(self, db):
+        schema = database_schema(db)
+        assert Base("R").arity(schema) == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            Base("missing").arity({})
+
+    def test_union_arity_mismatch(self, db):
+        schema = database_schema(db)
+        expr = Union(Base("R"), Project(Base("S"), (0,)))
+        with pytest.raises(SchemaError):
+            expr.arity(schema)
+
+    def test_projection_out_of_range(self, db):
+        schema = database_schema(db)
+        with pytest.raises(SchemaError):
+            Project(Base("R"), (5,)).arity(schema)
+
+    def test_selection_column_out_of_range(self, db):
+        schema = database_schema(db)
+        with pytest.raises(SchemaError):
+            Select(Base("R"), ColumnEqualsColumn(0, 9)).arity(schema)
+
+    def test_schema_with_derived(self, db):
+        schema = schema_with_derived(database_schema(db))
+        assert schema["__adom__"] == 1
+        assert schema["__precedes__R"] == 4
+
+
+class TestEngine:
+    def test_union_dedups_keeping_left_order(self, db):
+        result = evaluate_ra(Union(Base("R"), Base("S")), db)
+        assert result.tuples[0] == ("o1", "o2")
+        assert len(result) == 4
+
+    def test_intersection(self, db):
+        result = evaluate_ra(Intersection(Base("R"), Base("S")), db)
+        assert result.as_set() == {("o2", "o2")}
+
+    def test_difference(self, db):
+        result = evaluate_ra(Difference(Base("R"), Base("S")), db)
+        assert result.as_set() == {("o1", "o2"), ("o3", "o1")}
+
+    def test_product(self, db):
+        result = evaluate_ra(
+            Product(Project(Base("R"), (0,)), Project(Base("S"), (1,))),
+            db,
+        )
+        assert result.arity == 2
+        assert len(result) == len(
+            {
+                (a, b)
+                for (a,) in evaluate_ra(Project(Base("R"), (0,)), db)
+                for (b,) in evaluate_ra(Project(Base("S"), (1,)), db)
+            }
+        )
+
+    def test_select_constant(self, db):
+        result = evaluate_ra(
+            Select(Base("R"), ColumnEqualsConst(0, "o2")), db
+        )
+        assert result.as_set() == {("o2", "o2")}
+
+    def test_select_negation(self, db):
+        result = evaluate_ra(
+            Select(Base("R"), CondNot(ColumnEqualsColumn(0, 1))), db
+        )
+        assert result.as_set() == {("o1", "o2"), ("o3", "o1")}
+
+    def test_fluent_interface(self, db):
+        expr = Base("R").where(ColumnEqualsColumn(0, 1)).project(0)
+        assert evaluate_ra(expr, db).as_set() == {("o2",)}
+
+    def test_join_helper(self, db):
+        schema = database_schema(db)
+        expr = join(Base("R"), Base("S"), [(1, 0)], schema)
+        result = evaluate_ra(expr, db)
+        assert result.as_set() == {
+            r + s
+            for r in db["R"].tuples
+            for s in db["S"].tuples
+            if r[1] == s[0]
+        }
+
+
+class TestDerivedBases:
+    def test_adom(self, db):
+        result = evaluate_ra(adom(), db)
+        assert result.as_set() == {("o1",), ("o2",), ("o3",)}
+
+    def test_precedes_is_strict_list_order(self, db):
+        result = evaluate_ra(precedes("R"), db)
+        rows = db["R"].tuples
+        expected = {
+            rows[i] + rows[j]
+            for i in range(len(rows))
+            for j in range(i + 1, len(rows))
+        }
+        assert result.as_set() == expected
+
+    def test_derived_relation_unknown(self, db):
+        with pytest.raises(SchemaError):
+            derived_relation(db, "__nonsense__")
+
+    def test_condition_columns(self):
+        cond = CondNot(
+            ColumnEqualsColumn(0, 2)
+        ) | ColumnEqualsConst(1, "o1")
+        assert set(condition_columns(cond)) == {0, 1, 2}

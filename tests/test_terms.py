@@ -1,0 +1,153 @@
+"""Unit tests for the term syntax layer (repro.lam.terms)."""
+
+import pytest
+from hypothesis import given
+
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Var,
+    abs_many,
+    app,
+    binder_prefix,
+    bound_vars,
+    constants_of,
+    contains_let,
+    expand_lets,
+    free_vars,
+    lam,
+    let,
+    spine,
+    subterms,
+    term_size,
+)
+from tests.conftest import untyped_terms
+
+
+class TestConstructors:
+    def test_lam_single_name(self):
+        term = lam("x", Var("x"))
+        assert term == Abs("x", Var("x"))
+
+    def test_lam_multiple(self):
+        term = lam(["x", "y"], Var("x"))
+        assert term == Abs("x", Abs("y", Var("x")))
+
+    def test_lam_accepts_var_objects(self):
+        assert lam(Var("x"), Var("x")) == Abs("x", Var("x"))
+
+    def test_app_left_nested(self):
+        term = app(Var("f"), Var("a"), Var("b"))
+        assert term == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_call_sugar(self):
+        assert Var("f")(Var("a"), Var("b")) == app(
+            Var("f"), Var("a"), Var("b")
+        )
+
+    def test_let_constructor(self):
+        term = let("x", Var("y"), Var("x"))
+        assert term == Let("x", Var("y"), Var("x"))
+
+    def test_annotations_do_not_affect_equality(self):
+        from repro.types.types import O
+
+        assert Abs("x", Var("x"), O) == Abs("x", Var("x"))
+
+    def test_abs_many(self):
+        assert abs_many(["a", "b"], Var("a")) == lam(["a", "b"], Var("a"))
+
+
+class TestFreeAndBoundVars:
+    def test_var_is_free(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_abs_binds(self):
+        assert free_vars(Abs("x", Var("x"))) == frozenset()
+        assert free_vars(Abs("x", Var("y"))) == {"y"}
+
+    def test_let_binds_body_only(self):
+        term = Let("x", Var("x"), Var("x"))
+        # The bound expression's x is free (let is not letrec).
+        assert free_vars(term) == {"x"}
+
+    def test_constants_are_not_variables(self):
+        assert free_vars(Const("o1")) == frozenset()
+        assert free_vars(EqConst()) == frozenset()
+
+    def test_bound_vars(self):
+        term = Abs("x", Let("y", Var("x"), Var("y")))
+        assert bound_vars(term) == {"x", "y"}
+
+    def test_shadowing(self):
+        term = Abs("x", Abs("x", Var("x")))
+        assert free_vars(term) == frozenset()
+
+
+class TestObservations:
+    def test_subterms_count_matches_size(self):
+        term = app(Abs("x", Var("x")), Const("o1"))
+        assert len(list(subterms(term))) == term_size(term)
+
+    def test_term_size(self):
+        assert term_size(Var("x")) == 1
+        assert term_size(app(Var("f"), Var("x"))) == 3
+        assert term_size(Abs("x", Var("x"))) == 2
+
+    def test_spine(self):
+        head, args = spine(app(Var("f"), Var("a"), Var("b")))
+        assert head == Var("f")
+        assert args == (Var("a"), Var("b"))
+
+    def test_spine_of_non_application(self):
+        head, args = spine(Var("x"))
+        assert head == Var("x") and args == ()
+
+    def test_binder_prefix(self):
+        names, body = binder_prefix(lam(["a", "b", "c"], Var("a")))
+        assert names == ("a", "b", "c")
+        assert body == Var("a")
+
+    def test_constants_of(self):
+        term = app(EqConst(), Const("o1"), Const("o2"))
+        assert constants_of(term) == {"o1", "o2"}
+
+
+class TestLets:
+    def test_contains_let(self):
+        assert contains_let(Let("x", Var("y"), Var("x")))
+        assert not contains_let(Abs("x", Var("x")))
+
+    def test_expand_lets_simple(self):
+        term = Let("x", Const("o1"), app(Var("f"), Var("x"), Var("x")))
+        assert expand_lets(term) == app(Var("f"), Const("o1"), Const("o1"))
+
+    def test_expand_lets_nested(self):
+        term = Let("x", Const("o1"), Let("y", Var("x"), Var("y")))
+        assert expand_lets(term) == Const("o1")
+
+    def test_expand_lets_shadowing(self):
+        term = Let("x", Const("o1"), Abs("x", Var("x")))
+        assert expand_lets(term) == Abs("x", Var("x"))
+
+    @given(untyped_terms())
+    def test_expand_lets_removes_all_lets(self, term):
+        assert not contains_let(expand_lets(term))
+
+    @given(untyped_terms())
+    def test_expand_lets_no_new_free_vars(self, term):
+        assert free_vars(expand_lets(term)) <= free_vars(term)
+
+
+class TestHashability:
+    def test_terms_usable_in_sets(self):
+        terms = {Var("x"), Var("x"), Const("o1"), Abs("x", Var("x"))}
+        assert len(terms) == 3
+
+    def test_immutability(self):
+        term = Var("x")
+        with pytest.raises(Exception):
+            term.name = "y"  # type: ignore[misc]

@@ -1,0 +1,169 @@
+"""Integration tests: the paper's four main theorems, end to end.
+
+Each test runs one theorem's full pipeline on randomized inputs:
+
+* Theorem 4.1 — FO-query -> RA -> TLI=0 term -> reduction == FO baseline;
+* Theorem 5.1 — TLI=0 term -> canonical form -> FO formula == reduction;
+* Theorem 4.2 — fixpoint query -> TLI=1/MLI=1 term, recognized at order 4;
+* Theorem 5.2 — the polynomial evaluator == Datalog baseline == reduction.
+"""
+
+import pytest
+
+from repro.datalog.ast import Literal, Program, RVar, Rule
+from repro.datalog.compile import datalog_to_fixpoint
+from repro.datalog.engine import evaluate_program
+from repro.db.generators import random_database, random_graph_relation
+from repro.db.relations import Database
+from repro.eval.driver import run_query
+from repro.eval.fo_translation import translate_query
+from repro.eval.materialize import run_ra_query_materialized
+from repro.eval.ptime import run_fixpoint_query
+from repro.folog.evaluate import evaluate_fo_query
+from repro.folog.formulas import Atom, Exists, FVar, Forall, Not, Or
+from repro.queries.fixpoint import build_fixpoint_query, transitive_closure_query
+from repro.queries.fo_compile import compile_fo
+from repro.queries.language import (
+    QueryArity,
+    is_mli_query_term,
+    is_tli_query_term,
+)
+from repro.queries.relalg_compile import build_ra_query
+from repro.relalg.ast import schema_with_derived
+from tests.conftest import transitive_closure
+
+SCHEMA = {"R1": 2, "R2": 2}
+x, y, z = FVar("x"), FVar("y"), FVar("z")
+
+FO_SUITE = [
+    # (formula, output variables)
+    (Exists("y", Atom("R1", (x, y)) & Atom("R2", (y, z))), ["x", "z"]),
+    (Forall("y", Or(Not(Atom("R1", (x, y))), Atom("R2", (x, y)))), ["x"]),
+    (Atom("R1", (x, y)) & ~Atom("R2", (x, y)), ["x", "y"]),
+]
+
+
+class TestTheorem41:
+    """Every FO-query is a TLI=0 (MLI=0) query."""
+
+    @pytest.mark.parametrize("index", range(len(FO_SUITE)))
+    def test_fo_query_expressible_in_tli0(self, index):
+        formula, output = FO_SUITE[index]
+        expr = compile_fo(formula, output, SCHEMA)
+        query = build_ra_query(expr, ["R1", "R2"], SCHEMA)
+        signature = QueryArity((2, 2), len(output))
+        # Membership in both languages (Definition 3.7 / 3.8).
+        assert is_tli_query_term(query, signature, 0)
+        assert is_mli_query_term(query, signature, 0)
+        # Same relation on random inputs.
+        for seed in (1, 2):
+            db = random_database(
+                [2, 2], [4, 3], universe_size=3, seed=seed
+            )
+            expected = evaluate_fo_query(formula, output, db)
+            got = run_ra_query_materialized(expr, db).relation
+            assert got.same_set(expected)
+
+
+class TestTheorem51:
+    """Every TLI=0 (MLI=0) query is an FO-query.
+
+    The Section 5.2 translation is data-independent but its formula grows
+    exponentially with the query's iteration-nesting depth (PassThrough
+    duplicates the loop body), so the integration pipeline here uses
+    shallow queries; breadth is covered in tests/test_fo_translation.py.
+    """
+
+    SHALLOW = [
+        (Atom("R1", (x, y)), ["x", "y"]),
+        (Atom("R1", (x, x)), ["x"]),
+        (Atom("R1", (x, FVar("y"))) , ["y", "x"]),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SHALLOW)))
+    def test_tli0_query_expressible_in_fo(self, index):
+        formula, output = self.SHALLOW[index]
+        expr = compile_fo(formula, output, SCHEMA)
+        query = build_ra_query(expr, ["R1", "R2"], SCHEMA)
+        translation = translate_query(
+            query, QueryArity((2, 2), len(output))
+        )
+        db = random_database([2, 2], [3, 3], universe_size=3, seed=3)
+        direct = run_ra_query_materialized(expr, db).relation
+        assert translation.evaluate(db).same_set(direct)
+
+    def test_round_trip_through_both_theorems(self):
+        # FO -> TLI=0 (4.1) -> FO (5.1): the final formula still computes
+        # the original query.
+        formula, output = self.SHALLOW[1]
+        expr = compile_fo(formula, output, SCHEMA)
+        query = build_ra_query(expr, ["R1", "R2"], SCHEMA)
+        translation = translate_query(
+            query, QueryArity((2, 2), len(output))
+        )
+        db = random_database([2, 2], [4, 3], universe_size=3, seed=4)
+        original = evaluate_fo_query(formula, output, db)
+        assert translation.evaluate(db).same_set(original)
+
+
+class TestTheorem42:
+    """Every PTIME (fixpoint) query is a TLI=1 (MLI=1) query."""
+
+    def test_tc_term_membership(self):
+        signature = QueryArity((2,), 2)
+        tli = build_fixpoint_query(
+            transitive_closure_query("E"), style="tli"
+        )
+        mli = build_fixpoint_query(
+            transitive_closure_query("E"), style="mli"
+        )
+        assert is_tli_query_term(tli, signature, 1)
+        assert is_mli_query_term(mli, signature, 1)
+        # Strictly order 4: not TLI=0/MLI=0.
+        assert not is_tli_query_term(tli, signature, 0)
+        assert not is_mli_query_term(mli, signature, 0)
+
+    def test_tc_computes_transitive_closure(self):
+        graph = random_graph_relation(6, 0.3, seed=5)
+        db = Database.of({"E": graph})
+        run = run_fixpoint_query(transitive_closure_query("E"), db)
+        assert run.relation.as_set() == transitive_closure(graph)
+
+
+class TestTheorem52:
+    """Every TLI=1 (MLI=1) query is a PTIME query: the specialized
+    evaluator agrees with the Datalog baseline."""
+
+    def test_agreement_with_datalog_engine(self):
+        V = RVar
+        program = Program.of(
+            [
+                Rule(
+                    Literal("tc", (V("x"), V("y"))),
+                    (Literal("E", (V("x"), V("y"))),),
+                ),
+                Rule(
+                    Literal("tc", (V("x"), V("y"))),
+                    (
+                        Literal("E", (V("x"), V("z"))),
+                        Literal("tc", (V("z"), V("y"))),
+                    ),
+                ),
+            ],
+            {"E": 2},
+        )
+        for seed in (6, 7):
+            graph = random_graph_relation(6, 0.3, seed=seed)
+            db = Database.of({"E": graph})
+            baseline = evaluate_program(program, db)["tc"]
+            run = run_fixpoint_query(datalog_to_fixpoint(program), db)
+            assert run.relation.same_set(baseline)
+
+    def test_polynomial_stage_count(self):
+        # The evaluator runs at most |D|^k stages — the Crank bound.
+        graph = random_graph_relation(6, 0.3, seed=8)
+        db = Database.of({"E": graph})
+        run = run_fixpoint_query(
+            transitive_closure_query("E"), db, stop_on_convergence=False
+        )
+        assert run.stages == len(db.active_domain()) ** 2

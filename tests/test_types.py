@@ -1,0 +1,188 @@
+"""Tests for type syntax, functionality order, and unification."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnificationError
+from repro.types.order import derivation_order, ground, order
+from repro.types.pretty import pretty_type
+from repro.types.types import (
+    Arrow,
+    BaseG,
+    BaseO,
+    G,
+    O,
+    TypeVar,
+    arrow,
+    arrow_parts,
+    bool_type,
+    characteristic_type,
+    eq_type,
+    int_type,
+    relation_type,
+    type_dag_size,
+    type_size,
+)
+from repro.types.unify import Substitution, unifiable, unify
+
+
+@st.composite
+def types(draw, max_depth: int = 4):
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+
+    def build(d):
+        if d == 0:
+            return draw(
+                st.sampled_from(
+                    [O, G, TypeVar("a"), TypeVar("b"), TypeVar("c")]
+                )
+            )
+        return Arrow(build(d - 1), build(d - 1))
+
+    return build(depth)
+
+
+class TestTypeSyntax:
+    def test_arrow_sugar(self):
+        assert (O >> G) == Arrow(O, G)
+
+    def test_arrow_many_right_nested(self):
+        assert arrow(O, O, G) == Arrow(O, Arrow(O, G))
+
+    def test_arrow_requires_argument(self):
+        with pytest.raises(ValueError):
+            arrow()
+
+    def test_arrow_parts_inverse(self):
+        args, base = arrow_parts(arrow(O, G, O, G))
+        assert args == [O, G, O]
+        assert base == G
+
+    def test_pretty_parenthesization(self):
+        assert pretty_type(arrow(O, O, G)) == "o -> o -> g"
+        assert pretty_type(Arrow(Arrow(O, O), G)) == "(o -> o) -> g"
+
+    def test_type_size(self):
+        assert type_size(O) == 1
+        assert type_size(Arrow(O, G)) == 3
+
+
+class TestPaperTypes:
+    def test_bool_type(self):
+        assert bool_type() == arrow(G, G, G)
+
+    def test_int_type(self):
+        assert int_type() == arrow(Arrow(G, G), G, G)
+
+    def test_eq_type(self):
+        assert eq_type() == arrow(O, O, G, G, G)
+
+    def test_relation_type_shape(self):
+        # o^2_g = (o -> o -> g -> g) -> g -> g (Section 3.1).
+        assert relation_type(2) == arrow(arrow(O, O, G, G), G, G)
+
+    def test_relation_type_order_is_two(self):
+        # "The order of this type is 2, independent of the arity of r."
+        for arity in range(5):
+            assert order(relation_type(arity)) == 2
+
+    def test_relation_type_order_grows_with_accumulator(self):
+        phi = characteristic_type(2)
+        assert order(phi) == 1
+        assert order(relation_type(2, phi)) == 3
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            relation_type(-1)
+
+
+class TestOrder:
+    @pytest.mark.parametrize(
+        "type_, expected",
+        [
+            (O, 0),
+            (TypeVar("t"), 0),
+            (Arrow(O, O), 1),
+            (arrow(O, O, O), 1),
+            (Arrow(Arrow(O, O), O), 2),
+            (bool_type(), 1),
+            (int_type(), 2),
+            (eq_type(), 1),
+        ],
+    )
+    def test_order_cases(self, type_, expected):
+        assert order(type_) == expected
+
+    def test_order_definition_recurrence(self):
+        # order(a -> b) = max(1 + order(a), order(b)).
+        a, b = Arrow(O, O), arrow(Arrow(O, O), O)
+        assert order(Arrow(a, b)) == max(1 + order(a), order(b))
+
+    @given(types())
+    def test_ground_minimizes_order(self, type_):
+        assert order(ground(type_)) <= order(
+            ground(type_, Arrow(O, O))
+        )
+
+    def test_derivation_order_empty(self):
+        assert derivation_order({}) == 0
+
+
+class TestUnification:
+    def test_variable_binds(self):
+        subst = unify(TypeVar("a"), O)
+        assert subst.apply(TypeVar("a")) == O
+
+    def test_arrow_decomposition(self):
+        subst = unify(
+            Arrow(TypeVar("a"), G), Arrow(O, TypeVar("b"))
+        )
+        assert subst.apply(TypeVar("a")) == O
+        assert subst.apply(TypeVar("b")) == G
+
+    def test_occurs_check(self):
+        with pytest.raises(UnificationError):
+            unify(TypeVar("a"), Arrow(TypeVar("a"), O))
+
+    def test_base_clash(self):
+        with pytest.raises(UnificationError):
+            unify(O, G)
+
+    def test_arrow_base_clash(self):
+        with pytest.raises(UnificationError):
+            unify(Arrow(O, O), O)
+
+    def test_unifiable_predicate(self):
+        assert unifiable(TypeVar("a"), relation_type(2))
+        assert not unifiable(O, Arrow(O, O))
+
+    @given(types())
+    def test_unify_with_self(self, type_):
+        assert unifiable(type_, type_)
+
+    @given(types())
+    def test_unify_with_fresh_var(self, type_):
+        subst = unify(TypeVar("?fresh"), type_)
+        assert subst.apply(TypeVar("?fresh")) == type_
+
+    def test_triangular_walk(self):
+        subst = Substitution()
+        subst.unify(TypeVar("a"), TypeVar("b"))
+        subst.unify(TypeVar("b"), O)
+        assert subst.walk(TypeVar("a")) == O
+
+    def test_copy_is_independent(self):
+        subst = Substitution()
+        subst.unify(TypeVar("a"), O)
+        clone = subst.copy()
+        clone.unify(TypeVar("b"), G)
+        assert "b" not in subst
+
+
+class TestDagSize:
+    def test_shared_structure_counted_once(self):
+        shared = Arrow(O, O)
+        wide = Arrow(shared, shared)
+        assert type_size(wide) == 7
+        assert type_dag_size(wide) == 3  # o, o->o, (o->o)->(o->o)

@@ -1,0 +1,96 @@
+"""Tests for the small supporting utilities (naming, errors, misc APIs)."""
+
+import pytest
+
+from repro.db.domain import active_domain_term, domain_product_size
+from repro.db.relations import Database, Relation
+from repro.errors import FuelExhausted, ParseError, ReproError
+from repro.naming import (
+    NameSupply,
+    constant_index,
+    constant_name,
+    numbered,
+)
+
+
+class TestNaming:
+    def test_constant_name_roundtrip(self):
+        for index in (1, 7, 120):
+            assert constant_index(constant_name(index)) == index
+
+    def test_constant_name_bounds(self):
+        with pytest.raises(ValueError):
+            constant_name(0)
+
+    def test_constant_index_variants(self):
+        assert constant_index("o_3") == 3
+        assert constant_index("alice") is None
+        assert constant_index("o") is None
+
+    def test_fresh_returns_base_when_unused(self):
+        supply = NameSupply()
+        assert supply.fresh("x") == "x"
+
+    def test_fresh_never_repeats(self):
+        supply = NameSupply(["x"])
+        names = {supply.fresh("x") for _ in range(10)}
+        assert len(names) == 10
+        assert "x" not in names
+
+    def test_fresh_many(self):
+        supply = NameSupply()
+        names = supply.fresh_many(4, "y")
+        assert len(set(names)) == 4
+
+    def test_contains(self):
+        supply = NameSupply(["used"])
+        assert "used" in supply
+        assert "fresh" not in supply
+
+    def test_numbered_stream(self):
+        stream = numbered("t", start=2)
+        assert [next(stream) for _ in range(3)] == ["t2", "t3", "t4"]
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParseError, ReproError)
+        assert issubclass(FuelExhausted, ReproError)
+
+    def test_fuel_exhausted_carries_budget(self):
+        exc = FuelExhausted(100)
+        assert exc.steps == 100
+        assert "100" in str(exc)
+
+    def test_parse_error_context(self):
+        exc = ParseError("boom", position=3, source="abcdef")
+        assert "position 3" in str(exc)
+
+
+class TestRelationExtras:
+    def test_from_any_order_sorts(self):
+        rel = Relation.from_any_order(1, [("o3",), ("o1",), ("o3",)])
+        assert rel.tuples == (("o1",), ("o3",))
+
+    def test_sorted(self):
+        rel = Relation.from_tuples(1, [("o2",), ("o1",)])
+        assert rel.sorted().tuples == (("o1",), ("o2",))
+
+    def test_str_rendering(self):
+        rel = Relation.from_tuples(2, [("a", "b")])
+        assert "Relation[2]" in str(rel)
+        db = Database.of({"R": rel})
+        assert "R=" in str(db)
+
+    def test_domain_product_size(self):
+        db = Database.of(
+            {"R": Relation.from_tuples(2, [("a", "b"), ("b", "c")])}
+        )
+        assert domain_product_size(db, 2) == 9
+
+    def test_active_domain_term_is_encoding(self):
+        from repro.db.decode import decode_relation
+
+        db = Database.of({"R": Relation.from_tuples(1, [("a",), ("b",)])})
+        decoded = decode_relation(active_domain_term(db), 1)
+        assert decoded.relation.as_set() == {("a",), ("b",)}
