@@ -432,6 +432,133 @@ def experiment_e8() -> None:
           "order 4 (TLC= runs the same suite at order 3 — E1).")
 
 
+# ---------------------------------------------------------------------------
+# ES — the service runtime
+# ---------------------------------------------------------------------------
+
+def experiment_es(smoke: bool = False, out: str | None = None) -> None:
+    header(
+        "ES (service runtime)",
+        "catalog + digest cache + batching vs cold one-shot evaluation",
+    )
+    import json
+    import os
+
+    from repro.db.generators import chain_graph_relation, random_database
+    from repro.db.relations import Database
+    from repro.eval.driver import run_query
+    from repro.eval.ptime import run_fixpoint_query
+    from repro.lam.parser import parse
+    from repro.queries.fixpoint import transitive_closure_query
+    from repro.queries.language import QueryArity
+    from repro.queries.relalg_compile import build_ra_query
+    from repro.relalg.ast import Base, ColumnEqualsColumn
+    from repro.service import QueryRequest, QueryService
+
+    if smoke:
+        sizes, chain_nodes, rounds = [5, 4], 4, 3
+    else:
+        sizes, chain_nodes, rounds = [12, 10], 6, 20
+
+    db = random_database([2, 2], sizes, universe_size=7, seed=42)
+    graph = Database.of({"E": chain_graph_relation(chain_nodes)})
+    schema = {"R1": 2, "R2": 2}
+    term_suite = {
+        "swap": (parse(r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n"), 2),
+        "union": (
+            build_ra_query(Base("R1").union(Base("R2")), ["R1", "R2"],
+                           schema),
+            2,
+        ),
+        "join": (
+            build_ra_query(
+                Base("R1").times(Base("R2"))
+                .where(ColumnEqualsColumn(1, 2)).project(0, 3),
+                ["R1", "R2"], schema,
+            ),
+            2,
+        ),
+    }
+    tc = transitive_closure_query("E")
+
+    service = QueryService()
+    service.catalog.register_database("db", db)
+    service.catalog.register_database("g", graph)
+    for name, (term, arity) in term_suite.items():
+        service.catalog.register_query(
+            name, term, signature=QueryArity((2, 2), arity)
+        )
+    service.catalog.register_query("tc", tc)
+
+    plan = list(term_suite) + ["tc"]
+    requests = [
+        QueryRequest(query=name, database="g" if name == "tc" else "db",
+                     tag=f"{name}#{i}")
+        for i in range(rounds)
+        for name in plan
+    ]
+
+    # Cold baseline: the same workload as independent one-shot calls —
+    # re-encode, re-check, re-evaluate every time, nothing shared.
+    def cold_run():
+        for _ in range(rounds):
+            for term, arity in term_suite.values():
+                run_query(term, db, arity=arity)
+            run_fixpoint_query(tc, graph)
+
+    _, cold_s = timed(cold_run)
+    batch = service.execute_batch(requests)
+    stats = batch.stats
+
+    not_ok = [r for r in batch.responses if not r.ok]
+    assert not not_ok, f"service errors: {[r.error for r in not_ok]}"
+    batch_s = stats["wall_ms"] / 1000.0
+    speedup = cold_s / batch_s if batch_s > 0 else float("inf")
+
+    print(f"workload: {len(requests)} requests over {len(plan)} plans "
+          f"x {rounds} rounds")
+    print(f"{'path':>14} {'wall s':>8} {'qps':>8}")
+    print(f"{'cold one-shot':>14} {cold_s:>8.2f} "
+          f"{len(requests) / cold_s:>8.1f}")
+    print(f"{'service batch':>14} {batch_s:>8.2f} "
+          f"{stats['throughput_qps']:>8.1f}")
+    print(f"cache: {stats['cache_hits']} hits / {stats['cache_misses']} "
+          f"misses (hit rate {stats['hit_rate']:.2%}); "
+          f"latency p50 {stats['latency_p50_ms']:.2f} ms, "
+          f"p95 {stats['latency_p95_ms']:.2f} ms; "
+          f"speedup {speedup:.1f}x")
+    print("expected shape: one miss per plan, everything else hits; "
+          "speedup well above 2x.")
+
+    payload = {
+        "experiment": "ES",
+        "smoke": smoke,
+        "workload": {
+            "requests": len(requests),
+            "plans": plan,
+            "rounds": rounds,
+            "db_tuples": {name: len(rel) for name, rel in db},
+            "graph_nodes": chain_nodes,
+        },
+        "cold_one_shot": {
+            "wall_s": round(cold_s, 4),
+            "throughput_qps": round(len(requests) / cold_s, 2),
+        },
+        "service_batch": stats,
+        "speedup": round(speedup, 2),
+        "service": service.stats(),
+    }
+    out_path = out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir,
+        "BENCH_service.json",
+    )
+    out_path = os.path.abspath(out_path)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+
+
 EXPERIMENTS = {
     "E1": experiment_e1,
     "E2": experiment_e2,
@@ -441,18 +568,41 @@ EXPERIMENTS = {
     "E6": experiment_e6,
     "E7": experiment_e7,
     "E8": experiment_e8,
+    "ES": experiment_es,
 }
 
 
 def main(argv) -> None:
-    chosen = argv[1:] or sorted(EXPERIMENTS)
+    args = list(argv[1:])
+    smoke = False
+    out = None
+    names = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--smoke":
+            smoke = True
+        elif arg == "--out":
+            index += 1
+            if index >= len(args):
+                raise SystemExit("--out requires a path argument")
+            out = args[index]
+        elif arg.startswith("--"):
+            raise SystemExit(f"unknown flag {arg!r}")
+        else:
+            names.append(arg)
+        index += 1
+    chosen = names or sorted(EXPERIMENTS)
     for name in chosen:
         if name not in EXPERIMENTS:
             raise SystemExit(
                 f"unknown experiment {name!r}; "
                 f"choose from {sorted(EXPERIMENTS)}"
             )
-        EXPERIMENTS[name]()
+        if name == "ES":
+            experiment_es(smoke=smoke, out=out)
+        else:
+            EXPERIMENTS[name]()
 
 
 if __name__ == "__main__":

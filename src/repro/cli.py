@@ -13,7 +13,11 @@ Commands:
 * ``datalog`` — evaluate a Datalog(-not) program over a database, either
   with the baseline engine or (single-IDB programs) compiled to a TLI=1
   term and evaluated by the Theorem 5.2 fixpoint evaluator;
-* ``encode`` / ``decode`` — move between relations and lambda terms.
+* ``encode`` / ``decode`` — move between relations and lambda terms;
+* ``catalog`` — register databases/queries in a service catalog and print
+  the registration summary (engines, orders, digests);
+* ``batch`` — serve a JSON batch of requests through the query service
+  runtime (shared encodings, result cache, thread-pool execution).
 
 The database JSON format maps relation names to tuple lists, e.g.::
 
@@ -209,6 +213,196 @@ def cmd_datalog(args) -> int:
     return 0
 
 
+def _split_named(values, what: str):
+    """Parse repeated ``NAME=VALUE`` options into an ordered dict."""
+    out = {}
+    for value in values or ():
+        if "=" not in value:
+            raise ReproError(
+                f"{what} must look like NAME={'PATH' if what == '--db' else 'SPEC'}, "
+                f"got {value!r}"
+            )
+        name, _, rest = value.partition("=")
+        if not name or not rest:
+            raise ReproError(f"{what} {value!r} has an empty name or value")
+        out[name] = rest
+    return out
+
+
+_FIXPOINT_BUILDERS = {
+    "tc": ("transitive_closure_query", 1),
+    "reach": ("reachability_query", 2),
+    "sg": ("same_generation_query", 3),
+}
+
+
+def _parse_fixpoint_spec(spec: str):
+    """``tc[:E]``, ``reach[:S,E]``, ``sg[:flat,up,down]`` — the paper's
+    three worked fixpoint examples, with optional relation renaming."""
+    import repro.queries.fixpoint as fixpoint
+
+    kind, _, rest = spec.partition(":")
+    if kind not in _FIXPOINT_BUILDERS:
+        raise ReproError(
+            f"unknown fixpoint kind {kind!r}; "
+            f"choose from {sorted(_FIXPOINT_BUILDERS)}"
+        )
+    builder_name, argc = _FIXPOINT_BUILDERS[kind]
+    builder = getattr(fixpoint, builder_name)
+    if not rest:
+        return builder()
+    names = [n.strip() for n in rest.split(",")]
+    if len(names) != argc:
+        raise ReproError(
+            f"fixpoint kind {kind!r} takes {argc} relation name(s), "
+            f"got {len(names)}"
+        )
+    return builder(*names)
+
+
+def _build_service(args):
+    """Register the ``--db`` / ``--query`` / ``--fixpoint`` options into a
+    fresh :class:`repro.service.QueryService`."""
+    from repro.service import QueryService
+
+    service = QueryService(cache_capacity=args.cache_capacity)
+    for name, path in _split_named(args.db, "--db").items():
+        service.catalog.register_database(name, load_database(path))
+    signature = None
+    if args.inputs is not None or args.output is not None:
+        if args.inputs is None or args.output is None:
+            raise ReproError("--inputs and --output must be given together")
+        signature = QueryArity(tuple(args.inputs), args.output)
+    for name, spec in _split_named(args.query, "--query").items():
+        term = read_term_argument(spec, constants=args.constants or ())
+        service.catalog.register_query(
+            name, term, signature=signature, check=not args.no_check
+        )
+    for name, spec in _split_named(args.fixpoint, "--fixpoint").items():
+        service.catalog.register_query(name, _parse_fixpoint_spec(spec))
+    return service
+
+
+def cmd_catalog(args) -> int:
+    service = _build_service(args)
+    summary = service.catalog.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    for entry in summary["databases"]:
+        relations = ", ".join(
+            f"{name}[{count}]" for name, count in entry["relations"].items()
+        )
+        print(
+            f"db {entry['name']} v{entry['version']} "
+            f"digest={entry['digest']} |D|={entry['active_domain']} "
+            f"({relations})"
+        )
+    for entry in summary["queries"]:
+        order = f" order={entry['order']}" if entry["order"] else ""
+        sig = f" sig={entry['signature']}" if entry["signature"] else ""
+        print(
+            f"query {entry['name']} kind={entry['kind']} "
+            f"engine={entry['engine']} digest={entry['digest']}"
+            f"{order}{sig}"
+        )
+    return 0
+
+
+def _load_batch_requests(path: str, service, constants):
+    from repro.service import QueryRequest
+
+    try:
+        with open(path) as handle:
+            raw = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read batch {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"batch {path!r} is not valid JSON: {exc}") from exc
+    if isinstance(raw, dict):
+        raw = raw.get("requests", [])
+    if not isinstance(raw, list):
+        raise ReproError("batch file must be a list or {\"requests\": [...]}")
+    known_queries = {entry.name for entry in service.catalog.queries()}
+    db_names = [entry.name for entry in service.catalog.databases()]
+    requests = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict) or "query" not in item:
+            raise ReproError(
+                f"batch request #{index} must be an object with a 'query'"
+            )
+        query = item["query"]
+        if query not in known_queries:
+            # Not a registered name: treat as an inline term (or @file).
+            query = read_term_argument(query, constants=constants)
+        database = item.get("db")
+        if database is None:
+            if len(db_names) != 1:
+                raise ReproError(
+                    f"batch request #{index} names no 'db' and "
+                    f"{len(db_names)} databases are registered"
+                )
+            database = db_names[0]
+        requests.append(
+            QueryRequest(
+                query=query,
+                database=database,
+                engine=item.get("engine"),
+                arity=item.get("arity"),
+                fuel=item.get("fuel", 10_000_000),
+                timeout_s=item.get("timeout_s"),
+                tag=item.get("tag", f"#{index}"),
+            )
+        )
+    return requests
+
+
+def cmd_batch(args) -> int:
+    service = _build_service(args)
+    requests = _load_batch_requests(
+        args.requests, service, args.constants or ()
+    )
+    if args.repeat > 1:
+        requests = [r for _ in range(args.repeat) for r in requests]
+    result = service.execute_batch(requests, max_workers=args.workers)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "responses": [
+                        r.as_dict(include_tuples=not args.no_tuples)
+                        for r in result.responses
+                    ],
+                    "stats": result.stats,
+                    "service": service.stats(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for response in result.responses:
+        cache = "hit" if response.cache_hit else "miss"
+        print(
+            f"== {response.tag} {response.query}@{response.database} "
+            f"{response.status} engine={response.engine} cache={cache} "
+            f"wall={response.wall_ms:.2f}ms"
+        )
+        if response.relation is not None and not args.no_tuples:
+            for row in response.relation.tuples:
+                print("\t".join(row))
+        elif response.error:
+            print(f"   {response.error}")
+    stats = result.stats
+    print(
+        f"# {stats['requests']} requests, {stats['cache_hits']} cache hits "
+        f"({stats['hit_rate']:.0%}), p50 {stats['latency_p50_ms']}ms, "
+        f"p95 {stats['latency_p95_ms']}ms, "
+        f"{stats['throughput_qps']} req/s",
+        file=sys.stderr,
+    )
+    return 0 if all(r.ok for r in result.responses) else 1
+
+
 def cmd_encode(args) -> int:
     database = load_database(args.db)
     for name, relation in database:
@@ -329,6 +523,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--semantics", choices=["stratified", "inflationary"],
                    default="stratified")
     p.set_defaults(handler=cmd_datalog)
+
+    def add_service_options(p):
+        p.add_argument("--db", action="append", metavar="NAME=PATH",
+                       help="register a database (repeatable)")
+        p.add_argument("--query", action="append", metavar="NAME=SPEC",
+                       help="register a query term (SPEC is a term or "
+                            "@file; repeatable)")
+        p.add_argument("--fixpoint", action="append", metavar="NAME=KIND",
+                       help="register a fixpoint query: tc[:E], "
+                            "reach[:S,E], or sg[:flat,up,down] "
+                            "(runs on the Theorem 5.2 PTIME evaluator)")
+        p.add_argument("--inputs", type=int, nargs="+",
+                       help="input arities for --query order checking")
+        p.add_argument("--output", type=int,
+                       help="output arity for --query order checking")
+        p.add_argument("--constants", nargs="*", metavar="NAME",
+                       help="extra names to read as atomic constants")
+        p.add_argument("--no-check", action="store_true",
+                       help="skip registration-time type/order checking")
+        p.add_argument("--cache-capacity", type=int, default=256)
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+
+    p = commands.add_parser(
+        "catalog",
+        help="register databases and query plans, print the catalog",
+    )
+    add_service_options(p)
+    p.set_defaults(handler=cmd_catalog)
+
+    p = commands.add_parser(
+        "batch",
+        help="serve a JSON batch of query requests through the service",
+    )
+    p.add_argument("requests",
+                   help="JSON file: a list of {query, db?, engine?, "
+                        "arity?, fuel?, timeout_s?, tag?} objects, or "
+                        "{\"requests\": [...]}")
+    add_service_options(p)
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread-pool size (default: min(8, batch size))")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="serve the request list this many times")
+    p.add_argument("--no-tuples", action="store_true",
+                   help="omit result tuples from the output")
+    p.set_defaults(handler=cmd_batch)
 
     p = commands.add_parser("encode", help="encode database relations")
     p.add_argument("--db", required=True)

@@ -13,6 +13,13 @@ Engines:
 * ``"smallstep"`` — the reference small-step normalizer (normal order);
   exposes step counts, used by the complexity experiments.
 * ``"applicative"`` — small-step, applicative order.
+
+:func:`run_query` is the *one-shot* entry point: it encodes the database
+and normalizes from scratch on every call.  It is a thin wrapper over the
+service runtime's uncached path (:func:`repro.service.runtime.run_once`);
+for repeated queries over the same databases use
+:class:`repro.service.QueryService`, which encodes once per database
+version and caches normal forms.
 """
 
 from __future__ import annotations
@@ -20,15 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.db.decode import DecodedRelation, decode_relation
-from repro.db.encode import encode_database
+from repro.db.decode import DecodedRelation
 from repro.db.relations import Database, Relation
-from repro.errors import EvaluationError
-from repro.lam.nbe import nbe_normalize
-from repro.lam.reduce import Strategy, normalize
-from repro.lam.terms import Term, app
+from repro.lam.terms import Term
 
-ENGINES = ("nbe", "smallstep", "applicative")
+# Re-exported for backwards compatibility; the engine registry lives with
+# the service runtime now.
+from repro.service.engines import ENGINES  # noqa: F401
 
 
 @dataclass
@@ -55,30 +60,24 @@ def run_query(
 
     ``arity`` optionally asserts the output arity.  Raises
     :class:`repro.errors.DecodeError` if the normal form is not a relation
-    encoding (i.e. the term was not a query term for this input type).
+    encoding (i.e. the term was not a query term for this input type), and
+    :class:`repro.errors.EvaluationError` — *before* any encoding work —
+    if ``engine`` is not one of :data:`ENGINES`.
     """
-    encoded_inputs = encode_database(database)
-    applied = app(query, *encoded_inputs)
-    steps: Optional[int] = None
-    if engine == "nbe":
-        normal_form = nbe_normalize(applied, max_depth=max_depth)
-    elif engine == "smallstep":
-        outcome = normalize(applied, Strategy.NORMAL_ORDER, fuel=fuel)
-        normal_form = outcome.term
-        steps = outcome.steps
-    elif engine == "applicative":
-        outcome = normalize(applied, Strategy.APPLICATIVE_ORDER, fuel=fuel)
-        normal_form = outcome.term
-        steps = outcome.steps
-    else:
-        raise EvaluationError(
-            f"unknown engine {engine!r}; expected one of {ENGINES}"
-        )
-    decoded = decode_relation(normal_form, arity)
+    from repro.service.runtime import run_once
+
+    decoded, result = run_once(
+        query,
+        database,
+        arity=arity,
+        engine=engine,
+        fuel=fuel,
+        max_depth=max_depth,
+    )
     return QueryRun(
         relation=decoded.relation,
         decoded=decoded,
-        normal_form=normal_form,
-        engine=engine,
-        steps=steps,
+        normal_form=result.normal_form,
+        engine=result.engine,
+        steps=result.steps,
     )

@@ -124,6 +124,10 @@ def _step_normal(term: Term, weak: bool) -> Optional[Tuple[Term, str]]:
         inner = _step_normal(term.fn, weak)
         if inner is not None:
             return App(inner[0], term.arg), inner[1]
+        if weak:
+            # Weak head reduction stops once the head is stuck: argument
+            # positions are never reduced.
+            return None
         inner = _step_normal(term.arg, weak)
         if inner is not None:
             return App(term.fn, inner[0]), inner[1]

@@ -20,8 +20,19 @@ paper uses for readability; the Curry-style reconstruction in
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, FrozenSet, Iterator, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.types.types import Type
@@ -267,3 +278,168 @@ def expand_lets(term: Term) -> Term:
 def contains_let(term: Term) -> bool:
     """True iff ``term`` contains a ``let`` node (i.e. is strictly core-ML)."""
     return any(isinstance(node, Let) for node in subterms(term))
+
+
+# ---------------------------------------------------------------------------
+# Structural digests and hash-consing
+# ---------------------------------------------------------------------------
+#
+# The service layer (:mod:`repro.service`) keys plan/result caches on term
+# identity.  Structural ``==`` on large terms is O(size) per comparison, so
+# cache lookups would dominate; instead terms are keyed by an
+# *alpha-invariant* content digest: bound variables are serialized as de
+# Bruijn distances, so alpha-variants share a digest (the paper's ``=`` is
+# identity up to renaming of bound variables).  The digest of a given term
+# *object* is computed once — O(size) — and memoized, so repeated lookups
+# are O(1).
+
+#: Memo table ``id(term) -> (term, digest)``.  The strong reference keeps
+#: the id stable for the lifetime of the entry; bounded FIFO eviction keeps
+#: the table from growing without limit.
+_DIGEST_CACHE: Dict[int, Tuple[Term, str]] = {}
+_DIGEST_CACHE_MAX = 8192
+
+
+def digest(term: Term) -> str:
+    """An alpha-invariant SHA-256 content digest of ``term``.
+
+    Computed iteratively (no recursion-depth limit on encoded databases),
+    memoized per term object: O(size) the first time, O(1) thereafter.
+    Annotations on ``Abs`` binders are ignored, matching structural ``==``.
+    Alpha-variants digest equal; structurally different terms digest
+    differently (up to SHA-256 collisions).
+    """
+    cached = _DIGEST_CACHE.get(id(term))
+    if cached is not None and cached[0] is term:
+        return cached[1]
+    parts: List[bytes] = []
+    # Scope stack per name: the binder depths currently in scope.
+    scopes: Dict[str, List[int]] = {}
+    depth = 0
+    # Work stack of (op, payload): "term" serializes a node, "bind" opens a
+    # binder scope, "pop" closes it.  Pre-order with fixed arities per
+    # constructor makes the byte string an injective encoding.
+    stack: List[Tuple[str, object]] = [("term", term)]
+    while stack:
+        op, payload = stack.pop()
+        if op == "bind":
+            scopes.setdefault(payload, []).append(depth)  # type: ignore[arg-type]
+            depth += 1
+            continue
+        if op == "pop":
+            scopes[payload].pop()  # type: ignore[index]
+            depth -= 1
+            continue
+        node = payload
+        if isinstance(node, Var):
+            levels = scopes.get(node.name)
+            if levels:
+                # Bound: distance to the binder (de Bruijn index).
+                parts.append(b"b%d;" % (depth - 1 - levels[-1]))
+            else:
+                name = node.name.encode()
+                parts.append(b"v%d:%s;" % (len(name), name))
+        elif isinstance(node, Const):
+            name = node.name.encode()
+            parts.append(b"c%d:%s;" % (len(name), name))
+        elif isinstance(node, EqConst):
+            parts.append(b"q;")
+        elif isinstance(node, Abs):
+            parts.append(b"L")
+            stack.append(("pop", node.var))
+            stack.append(("term", node.body))
+            stack.append(("bind", node.var))
+        elif isinstance(node, App):
+            parts.append(b"A")
+            stack.append(("term", node.arg))
+            stack.append(("term", node.fn))
+        elif isinstance(node, Let):
+            # ``let x = M in N``: x scopes over N only.
+            parts.append(b"T")
+            stack.append(("pop", node.var))
+            stack.append(("term", node.body))
+            stack.append(("bind", node.var))
+            stack.append(("term", node.bound))
+        else:
+            raise TypeError(f"not a term: {node!r}")
+    result = hashlib.sha256(b"".join(parts)).hexdigest()
+    if len(_DIGEST_CACHE) >= _DIGEST_CACHE_MAX:
+        _DIGEST_CACHE.pop(next(iter(_DIGEST_CACHE)))
+    _DIGEST_CACHE[id(term)] = (term, result)
+    return result
+
+
+#: Hash-consing table: shallow structural key -> canonical node.
+_INTERN_TABLE: Dict[tuple, Term] = {}
+
+
+def intern_term(term: Term) -> Term:
+    """Hash-cons ``term``: structurally equal terms map to one shared
+    object graph, so later ``is``-checks, ``==``, and :func:`digest` calls
+    on interned terms are cheap and maximally shared.
+
+    The rebuild is iterative post-order; each node costs O(1) table work
+    (children are keyed by the ``id`` of their canonical representatives,
+    which the table keeps alive).  ``Abs`` annotations follow the first
+    interned occurrence, consistent with annotations being ignored by
+    structural equality.
+    """
+    done: Dict[int, Term] = {}
+
+    def key_of(node: Term) -> tuple:
+        if isinstance(node, Var):
+            return ("V", node.name)
+        if isinstance(node, Const):
+            return ("C", node.name)
+        if isinstance(node, EqConst):
+            return ("Q",)
+        if isinstance(node, Abs):
+            return ("L", node.var, id(done[id(node.body)]))
+        if isinstance(node, App):
+            return ("A", id(done[id(node.fn)]), id(done[id(node.arg)]))
+        if isinstance(node, Let):
+            return (
+                "T",
+                node.var,
+                id(done[id(node.bound)]),
+                id(done[id(node.body)]),
+            )
+        raise TypeError(f"not a term: {node!r}")
+
+    def rebuild(node: Term) -> Term:
+        if isinstance(node, Abs):
+            return Abs(node.var, done[id(node.body)], node.annotation)
+        if isinstance(node, App):
+            return App(done[id(node.fn)], done[id(node.arg)])
+        if isinstance(node, Let):
+            return Let(node.var, done[id(node.bound)], done[id(node.body)])
+        return node
+
+    stack: List[Tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in done:
+            continue
+        if not ready:
+            stack.append((node, True))
+            if isinstance(node, Abs):
+                stack.append((node.body, False))
+            elif isinstance(node, App):
+                stack.append((node.arg, False))
+                stack.append((node.fn, False))
+            elif isinstance(node, Let):
+                stack.append((node.body, False))
+                stack.append((node.bound, False))
+            continue
+        key = key_of(node)
+        canonical = _INTERN_TABLE.get(key)
+        if canonical is None:
+            canonical = rebuild(node)
+            _INTERN_TABLE[key] = canonical
+        done[id(node)] = canonical
+    return done[id(term)]
+
+
+def clear_intern_table() -> None:
+    """Drop all hash-consed nodes (frees memory; interned terms stay valid)."""
+    _INTERN_TABLE.clear()

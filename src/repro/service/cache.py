@@ -1,0 +1,138 @@
+"""The plan/result cache: normal forms keyed by structural digests.
+
+A query's normal form is a pure function of the query term and the encoded
+database (strong normalization + Church-Rosser, Properties 1-2 of
+Section 2.1), so caching is sound with a key of
+
+    (query digest, database name, database version, engine)
+
+where the query digest is the alpha-invariant content digest of
+:func:`repro.lam.terms.digest` and the database version is bumped by the
+catalog on every update (which also drops the stale entries eagerly).
+Only *successful* evaluations are cached — a ``FuelExhausted`` under one
+budget says nothing about larger budgets — so fuel and depth budgets are
+deliberately not part of the key: any budget that reached the normal form
+reached *the* normal form.
+
+The cache is a bounded LRU, safe for concurrent use by the batch executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.db.decode import DecodedRelation
+from repro.db.relations import Relation
+from repro.lam.terms import Term
+
+#: (query digest, database key, database version, engine)
+CacheKey = Tuple[str, str, int, str]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A memoized evaluation outcome (always a success)."""
+
+    relation: Relation
+    decoded: DecodedRelation
+    normal_form: Term
+    engine: str
+    steps: Optional[int]
+    stages: Optional[int]
+    compute_wall_ms: float
+
+
+@dataclass
+class CacheStats:
+    """Counters surfaced on every service response."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Thread-safe bounded LRU from :data:`CacheKey` to
+    :class:`CachedResult`."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._capacity = capacity
+        self._data: "OrderedDict[CacheKey, CachedResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: CacheKey) -> Optional[CachedResult]:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: CacheKey, value: CachedResult) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate_database(self, database_key: str) -> int:
+        """Drop every entry for ``database_key`` (all versions); returns the
+        number of entries dropped.  Version bumps already make stale keys
+        unreachable — this eagerly frees their memory."""
+        with self._lock:
+            stale = [k for k in self._data if k[1] == database_key]
+            for k in stale:
+                del self._data[k]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._invalidations += len(self._data)
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._data),
+                capacity=self._capacity,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)

@@ -1,0 +1,280 @@
+"""The service catalog: named databases and named query plans.
+
+Registration is where the one-time work happens, so requests don't repeat
+it:
+
+* **Databases** are encoded once (Definition 3.1) at registration; the
+  encoded terms are shared by every request until the next
+  :meth:`Catalog.update_database`, which bumps the entry's version (the
+  cache key component) and reports the stale name for eager invalidation.
+* **Query terms** are type-checked and order-checked once (Lemma 3.9 via
+  :func:`repro.queries.language.recognize_tli` when an arity signature is
+  supplied, plain principal-type reconstruction otherwise), hash-consed,
+  and digested.  Registration fails fast on ill-typed or wrong-order
+  terms — a request can never hit an unchecked plan.
+* **Engine auto-selection**: a plain term is a TLI=0-shaped plan and runs
+  on ``"nbe"`` (Theorem 5.1 territory: normalization is cheap); a
+  :class:`repro.queries.fixpoint.FixpointQuery` spec is a TLI=1 fixpoint
+  tower and runs on the Theorem 5.2 PTIME stage evaluator
+  (``"fixpoint"``) — naive normalization of those towers is exponential
+  (Section 5), so the spec form is the one to register.  An explicit
+  ``engine=`` overrides the choice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.db.encode import encode_database
+from repro.db.relations import Database
+from repro.errors import EvaluationError, SchemaError
+from repro.lam.terms import Term, digest, intern_term
+from repro.queries.fixpoint import FixpointQuery, build_fixpoint_query
+from repro.queries.language import QueryArity, recognize_tli
+from repro.service.engines import FIXPOINT_ENGINE, validate_engine
+
+QuerySpec = Union[Term, FixpointQuery]
+
+
+def database_digest(database: Database) -> str:
+    """A content digest of a list-represented database (names, arities, and
+    tuple lists in list order — Definition 3.4 equality)."""
+    hasher = hashlib.sha256()
+    for name, relation in database:
+        hasher.update(
+            f"{name}\x00{relation.arity}\x00".encode()
+        )
+        for row in relation.tuples:
+            hasher.update("\x1f".join(row).encode() + b"\x1e")
+        hasher.update(b"\x1d")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class DatabaseEntry:
+    """A registered database: the value plus its one-time encoding."""
+
+    name: str
+    database: Database
+    encoded: Tuple[Term, ...]
+    version: int
+    digest: str
+
+    @property
+    def schema(self) -> Dict[str, int]:
+        return {name: rel.arity for name, rel in self.database}
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "digest": self.digest[:12],
+            "relations": {
+                name: len(rel) for name, rel in self.database
+            },
+            "active_domain": len(self.database.active_domain()),
+        }
+
+
+@dataclass(frozen=True)
+class QueryEntry:
+    """A registered query plan.
+
+    ``kind`` is ``"term"`` or ``"fixpoint"``; ``term`` is the (interned)
+    query term for term plans and the compiled Theorem 4.2 tower for
+    fixpoint plans (kept for digesting and reference cross-checks);
+    ``order`` is the derivation order found at registration when a
+    signature was checked (``i + 3`` for TLI=i, Definition 3.7).
+    """
+
+    name: str
+    kind: str
+    term: Term
+    engine: str
+    digest: str
+    fixpoint: Optional[FixpointQuery] = None
+    signature: Optional[QueryArity] = None
+    order: Optional[int] = None
+
+    @property
+    def output_arity(self) -> Optional[int]:
+        if self.fixpoint is not None:
+            return self.fixpoint.output_arity
+        if self.signature is not None:
+            return self.signature.output
+        return None
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "engine": self.engine,
+            "digest": self.digest[:12],
+            "order": self.order,
+            "signature": str(self.signature) if self.signature else None,
+            "output_arity": self.output_arity,
+        }
+
+
+class Catalog:
+    """Thread-safe registry of named databases and query plans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._databases: Dict[str, DatabaseEntry] = {}
+        self._queries: Dict[str, QueryEntry] = {}
+
+    # -- databases -----------------------------------------------------------
+
+    def register_database(
+        self, name: str, database: Database
+    ) -> DatabaseEntry:
+        """Register (or replace) ``name``, encoding every relation once.
+
+        Returns the new entry; replacing bumps the version so cached
+        results for the old contents can never be served.
+        """
+        with self._lock:
+            previous = self._databases.get(name)
+            version = previous.version + 1 if previous else 1
+            entry = DatabaseEntry(
+                name=name,
+                database=database,
+                encoded=tuple(encode_database(database)),
+                version=version,
+                digest=database_digest(database),
+            )
+            self._databases[name] = entry
+            return entry
+
+    def update_database(self, name: str, database: Database) -> DatabaseEntry:
+        """Replace the contents of a registered database (version bump)."""
+        with self._lock:
+            if name not in self._databases:
+                raise SchemaError(f"database {name!r} is not registered")
+            return self.register_database(name, database)
+
+    def get_database(self, name: str) -> DatabaseEntry:
+        with self._lock:
+            entry = self._databases.get(name)
+            if entry is None:
+                raise SchemaError(
+                    f"database {name!r} is not registered; "
+                    f"known: {sorted(self._databases)}"
+                )
+        return entry
+
+    def databases(self) -> List[DatabaseEntry]:
+        with self._lock:
+            return list(self._databases.values())
+
+    # -- queries -------------------------------------------------------------
+
+    def register_query(
+        self,
+        name: str,
+        query: QuerySpec,
+        *,
+        signature: Optional[QueryArity] = None,
+        engine: Optional[str] = None,
+        check: bool = True,
+    ) -> QueryEntry:
+        """Register (or replace) the plan ``name``.
+
+        ``query`` is a lambda term (optionally checked against an arity
+        ``signature`` per Lemma 3.9) or a :class:`FixpointQuery` spec.
+        ``engine`` overrides the auto-selection; ``check=False`` skips
+        registration-time type/order checking (untyped experiments only).
+        """
+        if isinstance(query, FixpointQuery):
+            entry = self._register_fixpoint(name, query, engine)
+        elif isinstance(query, Term):
+            entry = self._register_term(name, query, signature, engine, check)
+        else:
+            raise EvaluationError(
+                f"query {name!r} must be a Term or FixpointQuery, "
+                f"got {type(query).__name__}"
+            )
+        with self._lock:
+            self._queries[name] = entry
+        return entry
+
+    def _register_term(
+        self,
+        name: str,
+        query: Term,
+        signature: Optional[QueryArity],
+        engine: Optional[str],
+        check: bool,
+    ) -> QueryEntry:
+        order: Optional[int] = None
+        if check and signature is not None:
+            order = recognize_tli(query, signature).derivation_order
+        elif check:
+            from repro.types.infer import infer
+
+            order = infer(query).derivation_order()
+        term = intern_term(query)
+        chosen = validate_engine(engine) if engine else "nbe"
+        return QueryEntry(
+            name=name,
+            kind="term",
+            term=term,
+            engine=chosen,
+            digest=digest(term),
+            signature=signature,
+            order=order,
+        )
+
+    def _register_fixpoint(
+        self,
+        name: str,
+        query: FixpointQuery,
+        engine: Optional[str],
+    ) -> QueryEntry:
+        # Compile the Theorem 4.2 tower once: validates the spec, and the
+        # compiled term is what non-fixpoint engines (reference
+        # cross-checks) normalize.
+        compiled = intern_term(build_fixpoint_query(query))
+        chosen = (
+            validate_engine(engine, allow_fixpoint=True)
+            if engine
+            else FIXPOINT_ENGINE
+        )
+        signature = QueryArity(
+            tuple(k for _, k in query.input_schema), query.output_arity
+        )
+        return QueryEntry(
+            name=name,
+            kind="fixpoint",
+            term=compiled,
+            engine=chosen,
+            digest=digest(compiled),
+            fixpoint=query,
+            signature=signature,
+            order=4,  # TLI=1 towers live at order 4 (Definition 3.7).
+        )
+
+    def get_query(self, name: str) -> QueryEntry:
+        with self._lock:
+            entry = self._queries.get(name)
+            if entry is None:
+                raise EvaluationError(
+                    f"query {name!r} is not registered; "
+                    f"known: {sorted(self._queries)}"
+                )
+        return entry
+
+    def queries(self) -> List[QueryEntry]:
+        with self._lock:
+            return list(self._queries.values())
+
+    def summary(self) -> dict:
+        with self._lock:
+            return {
+                "databases": [e.summary() for e in self._databases.values()],
+                "queries": [e.summary() for e in self._queries.values()],
+            }

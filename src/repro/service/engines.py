@@ -1,0 +1,84 @@
+"""Engine dispatch shared by the one-shot driver and the service runtime.
+
+Term-shaped queries run on one of the :data:`ENGINES`:
+
+* ``"nbe"`` — normalization by evaluation (:mod:`repro.lam.nbe`), the
+  performance normalizer and the default;
+* ``"smallstep"`` — the reference small-step normalizer, normal order,
+  with step counts (:mod:`repro.lam.reduce`);
+* ``"applicative"`` — small-step, applicative order.
+
+Fixpoint-query specs (:class:`repro.queries.fixpoint.FixpointQuery`) do not
+go through this module: the service runtime dispatches them to the
+Theorem 5.2 stage-materializing evaluator
+(:func:`repro.eval.ptime.run_fixpoint_query`) under the engine name
+``"fixpoint"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import EvaluationError
+from repro.lam.nbe import nbe_normalize
+from repro.lam.reduce import DEFAULT_FUEL, Strategy, normalize
+from repro.lam.terms import Term, app
+
+#: The term-level engines, in documentation order.
+ENGINES = ("nbe", "smallstep", "applicative")
+
+#: Engine name used by the runtime for fixpoint-query specs (not a member
+#: of :data:`ENGINES`: it applies to specs, not raw terms).
+FIXPOINT_ENGINE = "fixpoint"
+
+DEFAULT_MAX_DEPTH = 600_000
+
+_STRATEGIES = {
+    "smallstep": Strategy.NORMAL_ORDER,
+    "applicative": Strategy.APPLICATIVE_ORDER,
+}
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """A normal form plus how much work reaching it took."""
+
+    normal_form: Term
+    engine: str
+    steps: Optional[int] = None  # small-step engines only
+
+
+def validate_engine(engine: str, *, allow_fixpoint: bool = False) -> str:
+    """Check ``engine`` against the known engine names, *before* any
+    per-request work (encoding a large database only to fail on a typo is
+    exactly the failure mode this guards against)."""
+    allowed = ENGINES + ((FIXPOINT_ENGINE,) if allow_fixpoint else ())
+    if engine not in allowed:
+        raise EvaluationError(
+            f"unknown engine {engine!r}; expected one of {allowed}"
+        )
+    return engine
+
+
+def evaluate_term_query(
+    query: Term,
+    encoded_inputs: Sequence[Term],
+    *,
+    engine: str = "nbe",
+    fuel: int = DEFAULT_FUEL,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+) -> EngineResult:
+    """Normalize ``(query r̄1 ... r̄l)`` — Definition 3.10's application of a
+    query term to an already-encoded database — on the selected engine."""
+    validate_engine(engine)
+    applied = app(query, *encoded_inputs)
+    if engine == "nbe":
+        return EngineResult(
+            normal_form=nbe_normalize(applied, max_depth=max_depth),
+            engine=engine,
+        )
+    outcome = normalize(applied, _STRATEGIES[engine], fuel=fuel)
+    return EngineResult(
+        normal_form=outcome.term, engine=engine, steps=outcome.steps
+    )

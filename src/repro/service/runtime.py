@@ -1,0 +1,581 @@
+"""The query service runtime: cached, budgeted, batched evaluation.
+
+One request = one (query plan, database) pair plus budgets.  The runtime
+
+1. resolves both against the :class:`~repro.service.catalog.Catalog`
+   (inline terms/specs and inline databases are accepted for one-shot
+   use — inline databases are cached by content digest);
+2. consults the :class:`~repro.service.cache.ResultCache` under a
+   *single-flight* lock, so N concurrent identical requests cost one
+   evaluation and N-1 waits;
+3. on a miss, evaluates on the plan's engine (``nbe`` / ``smallstep`` /
+   ``applicative`` for term plans, the Theorem 5.2 stage evaluator for
+   fixpoint plans) under the request's fuel/depth budgets;
+4. degrades gracefully: an exhausted budget is a ``fuel_exhausted``
+   *response*, not an exception out of the batch.
+
+Batches fan out on a ``ThreadPoolExecutor``.  Evaluation is pure Python,
+so threads mostly interleave rather than truly parallelize — the serving
+win comes from sharing the catalog's one-time encodings and the result
+cache across requests, which is exactly what the acceptance benchmark
+measures.  Per-request wall-clock timeouts are enforced at the waiting
+side (the worker finishes its bounded budget in the background; a
+completed result still lands in the cache for later requests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.db.decode import decode_relation
+from repro.db.encode import encode_database
+from repro.db.relations import Database, Relation
+from repro.errors import FuelExhausted, ReproError
+from repro.lam.terms import Term, digest
+from repro.queries.fixpoint import FixpointQuery
+from repro.service.cache import CachedResult, CacheKey, ResultCache
+from repro.service.catalog import (
+    Catalog,
+    DatabaseEntry,
+    QueryEntry,
+    database_digest,
+)
+from repro.service.engines import (
+    DEFAULT_MAX_DEPTH,
+    FIXPOINT_ENGINE,
+    evaluate_term_query,
+    validate_engine,
+)
+
+DEFAULT_FUEL = 10_000_000
+
+#: Statuses a response can carry.
+STATUS_OK = "ok"
+STATUS_FUEL = "fuel_exhausted"
+STATUS_TIMEOUT = "timeout"
+STATUS_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One unit of work for the service.
+
+    ``query`` and ``database`` are catalog names, or inline values
+    (a :class:`Term` / :class:`FixpointQuery`, a :class:`Database`) for
+    one-shot use.  ``engine`` overrides the plan's engine; ``fuel`` and
+    ``max_depth`` budget the small-step and NBE evaluators respectively;
+    ``timeout_s`` bounds how long the caller waits in a batch.
+    """
+
+    query: Union[str, Term, FixpointQuery]
+    database: Union[str, Database]
+    engine: Optional[str] = None
+    arity: Optional[int] = None
+    fuel: int = DEFAULT_FUEL
+    max_depth: int = DEFAULT_MAX_DEPTH
+    timeout_s: Optional[float] = None
+    tag: Optional[str] = None
+
+
+@dataclass
+class QueryResponse:
+    """The outcome of one request, with its serving stats."""
+
+    status: str
+    query: str
+    database: str
+    database_version: int
+    engine: str
+    relation: Optional[Relation] = None
+    normal_form: Optional[Term] = None
+    steps: Optional[int] = None
+    stages: Optional[int] = None
+    cache_hit: bool = False
+    wall_ms: float = 0.0
+    compute_wall_ms: Optional[float] = None
+    error: Optional[str] = None
+    tag: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def as_dict(self, *, include_tuples: bool = True) -> dict:
+        out = {
+            "status": self.status,
+            "query": self.query,
+            "database": self.database,
+            "database_version": self.database_version,
+            "engine": self.engine,
+            "cache_hit": self.cache_hit,
+            "wall_ms": round(self.wall_ms, 3),
+            "compute_wall_ms": (
+                round(self.compute_wall_ms, 3)
+                if self.compute_wall_ms is not None
+                else None
+            ),
+            "steps": self.steps,
+            "stages": self.stages,
+            "error": self.error,
+            "tag": self.tag,
+        }
+        if include_tuples and self.relation is not None:
+            out["arity"] = self.relation.arity
+            out["tuples"] = [list(row) for row in self.relation.tuples]
+        return out
+
+
+@dataclass
+class BatchResult:
+    """All responses of a batch (input order) plus aggregate stats."""
+
+    responses: List[QueryResponse]
+    wall_ms: float
+
+    @property
+    def stats(self) -> dict:
+        by_status: Dict[str, int] = {}
+        for r in self.responses:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        hits = sum(1 for r in self.responses if r.cache_hit)
+        latencies = sorted(r.wall_ms for r in self.responses)
+        total = len(self.responses)
+        return {
+            "requests": total,
+            "statuses": by_status,
+            "cache_hits": hits,
+            "cache_misses": total - hits,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+            "wall_ms": round(self.wall_ms, 3),
+            "throughput_qps": (
+                round(total / (self.wall_ms / 1000.0), 2)
+                if self.wall_ms > 0
+                else 0.0
+            ),
+            "latency_p50_ms": _percentile(latencies, 0.50),
+            "latency_p95_ms": _percentile(latencies, 0.95),
+            "total_steps": sum(r.steps or 0 for r in self.responses),
+        }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1,
+                       int(round(q * len(sorted_values))) - 1))
+    return round(sorted_values[index], 3)
+
+
+@dataclass(frozen=True)
+class _ResolvedQuery:
+    """A query request target, normalized to one shape."""
+
+    name: str
+    digest: str
+    engine: str
+    term: Optional[Term]
+    fixpoint: Optional[FixpointQuery]
+    output_arity: Optional[int]
+
+
+class QueryService:
+    """Catalog + cache + batch executor, safe for concurrent use."""
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        *,
+        cache_capacity: int = 256,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.cache = ResultCache(capacity=cache_capacity)
+        self._max_workers = max_workers
+        self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
+        self._inflight_guard = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._by_status: Dict[str, int] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, request: QueryRequest) -> QueryResponse:
+        """Serve one request synchronously.
+
+        With ``timeout_s`` set the evaluation runs on a worker thread and a
+        ``timeout`` response is returned if it misses the deadline (the
+        worker still completes its bounded budget and populates the cache).
+        """
+        if request.timeout_s is None:
+            return self._serve(request)
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            future = pool.submit(self._serve, request)
+            try:
+                return future.result(timeout=request.timeout_s)
+            except FutureTimeout:
+                return self._timed_out(request, request.timeout_s * 1000.0)
+        finally:
+            # Never wait for an abandoned worker: its fuel/depth budget
+            # bounds it, and a late success still lands in the cache.
+            pool.shutdown(wait=False)
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        *,
+        max_workers: Optional[int] = None,
+    ) -> BatchResult:
+        """Serve many requests concurrently; responses come back in input
+        order, one per request, never an exception."""
+        workers = max_workers or self._max_workers or min(
+            8, max(1, len(requests))
+        )
+        start = time.perf_counter()
+        pool = ThreadPoolExecutor(max_workers=workers)
+        try:
+            futures = [pool.submit(self._serve, r) for r in requests]
+            responses: List[QueryResponse] = []
+            for request, future in zip(requests, futures):
+                if request.timeout_s is None:
+                    responses.append(future.result())
+                    continue
+                deadline = start + request.timeout_s
+                remaining = max(0.0, deadline - time.perf_counter())
+                try:
+                    responses.append(future.result(timeout=remaining))
+                except FutureTimeout:
+                    responses.append(
+                        self._timed_out(
+                            request,
+                            (time.perf_counter() - start) * 1000.0,
+                        )
+                    )
+        finally:
+            # Abandoned workers (timeouts) keep running to their bounded
+            # budget in the background; the batch does not wait for them.
+            pool.shutdown(wait=False)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return BatchResult(responses=responses, wall_ms=wall_ms)
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            by_status = dict(self._by_status)
+            requests = self._requests
+        return {
+            "requests": requests,
+            "statuses": by_status,
+            "cache": self.cache.stats().as_dict(),
+        }
+
+    # -- request resolution --------------------------------------------------
+
+    def _resolve_query(self, request: QueryRequest) -> _ResolvedQuery:
+        query = request.query
+        if isinstance(query, str):
+            entry: QueryEntry = self.catalog.get_query(query)
+            engine = request.engine or entry.engine
+            return _ResolvedQuery(
+                name=entry.name,
+                digest=entry.digest,
+                engine=engine,
+                term=entry.term,
+                fixpoint=entry.fixpoint,
+                output_arity=entry.output_arity,
+            )
+        if isinstance(query, FixpointQuery):
+            spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
+            return _ResolvedQuery(
+                name="<inline fixpoint>",
+                digest="fx:" + spec_digest,
+                engine=request.engine or FIXPOINT_ENGINE,
+                term=None,
+                fixpoint=query,
+                output_arity=query.output_arity,
+            )
+        if isinstance(query, Term):
+            return _ResolvedQuery(
+                name="<inline term>",
+                digest=digest(query),
+                engine=request.engine or "nbe",
+                term=query,
+                fixpoint=None,
+                output_arity=None,
+            )
+        raise ReproError(
+            f"request query must be a name, Term, or FixpointQuery, "
+            f"got {type(query).__name__}"
+        )
+
+    def _resolve_database(self, request: QueryRequest) -> DatabaseEntry:
+        database = request.database
+        if isinstance(database, str):
+            return self.catalog.get_database(database)
+        if isinstance(database, Database):
+            # Inline databases are keyed by content: identical contents hit
+            # the same cache entries without being registered.
+            return DatabaseEntry(
+                name="@inline:" + database_digest(database)[:16],
+                database=database,
+                encoded=tuple(encode_database(database)),
+                version=0,
+                digest=database_digest(database),
+            )
+        raise ReproError(
+            f"request database must be a name or Database, "
+            f"got {type(database).__name__}"
+        )
+
+    # -- serving -------------------------------------------------------------
+
+    def _serve(self, request: QueryRequest) -> QueryResponse:
+        start = time.perf_counter()
+        try:
+            response = self._serve_inner(request, start)
+        except (ReproError, RecursionError) as exc:
+            response = QueryResponse(
+                status=STATUS_ERROR,
+                query=self._query_label(request),
+                database=self._database_label(request),
+                database_version=0,
+                engine=request.engine or "?",
+                error=str(exc),
+                wall_ms=(time.perf_counter() - start) * 1000.0,
+                tag=request.tag,
+            )
+        self._count(response.status)
+        return response
+
+    def _serve_inner(
+        self, request: QueryRequest, start: float
+    ) -> QueryResponse:
+        if request.engine is not None:
+            validate_engine(request.engine, allow_fixpoint=True)
+        resolved = self._resolve_query(request)
+        db_entry = self._resolve_database(request)
+        if resolved.engine == FIXPOINT_ENGINE and resolved.fixpoint is None:
+            raise ReproError(
+                f"query {resolved.name!r} has no fixpoint spec; the "
+                f"'fixpoint' engine applies to FixpointQuery plans only"
+            )
+        key: CacheKey = (
+            resolved.digest,
+            db_entry.name,
+            db_entry.version,
+            resolved.engine,
+        )
+        arity = (
+            request.arity
+            if request.arity is not None
+            else resolved.output_arity
+        )
+
+        lock = self._acquire_key(key)
+        try:
+            with lock:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return self._from_cache(
+                        request, resolved, db_entry, cached, arity, start
+                    )
+                try:
+                    computed = self._evaluate(
+                        request, resolved, db_entry, arity
+                    )
+                except FuelExhausted as exc:
+                    return QueryResponse(
+                        status=STATUS_FUEL,
+                        query=resolved.name,
+                        database=db_entry.name,
+                        database_version=db_entry.version,
+                        engine=resolved.engine,
+                        steps=exc.steps,
+                        error=str(exc),
+                        wall_ms=(time.perf_counter() - start) * 1000.0,
+                        tag=request.tag,
+                    )
+                self.cache.put(key, computed)
+        finally:
+            self._release_key(key)
+
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return QueryResponse(
+            status=STATUS_OK,
+            query=resolved.name,
+            database=db_entry.name,
+            database_version=db_entry.version,
+            engine=resolved.engine,
+            relation=computed.relation,
+            normal_form=computed.normal_form,
+            steps=computed.steps,
+            stages=computed.stages,
+            cache_hit=False,
+            wall_ms=wall_ms,
+            compute_wall_ms=computed.compute_wall_ms,
+            tag=request.tag,
+        )
+
+    def _evaluate(
+        self,
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        arity: Optional[int],
+    ) -> CachedResult:
+        compute_start = time.perf_counter()
+        if resolved.engine == FIXPOINT_ENGINE:
+            from repro.eval.ptime import run_fixpoint_query
+
+            run = run_fixpoint_query(
+                resolved.fixpoint,
+                db_entry.database,
+                max_depth=request.max_depth,
+            )
+            decoded, normal_form = run.decoded, run.normal_form
+            steps: Optional[int] = None
+            stages: Optional[int] = run.stages
+        else:
+            result = evaluate_term_query(
+                resolved.term,
+                db_entry.encoded,
+                engine=resolved.engine,
+                fuel=request.fuel,
+                max_depth=request.max_depth,
+            )
+            decoded = decode_relation(result.normal_form, arity)
+            normal_form = result.normal_form
+            steps = result.steps
+            stages = None
+        compute_ms = (time.perf_counter() - compute_start) * 1000.0
+        return CachedResult(
+            relation=decoded.relation,
+            decoded=decoded,
+            normal_form=normal_form,
+            engine=resolved.engine,
+            steps=steps,
+            stages=stages,
+            compute_wall_ms=compute_ms,
+        )
+
+    def _from_cache(
+        self,
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        cached: CachedResult,
+        arity: Optional[int],
+        start: float,
+    ) -> QueryResponse:
+        if arity is not None and cached.relation.arity != arity:
+            raise ReproError(
+                f"query {resolved.name!r} produced arity "
+                f"{cached.relation.arity}, request asserts {arity}"
+            )
+        return QueryResponse(
+            status=STATUS_OK,
+            query=resolved.name,
+            database=db_entry.name,
+            database_version=db_entry.version,
+            engine=resolved.engine,
+            relation=cached.relation,
+            normal_form=cached.normal_form,
+            steps=cached.steps,
+            stages=cached.stages,
+            cache_hit=True,
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+            compute_wall_ms=cached.compute_wall_ms,
+            tag=request.tag,
+        )
+
+    # -- database updates ----------------------------------------------------
+
+    def update_database(self, name: str, database: Database) -> DatabaseEntry:
+        """Replace a registered database and invalidate its cached results
+        (the version bump alone already makes them unreachable; this also
+        frees them eagerly)."""
+        entry = self.catalog.update_database(name, database)
+        self.cache.invalidate_database(name)
+        return entry
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _acquire_key(self, key: CacheKey) -> threading.Lock:
+        with self._inflight_guard:
+            lock, count = self._inflight.get(key, (None, 0))
+            if lock is None:
+                lock = threading.Lock()
+            self._inflight[key] = (lock, count + 1)
+            return lock
+
+    def _release_key(self, key: CacheKey) -> None:
+        with self._inflight_guard:
+            lock, count = self._inflight[key]
+            if count <= 1:
+                del self._inflight[key]
+            else:
+                self._inflight[key] = (lock, count - 1)
+
+    def _count(self, status: str) -> None:
+        with self._stats_lock:
+            self._requests += 1
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+
+    def _timed_out(
+        self, request: QueryRequest, wall_ms: float
+    ) -> QueryResponse:
+        response = QueryResponse(
+            status=STATUS_TIMEOUT,
+            query=self._query_label(request),
+            database=self._database_label(request),
+            database_version=0,
+            engine=request.engine or "?",
+            error=f"request missed its {request.timeout_s}s deadline",
+            wall_ms=wall_ms,
+            tag=request.tag,
+        )
+        self._count(STATUS_TIMEOUT)
+        return response
+
+    @staticmethod
+    def _query_label(request: QueryRequest) -> str:
+        return (
+            request.query
+            if isinstance(request.query, str)
+            else f"<inline {type(request.query).__name__}>"
+        )
+
+    @staticmethod
+    def _database_label(request: QueryRequest) -> str:
+        return (
+            request.database
+            if isinstance(request.database, str)
+            else "@inline"
+        )
+
+
+def run_once(
+    query: Term,
+    database: Database,
+    *,
+    arity: Optional[int] = None,
+    engine: str = "nbe",
+    fuel: int = DEFAULT_FUEL,
+    max_depth: int = DEFAULT_MAX_DEPTH,
+):
+    """The uncached one-shot path: encode, apply, normalize, decode.
+
+    This is what :func:`repro.eval.driver.run_query` wraps; the engine name
+    is validated *before* the database is encoded.
+    """
+    validate_engine(engine)
+    encoded = encode_database(database)
+    result = evaluate_term_query(
+        query, encoded, engine=engine, fuel=fuel, max_depth=max_depth
+    )
+    decoded = decode_relation(result.normal_form, arity)
+    return decoded, result

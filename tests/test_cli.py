@@ -180,3 +180,111 @@ class TestFOCommand:
             capsys, "fo", "E(x, y)", "--vars", "x", "--db", db_file
         )
         assert code == 1 and "error" in err
+
+
+SWAP_QUERY = r"swap=\R. \c. \n. R (\x y T. c y x T) n"
+
+
+class TestCatalogCommand:
+    def test_catalog_summary(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "catalog", "--db", f"g={db_file}",
+            "--query", SWAP_QUERY, "--fixpoint", "tc=tc:E",
+            "--inputs", "2", "--output", "2",
+        )
+        assert code == 0
+        assert "db g v1" in out
+        assert "query swap kind=term engine=nbe" in out
+        assert "order=3" in out
+        assert "query tc kind=fixpoint engine=fixpoint" in out
+
+    def test_catalog_json(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "catalog", "--db", f"g={db_file}",
+            "--query", SWAP_QUERY, "--json",
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["databases"][0]["name"] == "g"
+        assert summary["queries"][0]["engine"] == "nbe"
+
+    def test_bad_query_rejected_at_registration(self, capsys, db_file):
+        code, _, err = run_cli(
+            capsys, "catalog", "--db", f"g={db_file}",
+            "--query", r"bad=\R. R (\x y T. x) o1",
+            "--inputs", "2", "--output", "2",
+        )
+        assert code == 1 and "error" in err
+
+    def test_malformed_name_value(self, capsys, db_file):
+        code, _, err = run_cli(capsys, "catalog", "--db", "nodatabase")
+        assert code == 1 and "NAME=" in err
+
+
+class TestBatchCommand:
+    @pytest.fixture
+    def batch_file(self, tmp_path):
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({
+            "requests": [
+                {"query": "tc", "tag": "closure"},
+                {"query": "swap"},
+                {"query": "tc"},
+            ]
+        }))
+        return str(path)
+
+    def test_batch_text_output(self, capsys, db_file, batch_file):
+        code, out, err = run_cli(
+            capsys, "batch", batch_file, "--db", f"g={db_file}",
+            "--query", SWAP_QUERY, "--fixpoint", "tc=tc:E",
+            "--inputs", "2", "--output", "2",
+        )
+        assert code == 0
+        assert "closure" in out
+        assert "cache=hit" in out  # the repeated tc request
+        assert "o1\to3" in out     # a transitive edge
+        assert "cache hits" in err
+
+    def test_batch_json_stats(self, capsys, db_file, batch_file):
+        code, out, _ = run_cli(
+            capsys, "batch", batch_file, "--db", f"g={db_file}",
+            "--query", SWAP_QUERY, "--fixpoint", "tc=tc:E",
+            "--inputs", "2", "--output", "2",
+            "--json", "--repeat", "2", "--workers", "2",
+        )
+        assert code == 0
+        doc = json.loads(out)
+        assert doc["stats"]["requests"] == 6
+        assert doc["stats"]["cache_hits"] >= 4
+        assert doc["stats"]["statuses"] == {"ok": 6}
+        assert len(doc["responses"]) == 6
+        assert all(r["status"] == "ok" for r in doc["responses"])
+        assert doc["service"]["cache"]["hits"] >= 4
+
+    def test_inline_term_request(self, capsys, db_file, tmp_path):
+        path = tmp_path / "inline.json"
+        path.write_text(json.dumps([
+            {"query": r"\R. \c. \n. R (\x y T. c x y T) n", "arity": 2},
+        ]))
+        code, out, _ = run_cli(
+            capsys, "batch", str(path), "--db", f"g={db_file}",
+        )
+        assert code == 0
+        assert "o1\to2" in out
+
+    def test_failed_request_sets_exit_code(self, capsys, db_file, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([{"query": "tc", "db": "missing"}]))
+        code, out, _ = run_cli(
+            capsys, "batch", str(path), "--db", f"g={db_file}",
+            "--fixpoint", "tc=tc:E",
+        )
+        assert code == 1
+        assert "error" in out
+
+    def test_missing_batch_file(self, capsys, db_file):
+        code, _, err = run_cli(
+            capsys, "batch", "/nope.json", "--db", f"g={db_file}"
+        )
+        assert code == 1 and "error" in err

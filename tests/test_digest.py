@@ -1,0 +1,107 @@
+"""Tests for structural digests and hash-consing (repro.lam.terms)."""
+
+from repro.lam.parser import parse
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Var,
+    app,
+    digest,
+    intern_term,
+    lam,
+    let,
+    term_size,
+)
+
+
+class TestDigest:
+    def test_equal_terms_equal_digest(self):
+        a = parse(r"\x. \y. Eq x y (c x y n) n")
+        b = parse(r"\x. \y. Eq x y (c x y n) n")
+        assert a is not b
+        assert digest(a) == digest(b)
+
+    def test_alpha_variants_share_digest(self):
+        a = parse(r"\x. \y. x")
+        b = parse(r"\u. \v. u")
+        assert digest(a) == digest(b)
+
+    def test_alpha_invariance_with_lets(self):
+        a = let("x", Const("o1"), app(Var("c"), Var("x")))
+        b = let("z", Const("o1"), app(Var("c"), Var("z")))
+        assert digest(a) == digest(b)
+
+    def test_let_binds_body_not_bound(self):
+        # In ``let x = x in x`` the bound occurrence is *free*; renaming
+        # the binder must not conflate it with the body occurrence.
+        shadow = Let("x", Var("x"), Var("x"))
+        renamed = Let("y", Var("x"), Var("y"))
+        different = Let("y", Var("y"), Var("y"))
+        assert digest(shadow) == digest(renamed)
+        assert digest(shadow) != digest(different)
+
+    def test_free_variables_distinguish(self):
+        assert digest(Var("x")) != digest(Var("y"))
+        assert digest(Abs("x", Var("x"))) != digest(Abs("x", Var("y")))
+
+    def test_structure_distinguishes(self):
+        assert digest(app(Var("f"), Var("x"))) != digest(
+            app(Var("x"), Var("f"))
+        )
+        assert digest(Const("o1")) != digest(Var("o1"))
+        assert digest(EqConst()) != digest(Const("Eq"))
+
+    def test_annotations_ignored(self):
+        from repro.types.types import O
+
+        assert digest(Abs("x", Var("x"), O)) == digest(Abs("x", Var("x")))
+
+    def test_memoized_per_object(self):
+        term = parse(r"\x. \y. Eq x y (c x y n) n")
+        assert digest(term) == digest(term)
+
+    def test_shadowing_binders(self):
+        a = Abs("x", Abs("x", Var("x")))  # inner binder wins
+        b = Abs("y", Abs("x", Var("x")))
+        c = Abs("x", Abs("y", Var("x")))
+        assert digest(a) == digest(b)
+        assert digest(a) != digest(c)
+
+    def test_deep_term_no_recursion_error(self):
+        # Encoded relations nest one App per tuple; digest must not hit the
+        # recursion limit on serving-sized encodings.
+        term = Var("n")
+        for i in range(50_000):
+            term = app(Var("c"), Const(f"o{i % 7}"), term)
+        assert len(digest(term)) == 64
+
+
+class TestInterning:
+    def test_interned_terms_are_shared(self):
+        a = parse(r"\x. \y. Eq x y (c x y n) n")
+        b = parse(r"\x. \y. Eq x y (c x y n) n")
+        assert intern_term(a) is intern_term(b)
+
+    def test_interning_preserves_structure(self):
+        source = r"let g = \x. Eq x o1 in g o2 a b"
+        term = parse(source)
+        interned = intern_term(term)
+        assert interned == term
+        assert term_size(interned) == term_size(term)
+
+    def test_shared_subterms_collapse(self):
+        shared = app(Var("f"), Const("o1"))
+        term = app(lam(["a", "b"], Var("a")), shared,
+                   app(Var("f"), Const("o1")))
+        interned = intern_term(term)
+        assert interned.fn.arg is interned.arg
+
+    def test_alpha_variants_not_conflated(self):
+        # Interning is *structural*: alpha-variants stay distinct objects
+        # (digest, not interning, is the alpha-invariant notion).
+        a = intern_term(Abs("x", Var("x")))
+        b = intern_term(Abs("y", Var("y")))
+        assert a is not b

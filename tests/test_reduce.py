@@ -112,6 +112,55 @@ class TestStrategiesAgree:
         assert normalize(term).steps == 1
 
 
+class TestWeakHeadNormalForm:
+    """Regression tests: weak-head reduction must stop once the head is
+    stuck — argument positions are never reduced."""
+
+    def test_stuck_head_leaves_argument_redex(self):
+        redex = app(Abs("y", Var("y")), Const("o1"))
+        term = app(Var("f"), redex)  # head is a free variable: WHNF
+        assert step(term, Strategy.WEAK_HEAD) is None
+        outcome = normalize(term, Strategy.WEAK_HEAD)
+        assert outcome.term == term
+        assert outcome.steps == 0
+        # Full normal order does contract the argument.
+        assert normalize(term).steps == 1
+
+    def test_stuck_head_with_diverging_argument_terminates(self):
+        omega = app(
+            Abs("x", app(Var("x"), Var("x"))),
+            Abs("x", app(Var("x"), Var("x"))),
+        )
+        term = app(Var("f"), omega)
+        # Before the fix this looped on omega until FuelExhausted.
+        outcome = normalize(term, Strategy.WEAK_HEAD, fuel=50)
+        assert outcome.term == term
+        assert outcome.steps == 0
+
+    def test_head_spine_is_still_reduced(self):
+        # (λa. λb. a) o1 M: the head redexes fire, M is discarded without
+        # ever being touched.
+        omega = app(
+            Abs("x", app(Var("x"), Var("x"))),
+            Abs("x", app(Var("x"), Var("x"))),
+        )
+        term = app(lam(["a", "b"], Var("a")), Const("o1"), omega)
+        outcome = normalize(term, Strategy.WEAK_HEAD, fuel=50)
+        assert outcome.term == Const("o1")
+        assert outcome.steps == 2
+
+    def test_delta_fires_in_head_position(self):
+        term = app(EqConst(), Const("o1"), Const("o1"), Var("u"), Var("v"))
+        outcome = normalize(term, Strategy.WEAK_HEAD)
+        assert outcome.term == Var("u")
+
+    def test_let_is_a_head_redex(self):
+        term = let("x", Const("o1"), Var("x"))
+        outcome = normalize(term, Strategy.WEAK_HEAD)
+        assert outcome.term == Const("o1")
+        assert outcome.let_steps == 1
+
+
 class TestNormalForms:
     def test_is_normal_form(self):
         assert is_normal_form(Var("x"))
@@ -159,6 +208,87 @@ class TestEta:
     def test_eta_not_part_of_default_reduction(self):
         term = Abs("x", app(Var("f"), Var("x")))
         assert is_normal_form(term)
+
+
+class TestEtaOnLet:
+    """eta_step / eta_normalize must descend into both positions of a
+    ``let`` node (previously untested corners of reduce.py)."""
+
+    def test_eta_in_let_bound(self):
+        term = let("g", Abs("x", app(Var("f"), Var("x"))), Const("o1"))
+        assert eta_step(term) == let("g", Var("f"), Const("o1"))
+
+    def test_eta_in_let_body(self):
+        term = let("g", Const("o1"), Abs("x", app(Var("f"), Var("x"))))
+        assert eta_step(term) == let("g", Const("o1"), Var("f"))
+
+    def test_eta_prefers_bound_over_body(self):
+        redex = Abs("x", app(Var("f"), Var("x")))
+        term = let("g", redex, redex)
+        # Leftmost: the bound position contracts first.
+        assert eta_step(term) == let("g", Var("f"), redex)
+
+    def test_eta_normalize_contracts_both_positions(self):
+        redex = Abs("x", app(Var("f"), Var("x")))
+        term = let("g", redex, app(Var("g"), redex))
+        assert eta_normalize(term) == let(
+            "g", Var("f"), app(Var("g"), Var("f"))
+        )
+
+    def test_let_with_no_eta_redex_is_fixed(self):
+        term = let("g", Abs("x", app(Var("x"), Var("x"))), Var("g"))
+        assert eta_step(term) is None
+        assert eta_normalize(term) == term
+
+
+class TestApplicativeLet:
+    """Applicative order normalizes the bound term before contracting the
+    let, and only then touches the body."""
+
+    def test_bound_reduced_before_contraction(self):
+        term = let("x", app(Abs("y", Var("y")), Const("o1")),
+                   app(Var("c"), Var("x"), Var("x")))
+        first = step(term, Strategy.APPLICATIVE_ORDER)
+        assert first is not None
+        reduct, kind = first
+        assert kind == "beta"  # the bound redex fires first
+        assert reduct == let("x", Const("o1"),
+                             app(Var("c"), Var("x"), Var("x")))
+        outcome = normalize(term, Strategy.APPLICATIVE_ORDER)
+        assert outcome.term == app(Var("c"), Const("o1"), Const("o1"))
+        assert outcome.beta_steps == 1 and outcome.let_steps == 1
+
+    def test_normal_order_duplicates_bound_redex(self):
+        # The same term under normal order contracts the let first and
+        # pays for the bound redex at both occurrences.
+        term = let("x", app(Abs("y", Var("y")), Const("o1")),
+                   app(Var("c"), Var("x"), Var("x")))
+        outcome = normalize(term, Strategy.NORMAL_ORDER)
+        assert outcome.term == app(Var("c"), Const("o1"), Const("o1"))
+        assert outcome.beta_steps == 2 and outcome.let_steps == 1
+
+    def test_body_redex_waits_for_contraction(self):
+        term = let("x", Const("o1"), app(Abs("y", Var("y")), Var("x")))
+        first = step(term, Strategy.APPLICATIVE_ORDER)
+        assert first is not None
+        reduct, kind = first
+        # Bound is already normal, so the let contracts before the body
+        # redex is considered.
+        assert kind == "let"
+        assert reduct == app(Abs("y", Var("y")), Const("o1"))
+
+    def test_nested_lets_innermost_first(self):
+        inner = let("y", app(Abs("z", Var("z")), Const("o2")), Var("y"))
+        term = let("x", inner, Var("x"))
+        outcome = normalize(term, Strategy.APPLICATIVE_ORDER)
+        assert outcome.term == Const("o2")
+        assert outcome.let_steps == 2
+
+    def test_agrees_with_normal_order_on_let_terms(self):
+        term = parse(r"let g = \x. Eq x o1 in g o1 a b")
+        normal = normalize(term, Strategy.NORMAL_ORDER).term
+        applicative = normalize(term, Strategy.APPLICATIVE_ORDER).term
+        assert alpha_equal(normal, applicative)
 
 
 class TestChurchRosser:
