@@ -1,0 +1,70 @@
+"""Static certifier overhead and cost-bound tightness.
+
+The analyzer runs once per registration (data-independent, like the
+Section 5.2 FO translation), so the interesting measurements are (a) the
+preprocessing cost of a full analysis, and (b) how loose the Theorem
+5.1-style step bound is against the steps NBE actually performs — the
+looseness is the price of deriving fuel budgets without running the
+query.
+"""
+
+import pytest
+
+from repro.analysis import (
+    DatabaseStats,
+    analyze_fixpoint,
+    analyze_term,
+    term_cost_profile,
+)
+from repro.db.encode import encode_database
+from repro.lam.nbe import nbe_normalize_counted
+from repro.lam.parser import parse
+from repro.lam.terms import app
+from repro.queries.fixpoint import transitive_closure_query
+from repro.queries.language import QueryArity
+
+SUITE = {
+    "identity": (r"\R1. \R2. R1", QueryArity((2, 2), 2)),
+    "swap": (
+        r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n",
+        QueryArity((2, 2), 2),
+    ),
+    "diagonal": (
+        r"\R1. \R2. \c. \n. R1 (\x y T. Eq x y (c x x T) T) n",
+        QueryArity((2, 2), 2),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_term_analysis_preprocessing(benchmark, name):
+    """Full analysis of a term plan — O(1) in the database."""
+    source, signature = SUITE[name]
+    term = parse(source)
+    report = benchmark(analyze_term, term, name=name, signature=signature)
+    assert report.ok
+
+
+def test_fixpoint_analysis_preprocessing(benchmark):
+    """Full analysis of a fixpoint spec, including tower compilation."""
+    query = transitive_closure_query()
+    report = benchmark(analyze_fixpoint, query, name="tc")
+    assert report.ok
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_bound_dominates_observed(bench_db, name):
+    """Not a timing: records the bound/observed ratio for the suite."""
+    source, signature = SUITE[name]
+    term = parse(source)
+    profile = term_cost_profile(
+        term,
+        input_count=len(signature.inputs),
+        output_arity=signature.output,
+    )
+    stats = DatabaseStats.of(bench_db)
+    _, steps = nbe_normalize_counted(
+        app(term, *encode_database(bench_db))
+    )
+    bound = profile.bound(stats)
+    assert steps <= bound

@@ -1,0 +1,69 @@
+"""Static query certifier (the Section 3/5 guarantees, checked up front).
+
+The analyzer runs multi-pass static checks over query plans — ``Term``
+plans and :class:`~repro.queries.fixpoint.FixpointQuery` specs — and
+produces :class:`AnalysisReport` objects carrying stable-coded diagnostics
+(``TLI001`` ...) plus the positive certificates: the derivation order, the
+TLI=_i fragment, and a static cost polynomial that upper-bounds NBE
+normalization steps (Theorem 5.1) and seeds the runtime's fuel budgets.
+
+Entry points: :func:`analyze` / :func:`analyze_term` /
+:func:`analyze_fixpoint`, the ``repro lint`` CLI subcommand, and
+``Catalog.register_query`` (which refuses plans whose report has errors).
+"""
+
+from repro.analysis.analyzer import (
+    FIXPOINT_TOWER_ORDER,
+    analyze,
+    analyze_fixpoint,
+    analyze_term,
+    fuel_budget,
+)
+from repro.analysis.cost import (
+    DEFAULT_COEFFICIENT,
+    CostProfile,
+    DatabaseStats,
+    fixpoint_cost_profile,
+    term_cost_profile,
+)
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    render_reports_json,
+)
+from repro.analysis.corpus import (
+    CorpusError,
+    LintTarget,
+    collect_lam_files,
+    load_lam_file,
+    load_lam_source,
+    operator_library_targets,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "CODES",
+    "CodeInfo",
+    "CorpusError",
+    "CostProfile",
+    "DEFAULT_COEFFICIENT",
+    "DatabaseStats",
+    "Diagnostic",
+    "FIXPOINT_TOWER_ORDER",
+    "LintTarget",
+    "Severity",
+    "analyze",
+    "analyze_fixpoint",
+    "analyze_term",
+    "collect_lam_files",
+    "fixpoint_cost_profile",
+    "fuel_budget",
+    "load_lam_file",
+    "load_lam_source",
+    "operator_library_targets",
+    "render_reports_json",
+    "term_cost_profile",
+]

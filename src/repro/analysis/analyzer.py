@@ -1,0 +1,190 @@
+"""The analyzer driver: one call per query plan, all passes in order.
+
+:func:`analyze_term` runs the term passes (well-formedness, typing /
+order-budget certification, iterator-accumulator check, cost profile) and
+:func:`analyze_fixpoint` runs the spec-level passes plus the tower cost
+profile; :func:`analyze` dispatches on the plan shape.  Each returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport` — the catalog attaches
+it to the registered entry, and ``repro lint`` renders it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Union
+
+from repro.analysis.cost import (
+    CostProfile,
+    DatabaseStats,
+    fixpoint_cost_profile,
+    term_cost_profile,
+)
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.fixpoint_passes import fixpoint_pass
+from repro.analysis.term_passes import (
+    accumulator_pass,
+    body_typing_prefix,
+    structural_pass,
+    typing_pass,
+)
+from repro.lam.terms import Term
+from repro.queries.fixpoint import FixpointQuery, build_fixpoint_query
+from repro.queries.language import QueryArity
+
+#: Derivation order of every Theorem 4.2 fixpoint tower: the towers are
+#: TLI=1 plans (order 4) regardless of the step expression.
+FIXPOINT_TOWER_ORDER = 4
+
+
+def analyze_term(
+    term: Term,
+    *,
+    name: str = "<term>",
+    signature: Optional[QueryArity] = None,
+    max_order: Optional[int] = None,
+    known_constants: Optional[Set[str]] = None,
+    stats: Optional[DatabaseStats] = None,
+    default_fuel: Optional[int] = None,
+) -> AnalysisReport:
+    """Run every term-level pass over ``term`` and return the report.
+
+    ``signature`` certifies the plan against a declared arity signature
+    (Lemma 3.9) and pins the TLI= fragment; without one the term is typed
+    standalone.  ``known_constants`` enables the unknown-constant check;
+    ``stats``/``default_fuel`` enable the TLI011 fuel-headroom check.
+    """
+    report = AnalysisReport(name=name, kind="term")
+    structural_pass(term, report, known_constants=known_constants)
+    typing = typing_pass(
+        term, report, signature=signature, max_order=max_order
+    )
+    # The typing result's occurrence paths are relative to the typed body
+    # (the plan minus its input binders) when a signature is given.
+    _, body = body_typing_prefix(term, signature)
+    accumulator_pass(body, report, typing)
+
+    if typing is not None:
+        input_count = len(signature.inputs) if signature is not None else None
+        output_arity = signature.output if signature is not None else 0
+        report.cost = term_cost_profile(
+            term, input_count=input_count, output_arity=output_arity
+        )
+        _certify_cost(report, stats=stats, default_fuel=default_fuel)
+    return report
+
+
+def analyze_fixpoint(
+    query: FixpointQuery,
+    *,
+    name: str = "<fixpoint>",
+    compiled: Optional[Term] = None,
+    max_order: Optional[int] = None,
+    stats: Optional[DatabaseStats] = None,
+    default_fuel: Optional[int] = None,
+) -> AnalysisReport:
+    """Run the spec-level passes over a fixpoint query and return the
+    report.  ``compiled`` (the Theorem 4.2 tower) is built on demand when
+    not supplied; it only sizes the cost profile."""
+    report = AnalysisReport(name=name, kind="fixpoint")
+    fixpoint_pass(query, report)
+    if not report.ok:
+        return report
+
+    report.order = FIXPOINT_TOWER_ORDER
+    report.fragment = f"TLI={FIXPOINT_TOWER_ORDER - 3}"
+    report.add(
+        "TLI006",
+        f"derivation order {report.order} (Theorem 4.2 tower); the query "
+        f"lands in {report.fragment}",
+    )
+    if max_order is not None and report.order > max_order:
+        report.add(
+            "TLI007",
+            f"derivation order {report.order} exceeds the declared budget "
+            f"{max_order} (fragment budget TLI={max(max_order - 3, 0)})",
+        )
+
+    if compiled is None:
+        compiled = build_fixpoint_query(query)
+    report.cost = fixpoint_cost_profile(query, compiled)
+    _certify_cost(report, stats=stats, default_fuel=default_fuel)
+    return report
+
+
+def analyze(
+    plan: Union[Term, FixpointQuery],
+    *,
+    name: str = "<plan>",
+    signature: Optional[QueryArity] = None,
+    max_order: Optional[int] = None,
+    known_constants: Optional[Set[str]] = None,
+    stats: Optional[DatabaseStats] = None,
+    default_fuel: Optional[int] = None,
+) -> AnalysisReport:
+    """Dispatch on the plan shape (``signature`` applies to terms only)."""
+    if isinstance(plan, FixpointQuery):
+        return analyze_fixpoint(
+            plan,
+            name=name,
+            max_order=max_order,
+            stats=stats,
+            default_fuel=default_fuel,
+        )
+    return analyze_term(
+        plan,
+        name=name,
+        signature=signature,
+        max_order=max_order,
+        known_constants=known_constants,
+        stats=stats,
+        default_fuel=default_fuel,
+    )
+
+
+def _certify_cost(
+    report: AnalysisReport,
+    *,
+    stats: Optional[DatabaseStats],
+    default_fuel: Optional[int],
+) -> None:
+    """Emit the TLI010 certificate (and TLI011 when the bound outgrows the
+    deployment's default fuel against concrete database statistics)."""
+    profile = report.cost
+    if profile is None:
+        return
+    message = f"static cost bound {profile.describe()}"
+    if stats is not None:
+        message += (
+            f"; on N={stats.atoms}, D={stats.domain}: "
+            f"{profile.bound(stats)} steps"
+        )
+    report.add("TLI010", message)
+    if (
+        stats is not None
+        and default_fuel is not None
+        and profile.bound(stats) > default_fuel
+    ):
+        report.add(
+            "TLI011",
+            f"static cost bound {profile.bound(stats)} exceeds the default "
+            f"fuel budget {default_fuel}; requests against a database this "
+            f"size need a derived or explicit budget",
+        )
+
+
+def fuel_budget(
+    profile: Optional[CostProfile],
+    stats: Optional[DatabaseStats],
+    *,
+    default: int,
+    floor: int = 10_000,
+) -> int:
+    """The per-request fuel the runtime should grant a plan.
+
+    With a cost certificate and database statistics, the static bound
+    (never below ``floor``) replaces the flat ``default``: Theorem 5.1
+    guarantees honest plans finish inside it, so anything that exhausts it
+    is a runaway.  Without a certificate the flat default stands.
+    """
+    if profile is None or stats is None:
+        return default
+    return max(profile.bound(stats), floor)

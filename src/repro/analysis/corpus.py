@@ -1,0 +1,197 @@
+"""Lint targets: where ``repro lint`` (and the CI job) find things to check.
+
+Two sources:
+
+* :func:`operator_library_targets` — representative instantiations of every
+  builder in :mod:`repro.queries.operators`, each with the arity signature
+  it certifies against (helpers like ``Equal_k`` that are not query-shaped
+  are typed standalone);
+* :func:`load_lam_file` — a ``.lam`` source file whose leading ``#`` comment
+  lines carry lint directives:
+
+      # name: my-query
+      # inputs: 2 2
+      # output: 2
+      # max-order: 4
+      # constants: a b c
+      # expect: TLI001 TLI008
+
+  ``inputs``/``output`` together declare the arity signature; ``expect``
+  lists diagnostic codes the file is *supposed* to trigger (the seeded
+  bad-query corpus under ``tests/fixtures`` uses it, and ``repro lint``
+  treats an expected code as satisfied rather than failing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Set, Tuple, Union
+
+from repro.errors import ReproError
+from repro.lam.parser import parse
+from repro.lam.terms import Term
+from repro.queries.fixpoint import FixpointQuery
+from repro.queries.language import QueryArity
+from repro.queries import operators as ops
+from repro.relalg.ast import ColumnEqualsColumn
+
+
+class CorpusError(ReproError):
+    """A ``.lam`` lint file that cannot be loaded (bad directive or
+    unparseable source)."""
+
+
+@dataclass
+class LintTarget:
+    """One unit of work for the analyzer driver."""
+
+    name: str
+    plan: Union[Term, FixpointQuery]
+    signature: Optional[QueryArity] = None
+    max_order: Optional[int] = None
+    known_constants: Optional[Set[str]] = None
+    #: Codes this target is *expected* to raise (seeded-corpus fixtures).
+    expect: Set[str] = field(default_factory=set)
+    source: str = "<builtin>"
+
+
+def operator_library_targets() -> List[LintTarget]:
+    """Every operator-library builder, instantiated at representative
+    arities, paired with the signature it must certify against."""
+
+    def query(name: str, term: Term, inputs: Tuple[int, ...], output: int):
+        return LintTarget(
+            name=name,
+            plan=term,
+            signature=QueryArity(inputs=inputs, output=output),
+        )
+
+    def helper(name: str, term: Term) -> LintTarget:
+        return LintTarget(name=name, plan=term)
+
+    return [
+        helper("equal_2", ops.equal_term(2)),
+        helper("member_2", ops.member_term(2)),
+        helper("order_2", ops.order_term(2)),
+        helper("empty_relation", ops.empty_relation_term()),
+        query("intersection_1", ops.intersection_term(1), (1, 1), 1),
+        query("intersection_2", ops.intersection_term(2), (2, 2), 2),
+        query("union_2", ops.union_term(2), (2, 2), 2),
+        query("difference_2", ops.difference_term(2), (2, 2), 2),
+        query("product_1_2", ops.product_term(1, 2), (1, 2), 3),
+        query("project_3_to_20", ops.project_term(3, (2, 0)), (3,), 2),
+        query(
+            "select_2_col0_eq_col1",
+            ops.select_term(2, ColumnEqualsColumn(0, 1)),
+            (2,),
+            2,
+        ),
+        query(
+            "distinct_projection_2_col0",
+            ops.distinct_projection_term(2, 0),
+            (2,),
+            1,
+        ),
+        query("distinct_union_2", ops.distinct_union_term(2), (2, 2), 2),
+        query(
+            "precedes_relation_1", ops.precedes_relation_term(1), (1,), 2
+        ),
+    ]
+
+
+_DIRECTIVES = (
+    "name", "inputs", "output", "max-order", "constants", "expect"
+)
+
+
+def _parse_directives(lines: List[str], where: str) -> dict:
+    values: dict = {}
+    for line in lines:
+        stripped = line.strip()
+        if not stripped.startswith("#"):
+            break
+        body = stripped.lstrip("#").strip()
+        if ":" not in body:
+            continue
+        key, _, raw = body.partition(":")
+        key = key.strip().lower()
+        if key not in _DIRECTIVES:
+            continue
+        value = raw.strip()
+        try:
+            if key == "inputs":
+                values[key] = tuple(
+                    int(piece)
+                    for piece in value.replace(",", " ").split()
+                )
+            elif key in ("output", "max-order"):
+                values[key] = int(value)
+            elif key in ("constants", "expect"):
+                values[key] = set(value.replace(",", " ").split())
+            else:
+                values[key] = value
+        except ValueError as exc:
+            raise CorpusError(
+                f"{where}: bad '{key}' directive {value!r}: {exc}"
+            ) from exc
+    return values
+
+
+def load_lam_source(
+    source: str, *, name: str, where: str = "<string>"
+) -> LintTarget:
+    """Parse ``.lam`` source text (directive header + term) into a target."""
+    lines = source.splitlines()
+    directives = _parse_directives(lines, where)
+    term_source = "\n".join(
+        line for line in lines if not line.strip().startswith("#")
+    )
+    if not term_source.strip():
+        raise CorpusError(f"{where}: no term after the directive header")
+    constants = directives.get("constants", set())
+    try:
+        term = parse(term_source, constants=sorted(constants))
+    except ReproError as exc:
+        raise CorpusError(f"{where}: cannot parse term: {exc}") from exc
+
+    signature: Optional[QueryArity] = None
+    if "inputs" in directives or "output" in directives:
+        if "inputs" not in directives or "output" not in directives:
+            raise CorpusError(
+                f"{where}: 'inputs' and 'output' directives must be given "
+                f"together to declare a signature"
+            )
+        signature = QueryArity(
+            inputs=directives["inputs"], output=directives["output"]
+        )
+    return LintTarget(
+        name=directives.get("name", name),
+        plan=term,
+        signature=signature,
+        max_order=directives.get("max-order"),
+        known_constants=constants or None,
+        expect=directives.get("expect", set()),
+        source=where,
+    )
+
+
+def load_lam_file(path: Union[str, Path]) -> LintTarget:
+    path = Path(path)
+    return load_lam_source(
+        path.read_text(encoding="utf-8"),
+        name=path.stem,
+        where=str(path),
+    )
+
+
+def collect_lam_files(paths: List[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.lam`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.lam")))
+        else:
+            out.append(path)
+    return out

@@ -1,0 +1,324 @@
+"""Term-level analysis passes (well-formedness, equality-safety, order).
+
+Each pass appends :class:`~repro.analysis.diagnostics.Diagnostic` entries
+to a shared report.  The structural passes run on every term, typed or
+not; the typed passes run when inference succeeds and reuse the same
+machinery the catalog's registration path uses (Lemma 3.9), so linting a
+query and registering it can never disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.diagnostics import AnalysisReport, describe_path
+from repro.errors import TypeInferenceError
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    binder_prefix,
+    free_vars,
+    spine,
+)
+from repro.types.infer import TypingResult, infer
+from repro.types.order import min_ground_order
+from repro.types.types import Arrow, BaseO, Type, TypeVar
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: well-formedness (TLI001, TLI002, TLI003) + structural equality
+# safety (TLI008)
+# ---------------------------------------------------------------------------
+
+def structural_pass(
+    term: Term,
+    report: AnalysisReport,
+    *,
+    known_constants: Optional[Set[str]] = None,
+) -> None:
+    """One walk collecting the purely syntactic diagnostics."""
+    for name in sorted(free_vars(term)):
+        report.add(
+            "TLI001",
+            f"free variable {name!r}; query plans must be closed "
+            f"(bind it or declare it a relation input)",
+        )
+
+    flagged_constants: Set[str] = set()
+    # (node, path, scope, is_fn_child): the last flag marks App-fn
+    # children, whose spine the parent App already inspected.
+    stack: List[Tuple[Term, Tuple[int, ...], Tuple[str, ...], bool]] = [
+        (term, (), (), False)
+    ]
+    while stack:
+        node, path, scope, is_fn_child = stack.pop()
+        # A closed subterm is a standalone combinator spliced in (the
+        # operator library inlines Equal_k and friends everywhere): its
+        # binders cannot capture an intended outer reference, so shadowing
+        # inside it is benign.
+        if scope and not free_vars(node):
+            scope = ()
+        if isinstance(node, Const):
+            if (
+                known_constants is not None
+                and node.name not in known_constants
+                and node.name not in flagged_constants
+            ):
+                flagged_constants.add(node.name)
+                report.add(
+                    "TLI002",
+                    f"constant {node.name!r} appears in no registered "
+                    f"database; comparisons against it never succeed",
+                    path=path,
+                    location=describe_path(term, path),
+                )
+        elif isinstance(node, Abs):
+            if node.var in scope:
+                report.add(
+                    "TLI003",
+                    f"binder {node.var!r} shadows an enclosing binding",
+                    path=path,
+                    location=describe_path(term, path),
+                )
+            stack.append(
+                (node.body, path + (0,), scope + (node.var,), False)
+            )
+        elif isinstance(node, App):
+            if not is_fn_child:
+                _equality_safety(node, path, term, report)
+            stack.append((node.fn, path + (0,), scope, True))
+            stack.append((node.arg, path + (1,), scope, False))
+        elif isinstance(node, Let):
+            if node.var in scope:
+                report.add(
+                    "TLI003",
+                    f"let binder {node.var!r} shadows an enclosing binding",
+                    path=path,
+                    location=describe_path(term, path),
+                )
+            stack.append((node.bound, path + (0,), scope, False))
+            stack.append(
+                (node.body, path + (1,), scope + (node.var,), False)
+            )
+
+
+def _equality_safety(
+    node: App, path: Tuple[int, ...], root: Term, report: AnalysisReport
+) -> None:
+    """Structural TLI008: ``Eq`` fed an operand that is manifestly not an
+    atom (an abstraction, or a boolean produced by another ``Eq``)."""
+    head, args = spine(node)
+    if not isinstance(head, EqConst) or not args:
+        return
+    for position, arg in enumerate(args[:2]):
+        operand_head, operand_args = spine(arg)
+        bad: Optional[str] = None
+        if isinstance(operand_head, Abs):
+            bad = "an abstraction"
+        elif isinstance(operand_head, EqConst) and len(operand_args) >= 2:
+            bad = "a boolean (another Eq application)"
+        if bad is not None:
+            report.add(
+                "TLI008",
+                f"Eq argument {position + 1} is {bad}; the delta rule "
+                f"Eq o_i o_j is only defined on atomic constants",
+                path=path,
+                location=describe_path(root, path),
+            )
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: typing / order-budget certification (TLI005, TLI006, TLI007,
+# TLI009) — mirrors repro.queries.language.recognize_tli
+# ---------------------------------------------------------------------------
+
+def typing_pass(
+    term: Term,
+    report: AnalysisReport,
+    *,
+    signature=None,  # Optional[QueryArity]
+    max_order: Optional[int] = None,
+) -> Optional[TypingResult]:
+    """Type the plan, certify its derivation order, enforce the budget.
+
+    Returns the :class:`TypingResult` of the *body* (under the signature's
+    input assumptions when one is given) so later passes can consult
+    occurrence types; ``None`` when typing failed.
+    """
+    from repro.queries.language import _check_result_accumulator, _split_query
+    from repro.errors import QueryTermError
+    from repro.types.types import relation_type
+
+    result: Optional[TypingResult] = None
+    order_needed: Optional[int] = None
+
+    if signature is not None:
+        try:
+            names, body = _split_query(term, len(signature.inputs))
+        except QueryTermError as exc:
+            report.add("TLI009", str(exc))
+            return None
+        env: Dict[str, Type] = {
+            name: relation_type(k, TypeVar(f"?acc_{name}"))
+            for name, k in zip(names, signature.inputs)
+        }
+        try:
+            result = infer(body, env)
+        except TypeInferenceError as exc:
+            report.add("TLI005", f"query body does not type: {exc}")
+            return None
+        try:
+            _check_result_accumulator(
+                result.occurrence_types[()], result.subst, signature.output
+            )
+        except QueryTermError as exc:
+            report.add("TLI009", str(exc))
+            return result
+        order_needed = result.derivation_order()
+        for assumed in env.values():
+            order_needed = max(
+                order_needed,
+                1 + min_ground_order(result.subst.apply(assumed)),
+            )
+    else:
+        try:
+            result = infer(term)
+        except TypeInferenceError as exc:
+            report.add("TLI005", str(exc))
+            return None
+        order_needed = result.derivation_order()
+
+    report.order = order_needed
+    if signature is not None:
+        fragment_index = max(order_needed - 3, 0)
+        report.fragment = f"TLI={fragment_index}"
+        fragment_note = f"; the query lands in TLI={fragment_index}"
+    else:
+        report.fragment = None
+        fragment_note = ""
+    report.add(
+        "TLI006",
+        f"derivation order {order_needed}{fragment_note}",
+    )
+    if max_order is not None and order_needed > max_order:
+        report.add(
+            "TLI007",
+            f"derivation order {order_needed} exceeds the declared "
+            f"budget {max_order} (fragment budget TLI="
+            f"{max(max_order - 3, 0)})",
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: typed iterator-accumulator check (TLI004)
+# ---------------------------------------------------------------------------
+
+def _relation_shape(type_: Type) -> Optional[int]:
+    """If ``type_`` (ground) is ``(o^k -> a -> a) -> a -> a`` with k >= 1,
+    return ``k``; otherwise ``None``."""
+    if not isinstance(type_, Arrow):
+        return None
+    cons, rest = type_.left, type_.right
+    if not isinstance(rest, Arrow) or rest.left != rest.right:
+        return None
+    expected = Arrow(rest.left, rest.right)
+    k = 0
+    node = cons
+    while (
+        node != expected
+        and isinstance(node, Arrow)
+        and isinstance(node.left, BaseO)
+    ):
+        k += 1
+        node = node.right
+    if k < 1 or node != expected:
+        return None
+    return k
+
+
+def accumulator_pass(
+    term: Term,
+    report: AnalysisReport,
+    typing: Optional[TypingResult],
+    *,
+    path_prefix: Tuple[int, ...] = (),
+) -> None:
+    """TLI004: a literal loop body handed to a relation-typed iterator must
+    use its accumulator binder, else the fold is degenerate."""
+    if typing is None:
+        return
+    from repro.types.order import ground
+
+    stack: List[Tuple[Term, Tuple[int, ...]]] = [(term, ())]
+    while stack:
+        node, path = stack.pop()
+        if isinstance(node, Abs):
+            stack.append((node.body, path + (0,)))
+        elif isinstance(node, Let):
+            stack.append((node.bound, path + (0,)))
+            stack.append((node.body, path + (1,)))
+        elif isinstance(node, App):
+            stack.append((node.fn, path + (0,)))
+            stack.append((node.arg, path + (1,)))
+            if not isinstance(node.arg, Abs):
+                continue
+            fn_path = path_prefix + path + (0,)
+            raw = typing.occurrence_types.get(fn_path)
+            if raw is None:
+                continue
+            fn_type = ground(typing.subst.apply(raw))
+            k = _relation_shape(fn_type)
+            if k is None:
+                continue
+            binders, body = binder_prefix(node.arg)
+            if len(binders) < k + 1:
+                continue  # eta-contracted loop; nothing to check
+            accumulator = binders[k]
+            inner = body
+            # Rebuild any binders beyond the accumulator back onto the
+            # body so its free variables are computed correctly.
+            from repro.lam.terms import lam
+
+            extra = list(binders[k + 1:])
+            if extra:
+                inner = lam(extra, body)
+            if accumulator not in free_vars(inner):
+                report.add(
+                    "TLI004",
+                    f"loop body ignores its accumulator binder "
+                    f"{accumulator!r}: the fold over this relation "
+                    f"degenerates to its first element",
+                    path=path + (1,),
+                    location=describe_path(term, path + (1,)),
+                )
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared with the analyzer driver
+# ---------------------------------------------------------------------------
+
+def body_typing_prefix(
+    term: Term, signature
+) -> Tuple[Tuple[int, ...], Term]:
+    """Where, inside ``term``, the typed *body* of a signatured query
+    starts: the path under the input binder prefix, and the body itself.
+
+    The typing pass types the body (not the whole plan) when a signature
+    is given; occurrence paths in its result are relative to the body.
+    """
+    if signature is None:
+        return (), term
+    path: Tuple[int, ...] = ()
+    node = term
+    for _ in range(len(signature.inputs)):
+        if not isinstance(node, Abs):
+            break
+        node = node.body
+        path = path + (0,)
+    return path, node

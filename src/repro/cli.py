@@ -301,12 +301,108 @@ def cmd_catalog(args) -> int:
     for entry in summary["queries"]:
         order = f" order={entry['order']}" if entry["order"] else ""
         sig = f" sig={entry['signature']}" if entry["signature"] else ""
+        cost = f" cost={entry['cost']}" if entry.get("cost") else ""
         print(
             f"query {entry['name']} kind={entry['kind']} "
             f"engine={entry['engine']} digest={entry['digest']}"
-            f"{order}{sig}"
+            f"{order}{sig}{cost}"
         )
+        for warning in entry.get("warnings", ()):
+            print(f"  warning: {warning}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the static query certifier over files, catalog-style entries,
+    and/or the built-in operator library."""
+    from repro.analysis import (
+        LintTarget,
+        Severity,
+        analyze,
+        collect_lam_files,
+        load_lam_file,
+        operator_library_targets,
+        render_reports_json,
+    )
+
+    signature = None
+    if args.inputs is not None or args.output is not None:
+        if args.inputs is None or args.output is None:
+            raise ReproError("--inputs and --output must be given together")
+        signature = QueryArity(tuple(args.inputs), args.output)
+
+    targets = []
+    if args.operators:
+        targets.extend(operator_library_targets())
+    for path in collect_lam_files(args.paths or []):
+        targets.append(load_lam_file(path))
+    constants = set(args.constants or ())
+    for name, spec in _split_named(args.query, "--query").items():
+        term = read_term_argument(spec, constants=sorted(constants))
+        targets.append(
+            LintTarget(
+                name=name,
+                plan=term,
+                signature=signature,
+                known_constants=constants or None,
+            )
+        )
+    for name, spec in _split_named(args.fixpoint, "--fixpoint").items():
+        targets.append(LintTarget(name=name, plan=_parse_fixpoint_spec(spec)))
+    if not targets:
+        raise ReproError(
+            "nothing to lint: give .lam files/directories, --operators, "
+            "--query, or --fixpoint"
+        )
+
+    reports = []
+    failures = 0
+    lines = []
+    for target in targets:
+        max_order = (
+            target.max_order if target.max_order is not None else args.budget
+        )
+        report = analyze(
+            target.plan,
+            name=target.name,
+            signature=target.signature,
+            max_order=max_order,
+            known_constants=target.known_constants,
+        )
+        reports.append(report)
+        # Expected codes (the seeded bad-query corpus) must fire and do
+        # not count against the target; everything else does.
+        fired = set(report.codes())
+        missing = sorted(target.expect - fired)
+        blocking = [
+            d
+            for d in report.diagnostics
+            if d.code not in target.expect
+            and (
+                d.severity == Severity.ERROR
+                or (args.strict and d.severity == Severity.WARNING)
+            )
+        ]
+        ok = not blocking and not missing
+        failures += 0 if ok else 1
+        lines.append(report.render(verbose=args.verbose))
+        if missing:
+            lines.append(
+                f"  expected diagnostic(s) did not fire: {', '.join(missing)}"
+            )
+
+    if args.json:
+        payload = render_reports_json(reports)
+        payload["summary"]["strict"] = args.strict
+        payload["summary"]["exit_failures"] = failures
+        print(json.dumps(payload, indent=2))
+    else:
+        print("\n".join(lines))
+        print(
+            f"{len(reports)} plan(s) analyzed, {failures} failing"
+            f"{' (strict)' if args.strict else ''}"
+        )
+    return 1 if failures else 0
 
 
 def _load_batch_requests(path: str, service, constants):
@@ -349,7 +445,7 @@ def _load_batch_requests(path: str, service, constants):
                 database=database,
                 engine=item.get("engine"),
                 arity=item.get("arity"),
-                fuel=item.get("fuel", 10_000_000),
+                fuel=item.get("fuel"),
                 timeout_s=item.get("timeout_s"),
                 tag=item.get("tag", f"#{index}"),
             )
@@ -552,6 +648,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_service_options(p)
     p.set_defaults(handler=cmd_catalog)
+
+    p = commands.add_parser(
+        "lint",
+        help="statically certify query plans (order, cost, well-formedness)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help=".lam files or directories; leading '# key: value' "
+                        "comment lines declare name/inputs/output/"
+                        "max-order/constants/expect")
+    p.add_argument("--operators", action="store_true",
+                   help="lint the built-in relational operator library")
+    p.add_argument("--query", action="append", metavar="NAME=SPEC",
+                   help="lint a query term (SPEC is a term or @file; "
+                        "repeatable)")
+    p.add_argument("--fixpoint", action="append", metavar="NAME=KIND",
+                   help="lint a fixpoint query: tc[:E], reach[:S,E], or "
+                        "sg[:flat,up,down]")
+    p.add_argument("--inputs", type=int, nargs="+",
+                   help="input arities for --query signature checking")
+    p.add_argument("--output", type=int,
+                   help="output arity for --query signature checking")
+    p.add_argument("--budget", type=int, default=None,
+                   help="derivation-order budget (error above it; "
+                        "TLI=i plans live at order i+3)")
+    p.add_argument("--constants", nargs="*", metavar="NAME",
+                   help="extra names to read as atomic constants")
+    p.add_argument("--strict", action="store_true",
+                   help="unexpected warnings fail the run too")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report")
+    p.add_argument("--verbose", action="store_true",
+                   help="include info-level certificates in text output")
+    p.set_defaults(handler=cmd_lint)
 
     p = commands.add_parser(
         "batch",

@@ -44,7 +44,7 @@ class QueryRun:
     decoded: DecodedRelation
     normal_form: Term
     engine: str
-    steps: Optional[int] = None  # small-step engines only
+    steps: Optional[int] = None  # small-step and materialized engines
 
 
 def run_query(

@@ -27,7 +27,7 @@ from repro.db.encode import encode_relation
 from repro.db.relations import Database, Relation
 from repro.errors import SchemaError
 from repro.eval.driver import QueryRun
-from repro.lam.nbe import nbe_normalize
+from repro.lam.nbe import nbe_normalize_counted
 from repro.lam.terms import Term, Var, app, lam
 from repro.queries import operators as ops
 from repro.queries.relalg_compile import active_domain_expr_term
@@ -62,8 +62,15 @@ def run_ra_query_materialized(
         name: encode_relation(relation) for name, relation in database
     }
 
+    steps_total = 0
+
     def normalize_app(operator: Term, *arguments: Term) -> Term:
-        return nbe_normalize(app(operator, *arguments), max_depth=max_depth)
+        nonlocal steps_total
+        normal, steps = nbe_normalize_counted(
+            app(operator, *arguments), max_depth=max_depth
+        )
+        steps_total += steps
+        return normal
 
     def materialize(node: RAExpr) -> Term:
         if isinstance(node, Base):
@@ -140,4 +147,5 @@ def run_ra_query_materialized(
         decoded=decoded,
         normal_form=normal_form,
         engine="materialized",
+        steps=steps_total,
     )

@@ -55,7 +55,7 @@ from repro.db.decode import DecodedRelation, decode_relation
 from repro.db.encode import encode_database, encode_relation
 from repro.db.relations import Database, Relation
 from repro.errors import EvaluationError
-from repro.lam.nbe import nbe_normalize
+from repro.lam.nbe import nbe_normalize_counted
 from repro.lam.terms import Term, Var, app, lam
 from repro.queries.fixpoint import (
     FIX_NAME,
@@ -77,6 +77,9 @@ class FixpointRun:
     stages: int
     stage_sizes: List[int]
     converged_at: Optional[int]
+    #: Total NBE reduction steps across every stage normalization — the
+    #: quantity the Theorem 5.1/5.2 cost certificates bound.
+    nbe_steps: int = 0
 
 
 def run_fixpoint_query(
@@ -121,10 +124,17 @@ def run_fixpoint_query(
     # same reduction the whole-term evaluation performs lazily at every
     # FuncToList' nesting level; materializing it keeps each domain sweep a
     # walk over a literal list).
+    nbe_steps = 0
+
+    def normalize(term: Term) -> Term:
+        nonlocal nbe_steps
+        normal, steps = nbe_normalize_counted(term, max_depth=max_depth)
+        nbe_steps += steps
+        return normal
+
     domain_term = active_domain_expr_term(schema, laundered)
-    domain_literal = nbe_normalize(
-        app(lam(names, domain_term), *encoded_inputs),
-        max_depth=max_depth,
+    domain_literal = normalize(
+        app(lam(names, domain_term), *encoded_inputs)
     )
     func_to_list = func_to_list_term(k, domain_literal)
     list_to_func = list_to_func_term(k)
@@ -153,7 +163,7 @@ def run_fixpoint_query(
 
     from repro.eval.materialize import run_ra_query_materialized
 
-    stage = nbe_normalize(app(initial, *encoded_inputs), max_depth=max_depth)
+    stage = normalize(app(initial, *encoded_inputs))
     stage_relation = decode_relation(stage, k).relation
     stage_sizes = [len(stage_relation)]
     converged_at: Optional[int] = None
@@ -169,10 +179,11 @@ def run_fixpoint_query(
         # intermediate can influence any later stage; and it bounds every
         # intermediate by |D|^k tuples).
         step_relation = step_run.relation
+        if step_run.steps is not None:
+            nbe_steps += step_run.steps
         deduped = encode_relation(step_relation)
-        next_stage = nbe_normalize(
-            app(reencode_map, *encoded_inputs, deduped),
-            max_depth=max_depth,
+        next_stage = normalize(
+            app(reencode_map, *encoded_inputs, deduped)
         )
         next_relation = decode_relation(next_stage, k).relation
         stages_run += 1
@@ -198,6 +209,7 @@ def run_fixpoint_query(
         stages=stages_run,
         stage_sizes=stage_sizes,
         converged_at=converged_at,
+        nbe_steps=nbe_steps,
     )
 
 

@@ -18,15 +18,23 @@ The domain:
   values (stuck applications);
 * delta is implemented at application time: when an ``Eq`` neutral receives
   its second constant argument, it collapses to a Church boolean value.
+
+Every evaluation carries a per-call :class:`_StepCounter`: one step per
+closure/native application (beta), per delta collapse, and per ``let``
+binding.  The count is what the static cost analysis
+(:mod:`repro.analysis.cost`) upper-bounds, and an optional ``fuel`` budget
+turns the counter into an enforced limit (raising
+:class:`~repro.errors.FuelExhausted`), so the service runtime can budget
+NBE requests the same way it budgets the small-step engines.
 """
 
 from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 
-from repro.errors import ReductionError
+from repro.errors import FuelExhausted, ReductionError
 from repro.lam.terms import (
     Abs,
     App,
@@ -37,6 +45,22 @@ from repro.lam.terms import (
     Var,
     free_vars,
 )
+
+
+class _StepCounter:
+    """Per-normalization work meter, optionally budget-enforcing."""
+
+    __slots__ = ("steps", "limit")
+
+    def __init__(self, limit: Optional[int] = None):
+        self.steps = 0
+        self.limit = limit
+
+    def tick(self) -> None:
+        self.steps = current = self.steps + 1
+        limit = self.limit
+        if limit is not None and current > limit:
+            raise FuelExhausted(current)
 
 
 class _Thunk:
@@ -84,8 +108,8 @@ class _Closure:
     body: Term
     env: _Env
 
-    def apply(self, argument: _Thunk) -> "Value":
-        return _eval(self.body, (self.var, argument, self.env))
+    def apply(self, argument: _Thunk, counter: _StepCounter) -> "Value":
+        return _eval(self.body, (self.var, argument, self.env), counter)
 
 
 @dataclass
@@ -95,7 +119,7 @@ class _Native:
 
     fn: Callable[[_Thunk], "Value"]
 
-    def apply(self, argument: _Thunk) -> "Value":
+    def apply(self, argument: _Thunk, counter: _StepCounter) -> "Value":
         return self.fn(argument)
 
 
@@ -119,9 +143,10 @@ def _false_value() -> Value:
     return _Native(lambda x: _Native(lambda y: y.force()))
 
 
-def _apply(fn: Value, argument: _Thunk) -> Value:
+def _apply(fn: Value, argument: _Thunk, counter: _StepCounter) -> Value:
     if isinstance(fn, (_Closure, _Native)):
-        return fn.apply(argument)
+        counter.tick()
+        return fn.apply(argument, counter)
     if isinstance(fn, _Neutral):
         spine = fn.spine + (argument,)
         # Delta rule: Eq o_i o_j collapses once both constants are present.
@@ -135,6 +160,7 @@ def _apply(fn: Value, argument: _Thunk) -> Value:
                     and isinstance(right.head, Const)
                     and not right.spine
                 ):
+                    counter.tick()
                     if left.head.name == right.head.name:
                         return _true_value()
                     return _false_value()
@@ -142,7 +168,7 @@ def _apply(fn: Value, argument: _Thunk) -> Value:
     raise ReductionError(f"cannot apply value {fn!r}")
 
 
-def _eval(term: Term, env: _Env) -> Value:
+def _eval(term: Term, env: _Env, counter: _StepCounter) -> Value:
     while True:
         if isinstance(term, Var):
             thunk = _env_lookup(env, term.name)
@@ -154,23 +180,25 @@ def _eval(term: Term, env: _Env) -> Value:
         if isinstance(term, Abs):
             return _Closure(term.var, term.body, env)
         if isinstance(term, App):
-            fn_value = _eval(term.fn, env)
+            fn_value = _eval(term.fn, env, counter)
             # Bind as default arguments: the loop reassigns term/env, and a
             # late-binding closure would evaluate the wrong redex.
             argument = _Thunk(
-                lambda t=term.arg, e=env: _eval(t, e)
+                lambda t=term.arg, e=env: _eval(t, e, counter)
             )
             if isinstance(fn_value, _Closure):
                 # Tail-call into the closure body instead of recursing: keeps
                 # Python stack depth proportional to term depth, not to the
                 # number of beta steps.
+                counter.tick()
                 env = (fn_value.var, argument, fn_value.env)
                 term = fn_value.body
                 continue
-            return _apply(fn_value, argument)
+            return _apply(fn_value, argument, counter)
         if isinstance(term, Let):
+            counter.tick()
             bound = _Thunk(
-                lambda t=term.bound, e=env: _eval(t, e)
+                lambda t=term.bound, e=env: _eval(t, e, counter)
             )
             env = (term.var, bound, env)
             term = term.body
@@ -178,17 +206,17 @@ def _eval(term: Term, env: _Env) -> Value:
         raise TypeError(f"not a term: {term!r}")
 
 
-def _quote(value: Value, supply: "_FreshNames") -> Term:
+def _quote(value: Value, supply: "_FreshNames", counter: _StepCounter) -> Term:
     if isinstance(value, (_Closure, _Native)):
         name = supply.fresh()
         fresh_var = _Thunk.of(_Neutral(Var(name), ()))
-        body = _quote(_apply(value, fresh_var), supply)
+        body = _quote(_apply(value, fresh_var, counter), supply, counter)
         supply.release()
         return Abs(name, body)
     if isinstance(value, _Neutral):
         result: Term = value.head
         for argument in value.spine:
-            result = App(result, _quote(argument.force(), supply))
+            result = App(result, _quote(argument.force(), supply, counter))
         return result
     raise ReductionError(f"cannot quote value {value!r}")
 
@@ -209,13 +237,18 @@ class _FreshNames:
         self.level -= 1
 
 
-def nbe_normalize(term: Term, max_depth: int = 600_000) -> Term:
-    """Normalize ``term`` via evaluation and readback.
+def nbe_normalize_counted(
+    term: Term,
+    max_depth: int = 600_000,
+    fuel: Optional[int] = None,
+) -> Tuple[Term, int]:
+    """Normalize ``term`` and report how many evaluation steps it took.
 
-    Produces the beta-delta-let normal form (alpha-equal to the output of
-    :func:`repro.lam.reduce.normalize`); bound variables in the result are
-    renamed to a fresh ``v<level>`` scheme that avoids the term's free
-    variables.
+    A "step" is a beta application (closure entry), a delta collapse, or a
+    ``let`` binding — the NBE analogue of the small-step engine's counted
+    redexes, including the work done during readback.  With ``fuel`` set,
+    normalization raises :class:`~repro.errors.FuelExhausted` as soon as
+    the step count would exceed the budget.
     """
     base = "v"
     free = free_vars(term)
@@ -228,5 +261,24 @@ def nbe_normalize(term: Term, max_depth: int = 600_000) -> Term:
     # deep would be unsound, and the churn confuses test tooling.
     if sys.getrecursionlimit() < max_depth:
         sys.setrecursionlimit(max_depth)
-    value = _eval(term, None)
-    return _quote(value, _FreshNames(base))
+    counter = _StepCounter(fuel)
+    value = _eval(term, None, counter)
+    normal_form = _quote(value, _FreshNames(base), counter)
+    return normal_form, counter.steps
+
+
+def nbe_normalize(
+    term: Term,
+    max_depth: int = 600_000,
+    fuel: Optional[int] = None,
+) -> Term:
+    """Normalize ``term`` via evaluation and readback.
+
+    Produces the beta-delta-let normal form (alpha-equal to the output of
+    :func:`repro.lam.reduce.normalize`); bound variables in the result are
+    renamed to a fresh ``v<level>`` scheme that avoids the term's free
+    variables.  ``fuel``, when given, bounds the evaluation step count (see
+    :func:`nbe_normalize_counted`).
+    """
+    normal_form, _ = nbe_normalize_counted(term, max_depth=max_depth, fuel=fuel)
+    return normal_form

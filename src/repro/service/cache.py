@@ -43,6 +43,9 @@ class CachedResult:
     steps: Optional[int]
     stages: Optional[int]
     compute_wall_ms: float
+    #: The fuel budget the computing request ran under (None for engines
+    #: that take no fuel); informational on later hits.
+    fuel_budget: Optional[int] = None
 
 
 @dataclass

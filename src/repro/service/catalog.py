@@ -28,6 +28,9 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.analysis.analyzer import analyze_fixpoint, analyze_term
+from repro.analysis.cost import CostProfile, DatabaseStats
+from repro.analysis.diagnostics import AnalysisReport
 from repro.db.encode import encode_database
 from repro.db.relations import Database
 from repro.errors import EvaluationError, SchemaError
@@ -41,15 +44,28 @@ QuerySpec = Union[Term, FixpointQuery]
 
 def database_digest(database: Database) -> str:
     """A content digest of a list-represented database (names, arities, and
-    tuple lists in list order — Definition 3.4 equality)."""
+    tuple lists in list order — Definition 3.4 equality).
+
+    Every variable-length field (relation name, tuple component) is
+    length-prefixed, so the serialization is injective: constants that
+    happen to contain separator bytes cannot shift a boundary and collide
+    with a differently-split database.  The arity and row count are framed
+    in too, making each relation's byte region self-delimiting.
+    """
     hasher = hashlib.sha256()
     for name, relation in database:
-        hasher.update(
-            f"{name}\x00{relation.arity}\x00".encode()
-        )
+        encoded_name = name.encode()
+        hasher.update(b"R%d:%s;%d;%d;" % (
+            len(encoded_name),
+            encoded_name,
+            relation.arity,
+            len(relation.tuples),
+        ))
         for row in relation.tuples:
-            hasher.update("\x1f".join(row).encode() + b"\x1e")
-        hasher.update(b"\x1d")
+            for value in row:
+                encoded = value.encode()
+                hasher.update(b"%d:%s," % (len(encoded), encoded))
+            hasher.update(b".")
     return hasher.hexdigest()
 
 
@@ -62,6 +78,9 @@ class DatabaseEntry:
     encoded: Tuple[Term, ...]
     version: int
     digest: str
+    #: Size statistics the static cost polynomials range over; computed at
+    #: registration so per-request fuel derivation is O(1).
+    stats: Optional[DatabaseStats] = None
 
     @property
     def schema(self) -> Dict[str, int]:
@@ -87,7 +106,9 @@ class QueryEntry:
     query term for term plans and the compiled Theorem 4.2 tower for
     fixpoint plans (kept for digesting and reference cross-checks);
     ``order`` is the derivation order found at registration when a
-    signature was checked (``i + 3`` for TLI=i, Definition 3.7).
+    signature was checked (``i + 3`` for TLI=i, Definition 3.7);
+    ``report`` is the static analyzer's full report (absent only with
+    ``check=False``), whose cost profile seeds per-request fuel budgets.
     """
 
     name: str
@@ -98,6 +119,7 @@ class QueryEntry:
     fixpoint: Optional[FixpointQuery] = None
     signature: Optional[QueryArity] = None
     order: Optional[int] = None
+    report: Optional[AnalysisReport] = None
 
     @property
     def output_arity(self) -> Optional[int]:
@@ -107,15 +129,29 @@ class QueryEntry:
             return self.signature.output
         return None
 
+    @property
+    def cost(self) -> Optional[CostProfile]:
+        return self.report.cost if self.report is not None else None
+
     def summary(self) -> dict:
+        report = self.report
         return {
             "name": self.name,
             "kind": self.kind,
             "engine": self.engine,
             "digest": self.digest[:12],
             "order": self.order,
+            "fragment": report.fragment if report else None,
             "signature": str(self.signature) if self.signature else None,
             "output_arity": self.output_arity,
+            "cost": (
+                report.cost.describe()
+                if report and report.cost is not None
+                else None
+            ),
+            "warnings": (
+                [d.format() for d in report.warnings()] if report else []
+            ),
         }
 
 
@@ -146,6 +182,7 @@ class Catalog:
                 encoded=tuple(encode_database(database)),
                 version=version,
                 digest=database_digest(database),
+                stats=DatabaseStats.of(database),
             )
             self._databases[name] = entry
             return entry
@@ -181,18 +218,29 @@ class Catalog:
         signature: Optional[QueryArity] = None,
         engine: Optional[str] = None,
         check: bool = True,
+        max_order: Optional[int] = None,
     ) -> QueryEntry:
         """Register (or replace) the plan ``name``.
 
         ``query`` is a lambda term (optionally checked against an arity
         ``signature`` per Lemma 3.9) or a :class:`FixpointQuery` spec.
-        ``engine`` overrides the auto-selection; ``check=False`` skips
-        registration-time type/order checking (untyped experiments only).
+        ``engine`` overrides the auto-selection; ``max_order`` declares an
+        order budget the plan must certify under (TLI007 otherwise);
+        ``check=False`` skips registration-time static analysis (untyped
+        experiments only).
+
+        Checked registration runs the full static analyzer: a report with
+        errors fails registration, and the report (warnings, order and
+        cost certificates) is attached to the returned entry.
         """
         if isinstance(query, FixpointQuery):
-            entry = self._register_fixpoint(name, query, engine)
+            entry = self._register_fixpoint(
+                name, query, engine, check, max_order
+            )
         elif isinstance(query, Term):
-            entry = self._register_term(name, query, signature, engine, check)
+            entry = self._register_term(
+                name, query, signature, engine, check, max_order
+            )
         else:
             raise EvaluationError(
                 f"query {name!r} must be a Term or FixpointQuery, "
@@ -209,14 +257,27 @@ class Catalog:
         signature: Optional[QueryArity],
         engine: Optional[str],
         check: bool,
+        max_order: Optional[int],
     ) -> QueryEntry:
         order: Optional[int] = None
-        if check and signature is not None:
-            order = recognize_tli(query, signature).derivation_order
-        elif check:
-            from repro.types.infer import infer
+        report: Optional[AnalysisReport] = None
+        if check:
+            report = analyze_term(
+                query, name=name, signature=signature, max_order=max_order
+            )
+            if not report.ok:
+                # Typing and signature failures re-raise through the
+                # original checkers so callers see the precise exception
+                # types; analyzer-only findings fall through to the
+                # generic rejection below.
+                if signature is not None:
+                    recognize_tli(query, signature)
+                else:
+                    from repro.types.infer import infer
 
-            order = infer(query).derivation_order()
+                    infer(query)
+                self._reject(name, report)
+            order = report.order
         term = intern_term(query)
         chosen = validate_engine(engine) if engine else "nbe"
         return QueryEntry(
@@ -227,6 +288,7 @@ class Catalog:
             digest=digest(term),
             signature=signature,
             order=order,
+            report=report,
         )
 
     def _register_fixpoint(
@@ -234,7 +296,18 @@ class Catalog:
         name: str,
         query: FixpointQuery,
         engine: Optional[str],
+        check: bool = True,
+        max_order: Optional[int] = None,
     ) -> QueryEntry:
+        report: Optional[AnalysisReport] = None
+        if check:
+            report = analyze_fixpoint(query, name=name, max_order=max_order)
+            if not report.ok:
+                # Schema-invalid steps re-raise through the compiler
+                # (precise SchemaError); budget violations and the like
+                # fall through to the generic rejection.
+                build_fixpoint_query(query)
+                self._reject(name, report)
         # Compile the Theorem 4.2 tower once: validates the spec, and the
         # compiled term is what non-fixpoint engines (reference
         # cross-checks) normalize.
@@ -256,6 +329,14 @@ class Catalog:
             fixpoint=query,
             signature=signature,
             order=4,  # TLI=1 towers live at order 4 (Definition 3.7).
+            report=report,
+        )
+
+    @staticmethod
+    def _reject(name: str, report: AnalysisReport) -> None:
+        details = "; ".join(d.format() for d in report.errors())
+        raise EvaluationError(
+            f"query {name!r} failed static analysis: {details}"
         )
 
     def get_query(self, name: str) -> QueryEntry:

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import EvaluationError
-from repro.lam.nbe import nbe_normalize
+from repro.lam.nbe import nbe_normalize_counted
 from repro.lam.reduce import DEFAULT_FUEL, Strategy, normalize
 from repro.lam.terms import Term, app
 
@@ -42,11 +42,16 @@ _STRATEGIES = {
 
 @dataclass(frozen=True)
 class EngineResult:
-    """A normal form plus how much work reaching it took."""
+    """A normal form plus how much work reaching it took.
+
+    ``steps`` counts contracted redexes for the small-step engines and
+    beta/delta/let evaluation steps for NBE (see
+    :func:`repro.lam.nbe.nbe_normalize_counted`).
+    """
 
     normal_form: Term
     engine: str
-    steps: Optional[int] = None  # small-step engines only
+    steps: Optional[int] = None
 
 
 def validate_engine(engine: str, *, allow_fixpoint: bool = False) -> str:
@@ -74,9 +79,11 @@ def evaluate_term_query(
     validate_engine(engine)
     applied = app(query, *encoded_inputs)
     if engine == "nbe":
+        normal_form, steps = nbe_normalize_counted(
+            applied, max_depth=max_depth, fuel=fuel
+        )
         return EngineResult(
-            normal_form=nbe_normalize(applied, max_depth=max_depth),
-            engine=engine,
+            normal_form=normal_form, engine=engine, steps=steps
         )
     outcome = normalize(applied, _STRATEGIES[engine], fuel=fuel)
     return EngineResult(

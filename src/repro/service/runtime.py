@@ -32,6 +32,8 @@ from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.analysis.analyzer import fuel_budget
+from repro.analysis.cost import CostProfile, DatabaseStats
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
@@ -70,13 +72,19 @@ class QueryRequest:
     one-shot use.  ``engine`` overrides the plan's engine; ``fuel`` and
     ``max_depth`` budget the small-step and NBE evaluators respectively;
     ``timeout_s`` bounds how long the caller waits in a batch.
+
+    ``fuel=None`` (the default) derives the budget from the plan's static
+    cost certificate against the database's size statistics (Theorem 5.1:
+    honest plans finish inside the bound, so exhausting it means a
+    runaway); plans without a certificate fall back to
+    :data:`DEFAULT_FUEL`.
     """
 
     query: Union[str, Term, FixpointQuery]
     database: Union[str, Database]
     engine: Optional[str] = None
     arity: Optional[int] = None
-    fuel: int = DEFAULT_FUEL
+    fuel: Optional[int] = None
     max_depth: int = DEFAULT_MAX_DEPTH
     timeout_s: Optional[float] = None
     tag: Optional[str] = None
@@ -95,6 +103,7 @@ class QueryResponse:
     normal_form: Optional[Term] = None
     steps: Optional[int] = None
     stages: Optional[int] = None
+    fuel_budget: Optional[int] = None
     cache_hit: bool = False
     wall_ms: float = 0.0
     compute_wall_ms: Optional[float] = None
@@ -121,6 +130,7 @@ class QueryResponse:
             ),
             "steps": self.steps,
             "stages": self.stages,
+            "fuel_budget": self.fuel_budget,
             "error": self.error,
             "tag": self.tag,
         }
@@ -181,6 +191,7 @@ class _ResolvedQuery:
     term: Optional[Term]
     fixpoint: Optional[FixpointQuery]
     output_arity: Optional[int]
+    cost: Optional[CostProfile] = None
 
 
 class QueryService:
@@ -287,6 +298,7 @@ class QueryService:
                 term=entry.term,
                 fixpoint=entry.fixpoint,
                 output_arity=entry.output_arity,
+                cost=entry.cost,
             )
         if isinstance(query, FixpointQuery):
             spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
@@ -325,6 +337,7 @@ class QueryService:
                 encoded=tuple(encode_database(database)),
                 version=0,
                 digest=database_digest(database),
+                stats=DatabaseStats.of(database),
             )
         raise ReproError(
             f"request database must be a name or Database, "
@@ -395,6 +408,9 @@ class QueryService:
                         database_version=db_entry.version,
                         engine=resolved.engine,
                         steps=exc.steps,
+                        fuel_budget=self._fuel_for(
+                            request, resolved, db_entry
+                        ),
                         error=str(exc),
                         wall_ms=(time.perf_counter() - start) * 1000.0,
                         tag=request.tag,
@@ -414,6 +430,7 @@ class QueryService:
             normal_form=computed.normal_form,
             steps=computed.steps,
             stages=computed.stages,
+            fuel_budget=computed.fuel_budget,
             cache_hit=False,
             wall_ms=wall_ms,
             compute_wall_ms=computed.compute_wall_ms,
@@ -439,12 +456,14 @@ class QueryService:
             decoded, normal_form = run.decoded, run.normal_form
             steps: Optional[int] = None
             stages: Optional[int] = run.stages
+            fuel: Optional[int] = None
         else:
+            fuel = self._fuel_for(request, resolved, db_entry)
             result = evaluate_term_query(
                 resolved.term,
                 db_entry.encoded,
                 engine=resolved.engine,
-                fuel=request.fuel,
+                fuel=fuel,
                 max_depth=request.max_depth,
             )
             decoded = decode_relation(result.normal_form, arity)
@@ -460,7 +479,24 @@ class QueryService:
             steps=steps,
             stages=stages,
             compute_wall_ms=compute_ms,
+            fuel_budget=fuel,
         )
+
+    @staticmethod
+    def _fuel_for(
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+    ) -> int:
+        """The fuel this evaluation runs under: an explicit request budget
+        wins; otherwise the plan's static cost certificate instantiated at
+        the database's size statistics; otherwise the flat default."""
+        if request.fuel is not None:
+            return request.fuel
+        stats = db_entry.stats
+        if stats is None:
+            stats = DatabaseStats.of(db_entry.database)
+        return fuel_budget(resolved.cost, stats, default=DEFAULT_FUEL)
 
     def _from_cache(
         self,
@@ -486,6 +522,7 @@ class QueryService:
             normal_form=cached.normal_form,
             steps=cached.steps,
             stages=cached.stages,
+            fuel_budget=cached.fuel_budget,
             cache_hit=True,
             wall_ms=(time.perf_counter() - start) * 1000.0,
             compute_wall_ms=cached.compute_wall_ms,

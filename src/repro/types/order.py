@@ -6,25 +6,47 @@
 The order of a typed term is the order of its type; the order bound of the
 fragments TLI=_i / MLI=_i constrains *all* types in the derivation, which is
 captured by :func:`derivation_order`.
+
+All traversals here are iterative and memoized on node identity: the
+Section 6 lower-bound types are deeply *left*-nested (argument positions
+inside argument positions) and principal types can be exponentially large
+trees that are only polynomial as shared DAGs, so neither Python's
+recursion limit nor tree-sized work is acceptable.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Mapping, Tuple
 
 from repro.types.types import Arrow, BaseO, Type, TypeVar
 
 
 def order(type_: Type) -> int:
-    """The functionality order of ``type_``."""
-    # Iterative along the right spine (arrow chains can be long), recursive
-    # into the argument positions: order(a1 -> ... -> ak -> r) with r not an
-    # arrow is max_i(1 + order(a_i)), and 0 when k = 0.
+    """The functionality order of ``type_``.
+
+    Unfolding the recurrence, the order is the maximum over all ``Arrow``
+    nodes of ``1 +`` the number of *argument* (left) edges on the path from
+    the root — 0 when there is no arrow at all.  That form needs only a
+    work stack of ``(node, left_edges)`` pairs, so arbitrarily deep
+    argument nesting is fine.  Shared subtrees are pruned: a node reached
+    again with no more left-edge weight than before cannot improve the
+    maximum.
+    """
     result = 0
-    node = type_
-    while isinstance(node, Arrow):
-        result = max(result, 1 + order(node.left))
-        node = node.right
+    best: Dict[int, int] = {}
+    stack: List[Tuple[Type, int]] = [(type_, 0)]
+    while stack:
+        node, lefts = stack.pop()
+        if not isinstance(node, Arrow):
+            continue
+        seen = best.get(id(node))
+        if seen is not None and seen >= lefts:
+            continue
+        best[id(node)] = lefts
+        if lefts + 1 > result:
+            result = lefts + 1
+        stack.append((node.left, lefts + 1))
+        stack.append((node.right, lefts))
     return result
 
 
@@ -37,19 +59,53 @@ def ground(type_: Type, default: Type = BaseO()) -> Type:
     ground instances of ``t``.  This implements the paper's Section 3.2
     convention that all typings use only the fixed variables ``o`` and
     ``g``.
+
+    The rebuild is an iterative post-order memoized on node identity, so
+    shared subtrees are grounded once and sharing is preserved in the
+    result (tree-exponential principal types stay DAG-polynomial).
     """
-    if isinstance(type_, TypeVar):
-        return default
-    if isinstance(type_, Arrow):
-        return Arrow(ground(type_.left, default), ground(type_.right, default))
-    return type_
+    done: Dict[int, Type] = {}
+    stack: List[Tuple[Type, bool]] = [(type_, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in done:
+            continue
+        if isinstance(node, TypeVar):
+            done[id(node)] = default
+        elif isinstance(node, Arrow):
+            if not ready:
+                stack.append((node, True))
+                stack.append((node.right, False))
+                stack.append((node.left, False))
+            else:
+                left = done[id(node.left)]
+                right = done[id(node.right)]
+                if left is node.left and right is node.right:
+                    done[id(node)] = node
+                else:
+                    done[id(node)] = Arrow(left, right)
+        else:
+            done[id(node)] = node
+    return done[id(type_)]
 
 
-def derivation_order(subterm_types: Dict[object, Type]) -> int:
+def min_ground_order(type_: Type) -> int:
+    """``order(ground(type_))`` without materializing the ground type.
+
+    Grounding with ``o`` turns variables into order-0 leaves, which is how
+    :func:`order` already treats every non-arrow node — so the minimal
+    ground order of a type is just its order.  Kept as a named operation
+    because call sites mean "the least order among all ground instances"
+    (Lemma 3.9 / Section 3.2), not "the order of this open type".
+    """
+    return order(type_)
+
+
+def derivation_order(subterm_types: Mapping[object, Type]) -> int:
     """The order of a typing derivation: the maximum order over all types it
     assigns.  Takes the map produced by the inference engines (see
     :class:`repro.types.infer.TypingResult`) and measures the minimal-order
     ground instance of each assigned type."""
     if not subterm_types:
         return 0
-    return max(order(ground(t)) for t in subterm_types.values())
+    return max(min_ground_order(t) for t in subterm_types.values())

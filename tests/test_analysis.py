@@ -1,0 +1,490 @@
+"""Tests for the static query certifier (:mod:`repro.analysis`)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    DatabaseStats,
+    Severity,
+    analyze,
+    analyze_fixpoint,
+    analyze_term,
+    collect_lam_files,
+    fuel_budget,
+    load_lam_file,
+    load_lam_source,
+    operator_library_targets,
+    render_reports_json,
+    term_cost_profile,
+)
+from repro.analysis.corpus import CorpusError
+from repro.db.generators import random_database
+from repro.db.relations import Database, Relation
+from repro.db.encode import encode_database
+from repro.lam.nbe import nbe_normalize_counted
+from repro.lam.parser import parse
+from repro.lam.terms import app
+from repro.queries.fixpoint import FixpointQuery, transitive_closure_query
+from repro.queries.language import QueryArity
+from repro.relalg.ast import Base, Difference
+from repro.types.infer import infer
+from repro.types.order import min_ground_order
+from repro.types.types import Arrow, BaseO, TypeVar
+
+REPO = Path(__file__).resolve().parent.parent
+CORPUS = REPO / "tests" / "fixtures" / "lint_corpus"
+EXAMPLES = REPO / "examples" / "terms"
+
+SIG22 = QueryArity((2, 2), 2)
+SWAP = parse(r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n")
+
+
+def run_target(target):
+    return analyze(
+        target.plan,
+        name=target.name,
+        signature=target.signature,
+        max_order=target.max_order,
+        known_constants=target.known_constants,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The seeded bad-query corpus
+# ---------------------------------------------------------------------------
+
+class TestSeededCorpus:
+    def test_corpus_exists(self):
+        assert len(collect_lam_files([CORPUS])) >= 5
+
+    def test_every_expected_code_fires(self):
+        for path in collect_lam_files([CORPUS]):
+            target = load_lam_file(path)
+            assert target.expect, f"{path} declares no expected codes"
+            report = run_target(target)
+            fired = set(report.codes())
+            missing = target.expect - fired
+            assert not missing, (
+                f"{path}: expected {sorted(target.expect)}, "
+                f"fired {sorted(fired)}"
+            )
+
+    def test_corpus_covers_at_least_five_distinct_codes(self):
+        fired = set()
+        for path in collect_lam_files([CORPUS]):
+            fired.update(run_target(load_lam_file(path)).codes())
+        # Drop the positive certificates; count real findings only.
+        findings = fired - {"TLI006", "TLI010"}
+        assert len(findings) >= 5, sorted(findings)
+
+    def test_expected_codes_are_registered(self):
+        for path in collect_lam_files([CORPUS]):
+            for code in load_lam_file(path).expect:
+                assert code in CODES
+
+
+# ---------------------------------------------------------------------------
+# Example queries and the operator library lint clean
+# ---------------------------------------------------------------------------
+
+class TestCleanCorpus:
+    def test_examples_have_no_findings(self):
+        paths = collect_lam_files([EXAMPLES])
+        assert paths, "examples/terms is empty"
+        for path in paths:
+            report = run_target(load_lam_file(path))
+            assert report.ok, report.render()
+            assert not report.warnings(), report.render()
+            assert report.order is not None
+            assert report.cost is not None
+
+    def test_operator_library_is_clean(self):
+        targets = operator_library_targets()
+        assert len(targets) >= 10
+        for target in targets:
+            report = run_target(target)
+            assert report.ok, report.render()
+            assert not report.warnings(), report.render()
+
+    def test_signatured_operators_land_in_tli0(self):
+        for target in operator_library_targets():
+            if target.signature is None:
+                continue
+            report = run_target(target)
+            assert report.fragment == "TLI=0", report.render()
+
+
+# ---------------------------------------------------------------------------
+# Term passes
+# ---------------------------------------------------------------------------
+
+class TestTermPasses:
+    def test_free_variable_is_error(self):
+        report = analyze_term(parse(r"\c. c x"), name="t")
+        assert "TLI001" in report.codes()
+        assert not report.ok
+
+    def test_closed_term_no_tli001(self):
+        report = analyze_term(SWAP, name="swap", signature=SIG22)
+        assert "TLI001" not in report.codes()
+        assert report.ok
+
+    def test_unknown_constant_needs_known_set(self):
+        term = parse(r"\u. \v. Eq o1 o2 u v")
+        assert "TLI002" not in analyze_term(term, name="t").codes()
+        report = analyze_term(term, name="t", known_constants={"o1"})
+        assert "TLI002" in report.codes()
+        # Deduplicated per constant name.
+        assert len([d for d in report.diagnostics if d.code == "TLI002"]) == 1
+
+    def test_shadow_in_open_subterm_warns(self):
+        term = parse(r"\x. \y. x ((\x. y x) x)")
+        assert "TLI003" in analyze_term(term, name="t").codes()
+
+    def test_shadow_inside_closed_combinator_is_benign(self):
+        # Inlined closed combinators reuse binder names freely (the
+        # operator library does this everywhere).
+        term = parse(r"\x. \y. x ((\x. \y. x y) y)")
+        assert "TLI003" not in analyze_term(term, name="t").codes()
+
+    def test_dead_accumulator_warns(self):
+        term = parse(r"\R. \c. \n. R (\x. \T. c x n) n")
+        report = analyze_term(
+            term, name="t", signature=QueryArity((1,), 1)
+        )
+        assert "TLI004" in report.codes()
+        assert report.ok  # warning, not error
+
+    def test_live_accumulator_clean(self):
+        term = parse(r"\R. \c. \n. R (\x. \T. c x T) n")
+        report = analyze_term(
+            term, name="t", signature=QueryArity((1,), 1)
+        )
+        assert "TLI004" not in report.codes()
+
+    def test_ill_typed_is_error(self):
+        report = analyze_term(parse(r"\x. x x"), name="t")
+        assert "TLI005" in report.codes()
+        assert not report.ok
+        assert report.order is None
+
+    def test_order_certificate_and_fragment(self):
+        report = analyze_term(SWAP, name="swap", signature=SIG22)
+        assert report.order == 3
+        assert report.fragment == "TLI=0"
+        assert "TLI006" in report.codes()
+
+    def test_order_budget_enforced(self):
+        over = analyze_term(SWAP, name="swap", signature=SIG22, max_order=2)
+        assert "TLI007" in over.codes()
+        assert not over.ok
+        under = analyze_term(SWAP, name="swap", signature=SIG22, max_order=3)
+        assert "TLI007" not in under.codes()
+
+    def test_equality_on_abstraction_is_error(self):
+        report = analyze_term(
+            parse(r"\u. \v. Eq (\x. x) o1 u v"), name="t"
+        )
+        assert "TLI008" in report.codes()
+
+    def test_equality_on_boolean_is_error(self):
+        report = analyze_term(
+            parse(r"\u. \v. Eq (Eq o1 o2 o1 o2) o1 u v"), name="t"
+        )
+        assert "TLI008" in report.codes()
+
+    def test_wrong_shape_for_signature(self):
+        # Result type o, not a relation type (Lemma 3.9 failure).
+        report = analyze_term(
+            parse(r"\R1. \R2. R1 (\x y T. x) o1"),
+            name="t",
+            signature=SIG22,
+        )
+        assert "TLI009" in report.codes()
+        assert not report.ok
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint passes
+# ---------------------------------------------------------------------------
+
+class TestFixpointPasses:
+    def test_tc_is_clean(self):
+        report = analyze_fixpoint(transitive_closure_query(), name="tc")
+        assert report.ok
+        assert report.order == 4
+        assert report.fragment == "TLI=1"
+        assert report.cost is not None
+        assert report.cost.kind == "fixpoint"
+
+    def test_arity_mismatch_is_tli012(self):
+        query = FixpointQuery.of(Base("E"), 1, {"E": 2})
+        report = analyze_fixpoint(query, name="bad")
+        assert "TLI012" in report.codes()
+        assert not report.ok
+
+    def test_unknown_relation_is_tli012(self):
+        query = FixpointQuery.of(Base("X"), 2, {"E": 2})
+        report = analyze_fixpoint(query, name="bad")
+        assert "TLI012" in report.codes()
+
+    def test_stage_explosion_is_tli013(self):
+        query = FixpointQuery.of(Base("T"), 3, {"T": 3})
+        report = analyze_fixpoint(query, name="wide")
+        assert "TLI013" in report.codes()
+        assert report.ok  # warning only
+
+    def test_non_monotone_step_is_tli014(self):
+        step = Difference(Base("E"), Base("__FIX__"))
+        query = FixpointQuery.of(step, 2, {"E": 2}, inflationary=False)
+        report = analyze_fixpoint(query, name="osc")
+        assert "TLI014" in report.codes()
+
+    def test_inflationary_difference_not_tli014(self):
+        step = Difference(Base("E"), Base("__FIX__"))
+        query = FixpointQuery.of(step, 2, {"E": 2}, inflationary=True)
+        report = analyze_fixpoint(query, name="infl")
+        assert "TLI014" not in report.codes()
+
+    def test_unused_input_is_tli015(self):
+        tc = transitive_closure_query()
+        query = FixpointQuery(
+            step=tc.step,
+            output_arity=tc.output_arity,
+            input_schema=tc.input_schema + (("S", 2),),
+            inflationary=tc.inflationary,
+        )
+        report = analyze_fixpoint(query, name="padded")
+        messages = [
+            d.message for d in report.diagnostics if d.code == "TLI015"
+        ]
+        assert messages and "'S'" in messages[0]
+
+    def test_step_ignoring_fix_is_tli016(self):
+        query = FixpointQuery.of(Base("E"), 2, {"E": 2})
+        report = analyze_fixpoint(query, name="oneshot")
+        assert "TLI016" in report.codes()
+        assert report.ok  # info only
+
+    def test_tc_step_reads_fix(self):
+        report = analyze_fixpoint(transitive_closure_query(), name="tc")
+        assert "TLI016" not in report.codes()
+
+
+# ---------------------------------------------------------------------------
+# Cost bounds: the static polynomial dominates observed NBE steps
+# ---------------------------------------------------------------------------
+
+BENCH_TERMS = [
+    ("swap2", r"\R. \c. \n. R (\x. \y. \T. c y x T) n", (2,), 2),
+    ("diag", r"\R. \c. \n. R (\x. \T. c x x T) n", (1,), 2),
+    ("select", r"\R. \c. \n. R (\x. \y. \T. Eq x y (c x y T) T) n", (2,), 2),
+    # The Theorem 5.1 benchmark suite (benchmarks/bench_theorem_5_1.py).
+    ("identity", r"\R1. \R2. R1", (2, 2), 2),
+    ("swap", r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n", (2, 2), 2),
+    (
+        "diagonal",
+        r"\R1. \R2. \c. \n. R1 (\x y T. Eq x y (c x x T) T) n",
+        (2, 2),
+        2,
+    ),
+    (
+        "first_tuple",
+        r"\R1. \R2. \c. \n. c (R1 (\x y T. x) o1) (R1 (\x y T. y) o1) n",
+        (2, 2),
+        2,
+    ),
+]
+
+
+def _bench_database(arities):
+    relations = {}
+    for index, arity in enumerate(arities):
+        rows = [
+            tuple(f"o{1 + (row + column + index) % 5}"
+                  for column in range(arity))
+            for row in range(4)
+        ]
+        relations[f"R{index + 1}"] = Relation.from_any_order(arity, rows)
+    return Database.of(relations)
+
+
+class TestCostBoundSoundness:
+    @pytest.mark.parametrize("name,source,inputs,output", BENCH_TERMS)
+    def test_term_bounds_dominate(self, name, source, inputs, output):
+        term = parse(source)
+        database = _bench_database(inputs)
+        profile = term_cost_profile(
+            term, input_count=len(inputs), output_arity=output
+        )
+        stats = DatabaseStats.of(database)
+        encoded = list(encode_database(database))
+        _, steps = nbe_normalize_counted(app(term, *encoded))
+        assert steps <= profile.bound(stats), (
+            f"{name}: observed {steps} > bound {profile.bound(stats)}"
+        )
+
+    def test_operator_bounds_dominate(self):
+        database = _bench_database((2, 2))
+        stats = DatabaseStats.of(database)
+        encoded = list(encode_database(database))
+        for target in operator_library_targets():
+            signature = target.signature
+            if signature is None or signature.inputs not in ((2,), (2, 2)):
+                continue
+            profile = term_cost_profile(
+                target.plan,
+                input_count=len(signature.inputs),
+                output_arity=signature.output,
+            )
+            applied = app(
+                target.plan, *encoded[: len(signature.inputs)]
+            )
+            _, steps = nbe_normalize_counted(applied)
+            assert steps <= profile.bound(stats), (
+                f"{target.name}: observed {steps} > "
+                f"bound {profile.bound(stats)}"
+            )
+
+    def test_fixpoint_tower_bound_dominates(self):
+        # The staged (Section 5.3) evaluator counts every NBE reduction it
+        # performs; it does strictly less work than one-shot normalization
+        # of the applied tower, which is what the Theorem 5.1-style
+        # envelope bounds.
+        from repro.eval.ptime import run_fixpoint_query
+
+        database = Database.of(
+            {"E": Relation.from_tuples(2, [("o1", "o2"), ("o2", "o3")])}
+        )
+        query = transitive_closure_query()
+        report = analyze_fixpoint(query, name="tc")
+        stats = DatabaseStats.of(database)
+        run = run_fixpoint_query(query, database)
+        assert run.nbe_steps > 0
+        assert run.nbe_steps <= report.cost.bound(stats), (
+            f"tc tower: observed {run.nbe_steps} > "
+            f"bound {report.cost.bound(stats)}"
+        )
+
+    def test_random_database_bounds_dominate(self):
+        database = random_database([2, 2], [8, 6], universe_size=6, seed=11)
+        stats = DatabaseStats.of(database)
+        encoded = list(encode_database(database))
+        term = SWAP
+        profile = term_cost_profile(term, input_count=2, output_arity=2)
+        _, steps = nbe_normalize_counted(app(term, *encoded))
+        assert steps <= profile.bound(stats)
+
+
+class TestFuelBudget:
+    def test_without_certificate_uses_default(self):
+        assert fuel_budget(None, None, default=123) == 123
+
+    def test_with_certificate_uses_bound(self):
+        profile = term_cost_profile(SWAP, input_count=2, output_arity=2)
+        stats = DatabaseStats(atoms=10, tuples=5, domain=4, relations=1)
+        assert fuel_budget(profile, stats, default=1) == profile.bound(stats)
+
+    def test_floor_applies(self):
+        profile = term_cost_profile(
+            parse(r"\c. \n. n"), input_count=0, output_arity=0
+        )
+        stats = DatabaseStats(atoms=0, tuples=0, domain=0, relations=0)
+        assert fuel_budget(profile, stats, default=1, floor=9999) == 9999
+
+
+# ---------------------------------------------------------------------------
+# Orders on unresolved type variables (satellite: derivation_order safety)
+# ---------------------------------------------------------------------------
+
+class TestOrderWithTypeVars:
+    def test_min_ground_order_treats_vars_as_base(self):
+        a = TypeVar("a")
+        assert min_ground_order(a) == 0
+        assert min_ground_order(Arrow(a, a)) == 1
+        assert min_ground_order(Arrow(Arrow(a, BaseO()), a)) == 2
+
+    def test_derivation_order_of_polymorphic_identity(self):
+        assert infer(parse(r"\x. x")).derivation_order() == 1
+
+    def test_derivation_order_of_apply(self):
+        # (a -> b) -> a -> b: minimal ground instance has order 2.
+        assert infer(parse(r"\f. \x. f x")).derivation_order() == 2
+
+    def test_analyzer_orders_unannotated_terms(self):
+        report = analyze_term(parse(r"\f. \x. f x"), name="apply")
+        assert report.order == 2
+        assert report.fragment is None  # no signature, no fragment claim
+
+
+# ---------------------------------------------------------------------------
+# Corpus loader
+# ---------------------------------------------------------------------------
+
+class TestCorpusLoader:
+    def test_directives_parsed(self, tmp_path):
+        path = tmp_path / "q.lam"
+        path.write_text(
+            "# name: custom\n"
+            "# inputs: 2, 2\n"
+            "# output: 2\n"
+            "# max-order: 3\n"
+            "# constants: a b\n"
+            "# expect: TLI002\n"
+            r"\R. \S. \c. \n. R (\x. \y. \T. c y x T) n"
+            "\n"
+        )
+        target = load_lam_file(path)
+        assert target.name == "custom"
+        assert target.signature == QueryArity((2, 2), 2)
+        assert target.max_order == 3
+        assert target.known_constants == {"a", "b"}
+        assert target.expect == {"TLI002"}
+
+    def test_inputs_without_output_rejected(self):
+        with pytest.raises(CorpusError):
+            load_lam_source("# inputs: 2\n\\x. x", name="q")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(CorpusError):
+            load_lam_source("# name: nothing\n", name="q")
+
+    def test_unparseable_term_rejected(self):
+        with pytest.raises(CorpusError):
+            load_lam_source("((", name="q")
+
+
+# ---------------------------------------------------------------------------
+# Reports and rendering
+# ---------------------------------------------------------------------------
+
+class TestReports:
+    def test_severity_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_report_dict_shape(self):
+        report = analyze_term(SWAP, name="swap", signature=SIG22)
+        data = report.as_dict()
+        assert data["ok"] is True
+        assert data["order"] == 3
+        assert data["fragment"] == "TLI=0"
+        assert data["cost"]["kind"] == "term"
+        codes = [d["code"] for d in data["diagnostics"]]
+        assert "TLI006" in codes and "TLI010" in codes
+
+    def test_batch_json_summary(self):
+        reports = [
+            analyze_term(SWAP, name="swap", signature=SIG22),
+            analyze_term(parse(r"\x. x x"), name="bad"),
+        ]
+        payload = render_reports_json(reports)
+        assert payload["summary"]["analyzed"] == 2
+        assert payload["summary"]["failed"] == 1
+        assert payload["summary"]["errors"] >= 1
+
+    def test_docs_cover_every_code(self):
+        docs = (REPO / "docs" / "analysis.md").read_text()
+        for code in CODES:
+            assert code in docs, f"{code} undocumented in docs/analysis.md"

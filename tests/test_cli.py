@@ -288,3 +288,74 @@ class TestBatchCommand:
             capsys, "batch", "/nope.json", "--db", f"g={db_file}"
         )
         assert code == 1 and "error" in err
+
+
+class TestLintCommand:
+    def test_operator_library_clean_strict(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--operators", "--strict")
+        assert code == 0
+        assert "0 failing" in out
+
+    def test_examples_clean_strict(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--strict", "examples/terms"
+        )
+        assert code == 0
+
+    def test_seeded_corpus_expected_codes(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--strict", "tests/fixtures/lint_corpus"
+        )
+        assert code == 0, out
+
+    def test_inline_query_failure_exits_nonzero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--query", r"bad=\c. c x"
+        )
+        assert code == 1
+        assert "TLI001" in out
+
+    def test_strict_promotes_warnings(self, capsys, tmp_path):
+        path = tmp_path / "dead.lam"
+        path.write_text(
+            "# inputs: 1\n"
+            "# output: 1\n"
+            r"\R. \c. \n. R (\x. \T. c x n) n"
+            "\n"
+        )
+        lenient_code, _, _ = run_cli(capsys, "lint", str(path))
+        strict_code, strict_out, _ = run_cli(
+            capsys, "lint", "--strict", str(path)
+        )
+        assert lenient_code == 0
+        assert strict_code == 1
+        assert "TLI004" in strict_out
+
+    def test_budget_flag(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint",
+            "--query", r"swap=\R. \c. \n. R (\x y T. c y x T) n",
+            "--inputs", "2", "--output", "2", "--budget", "2",
+        )
+        assert code == 1
+        assert "TLI007" in out
+
+    def test_json_shape(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "lint", "--json", "--strict", "tests/fixtures/lint_corpus"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["summary"]["analyzed"] >= 5
+        assert payload["summary"]["strict"] is True
+        assert payload["summary"]["exit_failures"] == 0
+        assert all("diagnostics" in report for report in payload["reports"])
+
+    def test_fixpoint_target(self, capsys):
+        code, out, _ = run_cli(capsys, "lint", "--fixpoint", "tc=tc")
+        assert code == 0
+        assert "TLI=1" in out or "order 4" in out
+
+    def test_no_targets_errors(self, capsys):
+        code, _, err = run_cli(capsys, "lint")
+        assert code != 0

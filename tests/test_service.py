@@ -452,3 +452,139 @@ class TestDriverWrapper:
         served = service.execute(QueryRequest(query="swap", database="main"))
         assert one_shot.relation.same_set(served.relation)
         assert digest(one_shot.normal_form) == digest(served.normal_form)
+
+
+class TestDatabaseDigest:
+    def test_separator_bytes_in_values_cannot_collide(self):
+        from repro.service.catalog import database_digest
+
+        # Under a separator-joined serialization these two arity-2
+        # relations serialize row bytes identically ("a\x1fb\x1fc"):
+        left = Database.of(
+            {"R": Relation.from_tuples(2, [("a\x1fb", "c")])}
+        )
+        right = Database.of(
+            {"R": Relation.from_tuples(2, [("a", "b\x1fc")])}
+        )
+        assert database_digest(left) != database_digest(right)
+
+    def test_name_boundary_cannot_collide(self):
+        from repro.service.catalog import database_digest
+
+        left = Database.of({"R\x002": Relation.empty(1)})
+        right = Database.of({"R": Relation.empty(1)})
+        assert database_digest(left) != database_digest(right)
+
+    def test_row_split_cannot_collide(self):
+        from repro.service.catalog import database_digest
+
+        left = Database.of(
+            {"R": Relation.from_tuples(1, [("a\x1eb",)])}
+        )
+        right = Database.of(
+            {"R": Relation.from_tuples(1, [("a",), ("b",)])}
+        )
+        assert database_digest(left) != database_digest(right)
+
+    def test_digest_is_deterministic_and_content_keyed(self):
+        from repro.service.catalog import database_digest
+
+        db = Database.of({"R": Relation.from_tuples(1, [("a",), ("b",)])})
+        same = Database.of({"R": Relation.from_tuples(1, [("a",), ("b",)])})
+        other = Database.of({"R": Relation.from_tuples(1, [("b",), ("a",)])})
+        assert database_digest(db) == database_digest(same)
+        # List order matters (Definition 3.4 equality is list equality).
+        assert database_digest(db) != database_digest(other)
+
+
+class TestCertifiedRegistration:
+    def test_report_attached_with_certificates(self, db):
+        catalog = Catalog()
+        entry = catalog.register_query("swap", parse(SWAP), signature=SIG22)
+        assert entry.report is not None and entry.report.ok
+        assert entry.report.order == 3
+        assert entry.report.fragment == "TLI=0"
+        assert entry.cost is not None
+
+    def test_order_budget_rejects_registration(self):
+        catalog = Catalog()
+        with pytest.raises(EvaluationError, match="TLI007"):
+            catalog.register_query(
+                "swap", parse(SWAP), signature=SIG22, max_order=2
+            )
+        assert "swap" not in [name for name, _ in catalog.queries()]
+
+    def test_budget_at_order_passes(self):
+        catalog = Catalog()
+        entry = catalog.register_query(
+            "swap", parse(SWAP), signature=SIG22, max_order=3
+        )
+        assert entry.report.ok
+
+    def test_legacy_exceptions_preserved(self):
+        catalog = Catalog()
+        from repro.errors import TypeInferenceError
+
+        with pytest.raises(TypeInferenceError):
+            catalog.register_query("bad", parse(r"\x. x x"))
+        with pytest.raises(QueryTermError):
+            catalog.register_query(
+                "wrong", parse(r"\R1. \R2. R1 (\x y T. x) o1"),
+                signature=SIG22,
+            )
+
+    def test_summary_surfaces_warnings_and_cost(self, db):
+        catalog = Catalog()
+        # A registrable plan with a dead accumulator (warning, not error).
+        dead = parse(r"\R1. \R2. \c. \n. R1 (\x y T. c x y n) n")
+        entry = catalog.register_query("dead", dead, signature=SIG22)
+        summary = entry.summary()
+        assert summary["warnings"], summary
+        assert any("TLI004" in warning for warning in summary["warnings"])
+        assert "cost" in summary
+
+    def test_database_entry_carries_stats(self, db):
+        catalog = Catalog()
+        entry = catalog.register_database("main", db)
+        assert entry.stats is not None
+        assert entry.stats.tuples == sum(
+            len(relation.tuples) for _, relation in db
+        )
+
+
+class TestDerivedFuel:
+    def test_response_reports_derived_budget(self, service):
+        response = service.execute(
+            QueryRequest(query="swap", database="main", engine="smallstep")
+        )
+        assert response.ok
+        assert response.fuel_budget is not None
+        assert response.steps <= response.fuel_budget
+        assert "fuel_budget" in response.as_dict()
+
+    def test_explicit_fuel_wins(self, service):
+        response = service.execute(
+            QueryRequest(
+                query="swap", database="main", engine="smallstep", fuel=2
+            )
+        )
+        assert response.status == "fuel_exhausted"
+        assert response.fuel_budget == 2
+
+    def test_cache_hit_preserves_budget(self, service):
+        first = service.execute(QueryRequest(query="swap", database="main"))
+        second = service.execute(QueryRequest(query="swap", database="main"))
+        assert second.cache_hit
+        assert second.fuel_budget == first.fuel_budget
+
+    def test_uncertified_inline_plan_uses_default(self, db):
+        from repro.service.runtime import DEFAULT_FUEL
+
+        service = QueryService()
+        response = service.execute(
+            QueryRequest(
+                query=parse(SWAP), database=db, arity=2, engine="smallstep"
+            )
+        )
+        assert response.ok
+        assert response.fuel_budget == DEFAULT_FUEL

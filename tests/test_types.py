@@ -186,3 +186,59 @@ class TestDagSize:
         wide = Arrow(shared, shared)
         assert type_size(wide) == 7
         assert type_dag_size(wide) == 3  # o, o->o, (o->o)->(o->o)
+
+
+class TestDeepTypes:
+    """order()/ground() must survive argument nesting far beyond the
+    recursion limit (Section 6 types are deeply left-nested)."""
+
+    @staticmethod
+    def _left_nested(depth):
+        # ((((o -> o) -> o) -> o) ... -> o): order = depth.
+        node = O
+        for _ in range(depth):
+            node = Arrow(node, O)
+        return node
+
+    def test_order_beyond_recursion_limit(self):
+        import sys
+
+        depth = sys.getrecursionlimit() + 10_000
+        deep = self._left_nested(depth)
+        assert order(deep) == depth
+
+    def test_ground_beyond_recursion_limit(self):
+        import sys
+
+        depth = sys.getrecursionlimit() + 10_000
+        node = TypeVar("a")
+        for _ in range(depth):
+            node = Arrow(node, O)
+        grounded = ground(node)
+        assert order(grounded) == depth
+        # The variable at the bottom was replaced by o.
+        probe = grounded
+        while isinstance(probe, Arrow):
+            probe = probe.left
+        assert probe == O
+
+    def test_derivation_order_beyond_recursion_limit(self):
+        import sys
+
+        depth = sys.getrecursionlimit() + 10_000
+        deep = self._left_nested(depth)
+        assert derivation_order({(): deep, (0,): O}) == depth
+
+    def test_ground_preserves_sharing(self):
+        shared = Arrow(TypeVar("a"), O)
+        wide = Arrow(shared, shared)
+        grounded = ground(wide)
+        assert grounded.left is grounded.right
+
+    def test_ground_exponential_tree_polynomial_dag(self):
+        # Doubling-sharing DAG: tree size 2^200, DAG size ~200.
+        node = Arrow(TypeVar("a"), TypeVar("b"))
+        for _ in range(200):
+            node = Arrow(node, node)
+        grounded = ground(node)
+        assert order(grounded) == 201
