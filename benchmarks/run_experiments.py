@@ -436,7 +436,9 @@ def experiment_e8() -> None:
 # ES — the service runtime
 # ---------------------------------------------------------------------------
 
-def experiment_es(smoke: bool = False, out: str | None = None) -> None:
+def experiment_es(
+    smoke: bool = False, out: str | None = None, trace: bool = False
+) -> None:
     header(
         "ES (service runtime)",
         "catalog + digest cache + batching vs cold one-shot evaluation",
@@ -453,6 +455,7 @@ def experiment_es(smoke: bool = False, out: str | None = None) -> None:
     from repro.queries.language import QueryArity
     from repro.queries.relalg_compile import build_ra_query
     from repro.relalg.ast import Base, ColumnEqualsColumn
+    from repro.obs.tracing import RingBufferExporter, Tracer
     from repro.service import QueryRequest, QueryService
 
     if smoke:
@@ -481,7 +484,10 @@ def experiment_es(smoke: bool = False, out: str | None = None) -> None:
     }
     tc = transitive_closure_query("E")
 
-    service = QueryService()
+    trace = trace or bool(os.environ.get("REPRO_TRACE"))
+    ring = RingBufferExporter(capacity=8192) if trace else None
+    tracer = Tracer(exporters=[ring], enabled=True) if trace else None
+    service = QueryService(tracer=tracer)
     service.catalog.register_database("db", db)
     service.catalog.register_database("g", graph)
     for name, (term, arity) in term_suite.items():
@@ -530,6 +536,32 @@ def experiment_es(smoke: bool = False, out: str | None = None) -> None:
     print("expected shape: one miss per plan, everything else hits; "
           "speedup well above 2x.")
 
+    # The observed/bound comparison (Theorem 5.1/5.2 cost certificates):
+    # every plan with a static certificate must come in at ratio <= 1 —
+    # an honest evaluation cannot exceed its certified step bound.
+    ratios = {
+        labels["query"]: value
+        for labels, value in service.registry.get(
+            "repro_steps_bound_ratio"
+        ).items()
+    }
+    for name, ratio in sorted(ratios.items()):
+        print(f"observed/bound[{name}] = {ratio:.3g}")
+        assert ratio <= 1.0, (
+            f"plan {name!r} exceeded its static cost bound "
+            f"(ratio {ratio})"
+        )
+
+    if trace:
+        spans = ring.spans()
+        evaluations = [s for s in spans if s.name == "evaluate"]
+        waits = [s for s in spans if s.name == "cache.wait"]
+        leaked = service.tracer.open_spans()
+        assert not leaked, f"leaked open spans: {leaked}"
+        print(f"tracing: {len(spans)} spans "
+              f"({len(evaluations)} evaluations, {len(waits)} "
+              f"single-flight waits), 0 leaked")
+
     payload = {
         "experiment": "ES",
         "smoke": smoke,
@@ -547,7 +579,17 @@ def experiment_es(smoke: bool = False, out: str | None = None) -> None:
         "service_batch": stats,
         "speedup": round(speedup, 2),
         "service": service.stats(),
+        "bound_ratios": {
+            name: round(ratio, 9) for name, ratio in sorted(ratios.items())
+        },
+        "metrics": service.registry.as_dict(),
     }
+    if trace:
+        payload["tracing"] = {
+            "spans": len(spans),
+            "evaluations": len(evaluations),
+            "cache_waits": len(waits),
+        }
     out_path = out or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), os.pardir,
         "BENCH_service.json",
@@ -575,6 +617,7 @@ EXPERIMENTS = {
 def main(argv) -> None:
     args = list(argv[1:])
     smoke = False
+    trace = False
     out = None
     names = []
     index = 0
@@ -582,6 +625,8 @@ def main(argv) -> None:
         arg = args[index]
         if arg == "--smoke":
             smoke = True
+        elif arg == "--trace":
+            trace = True
         elif arg == "--out":
             index += 1
             if index >= len(args):
@@ -600,7 +645,7 @@ def main(argv) -> None:
                 f"choose from {sorted(EXPERIMENTS)}"
             )
         if name == "ES":
-            experiment_es(smoke=smoke, out=out)
+            experiment_es(smoke=smoke, out=out, trace=trace)
         else:
             EXPERIMENTS[name]()
 

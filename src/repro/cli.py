@@ -17,7 +17,12 @@ Commands:
 * ``catalog`` — register databases/queries in a service catalog and print
   the registration summary (engines, orders, digests);
 * ``batch`` — serve a JSON batch of requests through the query service
-  runtime (shared encodings, result cache, thread-pool execution).
+  runtime (shared encodings, result cache, thread-pool execution);
+* ``stats`` — serve an optional batch, then dump the service's metrics
+  registry (JSON or Prometheus text exposition);
+* ``trace`` — serve one request with tracing enabled and print its span
+  tree (resolve → cache → fuel → evaluate → decode, with the reduction
+  profiler's beta/delta/let/quote breakdown on the evaluation span).
 
 The database JSON format maps relation names to tuple lists, e.g.::
 
@@ -260,12 +265,16 @@ def _parse_fixpoint_spec(spec: str):
     return builder(*names)
 
 
-def _build_service(args):
+def _build_service(args, tracer=None):
     """Register the ``--db`` / ``--query`` / ``--fixpoint`` options into a
     fresh :class:`repro.service.QueryService`."""
     from repro.service import QueryService
 
-    service = QueryService(cache_capacity=args.cache_capacity)
+    service = QueryService(
+        cache_capacity=args.cache_capacity,
+        tracer=tracer,
+        slow_query_ms=getattr(args, "slow_query_ms", None),
+    )
     for name, path in _split_named(args.db, "--db").items():
         service.catalog.register_database(name, load_database(path))
     signature = None
@@ -499,6 +508,149 @@ def cmd_batch(args) -> int:
     return 0 if all(r.ok for r in result.responses) else 1
 
 
+def cmd_stats(args) -> int:
+    """Dump the service's metrics registry, optionally after serving a
+    batch (so the counters describe real traffic rather than zeros)."""
+    service = _build_service(args)
+    if args.requests:
+        requests = _load_batch_requests(
+            args.requests, service, args.constants or ()
+        )
+        if args.repeat > 1:
+            requests = [r for _ in range(args.repeat) for r in requests]
+        service.execute_batch(requests, max_workers=args.workers)
+    if args.prometheus:
+        print(service.registry.render_prometheus(), end="")
+        return 0
+    if args.json:
+        payload = service.registry.as_dict()
+        payload["service"] = service.stats()
+        print(json.dumps(payload, indent=2))
+        return 0
+    stats = service.stats()
+    print(
+        f"# {stats['requests']} requests, statuses={stats['statuses']}, "
+        f"p50 {stats['latency_p50_ms']}ms, p95 {stats['latency_p95_ms']}ms, "
+        f"{stats['slow_queries']} slow"
+    )
+    cache = stats["cache"]
+    print(
+        f"# cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_rate']:.0%}), {cache['inflight_waits']} inflight "
+        f"waits, {cache['size']}/{cache['capacity']} entries"
+    )
+    for metric in service.registry.as_dict()["metrics"]:
+        for entry in metric["values"]:
+            labels = entry.get("labels") or {}
+            label_text = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
+                if labels
+                else ""
+            )
+            if metric["type"] == "histogram":
+                print(
+                    f"{metric['name']}{label_text} "
+                    f"count={entry['count']} sum={entry['sum']}"
+                )
+            else:
+                print(f"{metric['name']}{label_text} {entry['value']}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Serve one request with tracing on and print the span tree."""
+    from repro.obs.tracing import (
+        JsonlExporter,
+        RingBufferExporter,
+        Tracer,
+        render_span_tree,
+    )
+    from repro.service import QueryRequest
+
+    ring = RingBufferExporter()
+    exporters = [ring]
+    jsonl = None
+    if args.trace_out:
+        jsonl = JsonlExporter(args.trace_out)
+        exporters.append(jsonl)
+    tracer = Tracer(exporters=exporters, enabled=True)
+    service = _build_service(args, tracer=tracer)
+
+    query = args.query_ref
+    known_queries = {entry.name for entry in service.catalog.queries()}
+    if query not in known_queries:
+        query = read_term_argument(query, constants=args.constants or ())
+    db_names = [entry.name for entry in service.catalog.databases()]
+    database = args.database
+    if database is None:
+        if len(db_names) != 1:
+            raise ReproError(
+                f"--database required: {len(db_names)} databases are "
+                f"registered"
+            )
+        database = db_names[0]
+
+    try:
+        for _ in range(max(1, args.repeat)):
+            response = service.execute(
+                QueryRequest(
+                    query=query,
+                    database=database,
+                    engine=args.engine,
+                    arity=args.arity,
+                    fuel=args.fuel,
+                )
+            )
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+
+    leaked = tracer.open_spans()
+    if leaked:  # pragma: no cover - would be a runtime bug
+        print(
+            f"warning: {len(leaked)} span(s) never closed: "
+            f"{[span.name for span in leaked]}",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "response": response.as_dict(
+                        include_tuples=not args.no_tuples
+                    ),
+                    "spans": [span.as_dict() for span in ring.spans()],
+                },
+                indent=2,
+            )
+        )
+        return 0 if response.ok else 1
+
+    print(render_span_tree(ring.spans()))
+    profile = response.profile or {}
+    if profile:
+        print(
+            f"# profile: steps={profile.get('steps')} "
+            f"beta={profile.get('beta')} delta={profile.get('delta')} "
+            f"let={profile.get('let')} quote={profile.get('quote')} "
+            f"max_depth={profile.get('max_depth')}",
+            file=sys.stderr,
+        )
+        if profile.get("static_bound") is not None:
+            print(
+                f"# static bound: {profile['static_bound']} "
+                f"(observed/bound = {profile['bound_ratio']})",
+                file=sys.stderr,
+            )
+    if response.relation is not None and not args.no_tuples:
+        for row in response.relation.tuples:
+            print("\t".join(row))
+    elif response.error:
+        print(f"# {response.status}: {response.error}", file=sys.stderr)
+    return 0 if response.ok else 1
+
+
 def cmd_encode(args) -> int:
     database = load_database(args.db)
     for name, relation in database:
@@ -639,6 +791,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-check", action="store_true",
                        help="skip registration-time type/order checking")
         p.add_argument("--cache-capacity", type=int, default=256)
+        p.add_argument("--slow-query-ms", type=float, default=None,
+                       metavar="MS",
+                       help="log requests slower than this threshold on "
+                            "the repro.service.slow logger (and count "
+                            "them in repro_slow_queries_total)")
         p.add_argument("--json", action="store_true",
                        help="machine-readable output")
 
@@ -698,6 +855,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-tuples", action="store_true",
                    help="omit result tuples from the output")
     p.set_defaults(handler=cmd_batch)
+
+    p = commands.add_parser(
+        "stats",
+        help="dump the service metrics registry (optionally after a batch)",
+    )
+    add_service_options(p)
+    p.add_argument("--requests", default=None,
+                   help="serve this JSON batch first, so the metrics "
+                        "describe real traffic")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread-pool size for --requests")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="serve the --requests list this many times")
+    p.add_argument("--prometheus", action="store_true",
+                   help="Prometheus text exposition instead of JSON/text")
+    p.set_defaults(handler=cmd_stats)
+
+    p = commands.add_parser(
+        "trace",
+        help="serve one request with tracing on and print the span tree",
+    )
+    p.add_argument("query_ref", metavar="QUERY",
+                   help="a query registered via --query/--fixpoint, or an "
+                        "inline term / @file")
+    add_service_options(p)
+    p.add_argument("--database", default=None,
+                   help="which registered database to query (default: the "
+                        "only one)")
+    p.add_argument("--engine", default=None,
+                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   help="override the plan's engine")
+    p.add_argument("--arity", type=int, default=None,
+                   help="expected output arity")
+    p.add_argument("--fuel", type=int, default=None,
+                   help="explicit fuel budget (default: derived from the "
+                        "static cost certificate)")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="serve the request this many times (later runs "
+                        "show the cache-hit span shape)")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="also append finished spans to this JSONL file")
+    p.add_argument("--no-tuples", action="store_true",
+                   help="omit result tuples from the output")
+    p.set_defaults(handler=cmd_trace)
 
     p = commands.add_parser("encode", help="encode database relations")
     p.add_argument("--db", required=True)

@@ -20,7 +20,7 @@ reduction produces — the test suite asserts this on small instances.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_relation
@@ -51,10 +51,17 @@ def run_ra_query_materialized(
     database: Database,
     *,
     max_depth: int = 600_000,
+    observer: Optional[Callable[[dict], None]] = None,
 ) -> QueryRun:
     """Evaluate a compiled RA query over ``database`` with per-operator
     materialization.  The result (including tuple order and duplicates) is
-    the normal form of the corresponding whole query term."""
+    the normal form of the corresponding whole query term.
+
+    ``observer`` receives one step-breakdown dict per operator
+    normalization (the :mod:`repro.obs.profiler` contract); an
+    accumulating observer such as
+    :class:`~repro.obs.profiler.ProfileCollector` merges them.
+    """
     schema = {name: relation.arity for name, relation in database}
     full_schema = schema_with_derived(schema)
     expr.arity(full_schema)
@@ -67,7 +74,7 @@ def run_ra_query_materialized(
     def normalize_app(operator: Term, *arguments: Term) -> Term:
         nonlocal steps_total
         normal, steps = nbe_normalize_counted(
-            app(operator, *arguments), max_depth=max_depth
+            app(operator, *arguments), max_depth=max_depth, observer=observer
         )
         steps_total += steps
         return normal

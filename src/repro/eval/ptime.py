@@ -49,7 +49,7 @@ duplicate pattern match ``FuncToList'``'s domain enumeration exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.db.decode import DecodedRelation, decode_relation
 from repro.db.encode import encode_database, encode_relation
@@ -89,6 +89,7 @@ def run_fixpoint_query(
     style: str = "tli",
     stop_on_convergence: bool = True,
     max_depth: int = 1_000_000,
+    observer: Optional[Callable[[dict], None]] = None,
 ) -> FixpointRun:
     """Evaluate a fixpoint query over ``database`` in polynomial time.
 
@@ -99,6 +100,10 @@ def run_fixpoint_query(
     inflationary steps, and exactly how the paper argues the ``|D|^k``
     Crank length suffices.  Set it to False to run all ``|D|^k`` stages,
     mirroring the Crank literally.
+
+    ``observer`` receives one step-breakdown dict per stage normalization
+    (the :mod:`repro.obs.profiler` contract), so an accumulating observer
+    sees the same total the returned ``nbe_steps`` reports.
     """
     if style == "tli":
         from repro.queries.fixpoint import copy_gadget_term
@@ -128,7 +133,9 @@ def run_fixpoint_query(
 
     def normalize(term: Term) -> Term:
         nonlocal nbe_steps
-        normal, steps = nbe_normalize_counted(term, max_depth=max_depth)
+        normal, steps = nbe_normalize_counted(
+            term, max_depth=max_depth, observer=observer
+        )
         nbe_steps += steps
         return normal
 
@@ -171,7 +178,8 @@ def run_fixpoint_query(
     for index in range(crank_length):
         step_db = database.with_relation(FIX_NAME, stage_relation)
         step_run = run_ra_query_materialized(
-            query.effective_step(), step_db, max_depth=max_depth
+            query.effective_step(), step_db, max_depth=max_depth,
+            observer=observer,
         )
         # The step output is already deduplicated here (sound because
         # ListToFunc' only ever tests membership in its list argument —

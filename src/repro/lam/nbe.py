@@ -48,7 +48,13 @@ from repro.lam.terms import (
 
 
 class _StepCounter:
-    """Per-normalization work meter, optionally budget-enforcing."""
+    """Per-normalization work meter, optionally budget-enforcing.
+
+    The kind-discriminating hooks (``tick_beta``/``tick_delta``/
+    ``tick_let``) alias :meth:`tick` here, so the unprofiled hot path
+    costs exactly what it always did; :class:`_ProfilingCounter` overrides
+    them to record the breakdown an ``observer`` asked for.
+    """
 
     __slots__ = ("steps", "limit")
 
@@ -61,6 +67,82 @@ class _StepCounter:
         limit = self.limit
         if limit is not None and current > limit:
             raise FuelExhausted(current)
+
+    tick_beta = tick
+    tick_delta = tick
+    tick_let = tick
+
+    def begin_quote(self) -> None:
+        """Called once when evaluation ends and readback begins."""
+
+    def note_depth(self, level: int) -> None:
+        """Called with the current readback binder depth."""
+
+    def snapshot(self) -> dict:
+        return {"steps": self.steps}
+
+
+class _ProfilingCounter(_StepCounter):
+    """A step counter that also attributes steps to beta/delta/let, flags
+    the readback ("quote") phase, and tracks the binder-depth watermark."""
+
+    __slots__ = ("beta", "delta", "let", "quote", "in_quote", "max_depth")
+
+    def __init__(self, limit: Optional[int] = None):
+        super().__init__(limit)
+        self.beta = 0
+        self.delta = 0
+        self.let = 0
+        self.quote = 0
+        self.in_quote = False
+        self.max_depth = 0
+
+    # The fuel check is inlined (rather than delegated to ``tick``) so the
+    # profiled path costs one method call per step, like the plain one.
+
+    def tick_beta(self) -> None:
+        self.beta += 1
+        if self.in_quote:
+            self.quote += 1
+        self.steps = current = self.steps + 1
+        limit = self.limit
+        if limit is not None and current > limit:
+            raise FuelExhausted(current)
+
+    def tick_delta(self) -> None:
+        self.delta += 1
+        if self.in_quote:
+            self.quote += 1
+        self.steps = current = self.steps + 1
+        limit = self.limit
+        if limit is not None and current > limit:
+            raise FuelExhausted(current)
+
+    def tick_let(self) -> None:
+        self.let += 1
+        if self.in_quote:
+            self.quote += 1
+        self.steps = current = self.steps + 1
+        limit = self.limit
+        if limit is not None and current > limit:
+            raise FuelExhausted(current)
+
+    def begin_quote(self) -> None:
+        self.in_quote = True
+
+    def note_depth(self, level: int) -> None:
+        if level > self.max_depth:
+            self.max_depth = level
+
+    def snapshot(self) -> dict:
+        return {
+            "steps": self.steps,
+            "beta": self.beta,
+            "delta": self.delta,
+            "let": self.let,
+            "quote": self.quote,
+            "max_depth": self.max_depth,
+        }
 
 
 class _Thunk:
@@ -145,7 +227,7 @@ def _false_value() -> Value:
 
 def _apply(fn: Value, argument: _Thunk, counter: _StepCounter) -> Value:
     if isinstance(fn, (_Closure, _Native)):
-        counter.tick()
+        counter.tick_beta()
         return fn.apply(argument, counter)
     if isinstance(fn, _Neutral):
         spine = fn.spine + (argument,)
@@ -160,7 +242,7 @@ def _apply(fn: Value, argument: _Thunk, counter: _StepCounter) -> Value:
                     and isinstance(right.head, Const)
                     and not right.spine
                 ):
-                    counter.tick()
+                    counter.tick_delta()
                     if left.head.name == right.head.name:
                         return _true_value()
                     return _false_value()
@@ -190,13 +272,13 @@ def _eval(term: Term, env: _Env, counter: _StepCounter) -> Value:
                 # Tail-call into the closure body instead of recursing: keeps
                 # Python stack depth proportional to term depth, not to the
                 # number of beta steps.
-                counter.tick()
+                counter.tick_beta()
                 env = (fn_value.var, argument, fn_value.env)
                 term = fn_value.body
                 continue
             return _apply(fn_value, argument, counter)
         if isinstance(term, Let):
-            counter.tick()
+            counter.tick_let()
             bound = _Thunk(
                 lambda t=term.bound, e=env: _eval(t, e, counter)
             )
@@ -209,6 +291,7 @@ def _eval(term: Term, env: _Env, counter: _StepCounter) -> Value:
 def _quote(value: Value, supply: "_FreshNames", counter: _StepCounter) -> Term:
     if isinstance(value, (_Closure, _Native)):
         name = supply.fresh()
+        counter.note_depth(supply.level)
         fresh_var = _Thunk.of(_Neutral(Var(name), ()))
         body = _quote(_apply(value, fresh_var, counter), supply, counter)
         supply.release()
@@ -241,6 +324,7 @@ def nbe_normalize_counted(
     term: Term,
     max_depth: int = 600_000,
     fuel: Optional[int] = None,
+    observer: Optional[Callable[[dict], None]] = None,
 ) -> Tuple[Term, int]:
     """Normalize ``term`` and report how many evaluation steps it took.
 
@@ -249,6 +333,13 @@ def nbe_normalize_counted(
     redexes, including the work done during readback.  With ``fuel`` set,
     normalization raises :class:`~repro.errors.FuelExhausted` as soon as
     the step count would exceed the budget.
+
+    ``observer``, when given, selects the profiling counter and is invoked
+    exactly once with the step breakdown dict (``steps``/``beta``/
+    ``delta``/``let``/``quote``/``max_depth`` — see
+    :mod:`repro.obs.profiler`), on completion *and* on fuel exhaustion
+    (with the partial counts), never on other errors.  The total step
+    count is identical with and without an observer.
     """
     base = "v"
     free = free_vars(term)
@@ -261,9 +352,19 @@ def nbe_normalize_counted(
     # deep would be unsound, and the churn confuses test tooling.
     if sys.getrecursionlimit() < max_depth:
         sys.setrecursionlimit(max_depth)
-    counter = _StepCounter(fuel)
-    value = _eval(term, None, counter)
-    normal_form = _quote(value, _FreshNames(base), counter)
+    counter = (
+        _ProfilingCounter(fuel) if observer is not None else _StepCounter(fuel)
+    )
+    try:
+        value = _eval(term, None, counter)
+        counter.begin_quote()
+        normal_form = _quote(value, _FreshNames(base), counter)
+    except FuelExhausted:
+        if observer is not None:
+            observer(counter.snapshot())
+        raise
+    if observer is not None:
+        observer(counter.snapshot())
     return normal_form, counter.steps
 
 

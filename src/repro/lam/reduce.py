@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import FuelExhausted, ReductionError
 from repro.lam.terms import (
@@ -165,6 +165,7 @@ def normalize(
     term: Term,
     strategy: Strategy = Strategy.NORMAL_ORDER,
     fuel: int = DEFAULT_FUEL,
+    observer: Optional[Callable[[Dict[str, int]], None]] = None,
 ) -> NormalizationResult:
     """Reduce ``term`` to normal form (or weak head normal form under
     ``WEAK_HEAD``), counting steps by kind.
@@ -172,13 +173,25 @@ def normalize(
     Raises :class:`FuelExhausted` after ``fuel`` steps without reaching a
     normal form — for well-typed terms this means the budget was too small
     (strong normalization guarantees termination).
+
+    ``observer``, when given, is invoked exactly once with the step
+    breakdown dict (``steps``/``beta``/``delta``/``let`` — the
+    :mod:`repro.obs.profiler` contract; small-step reduction has no
+    readback phase, so ``quote``/``max_depth`` are absent), both on
+    completion and on fuel exhaustion (with the partial counts).
     """
     counts: Dict[str, int] = {"beta": 0, "delta": 0, "let": 0}
     steps = 0
+
+    def report() -> None:
+        if observer is not None:
+            observer({"steps": steps, **counts})
+
     current = term
     while True:
         outcome = step(current, strategy)
         if outcome is None:
+            report()
             return NormalizationResult(
                 term=current,
                 steps=steps,
@@ -191,6 +204,7 @@ def normalize(
         counts[kind] += 1
         steps += 1
         if steps > fuel:
+            report()
             raise FuelExhausted(fuel)
 
 

@@ -1,0 +1,63 @@
+"""Observability: metrics registry, tracing, and the reduction profiler.
+
+One instrumentation seam through the whole stack:
+
+* :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms with
+  labels, JSON + Prometheus export, and the quantile helper the batch
+  stats use;
+* :mod:`repro.obs.tracing` — request-lifecycle spans (resolve → cache →
+  fuel → evaluate → decode) with ring-buffer and JSONL exporters;
+* :mod:`repro.obs.profiler` — beta/delta/let/quote step breakdowns from
+  the engines, compared against the certifier's static cost bounds.
+
+Metric names, span names, and logger namespaces are documented in
+``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    CORE_METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    get_registry,
+    install_core_metrics,
+    quantile,
+    set_registry,
+)
+from repro.obs.profiler import ProfileCollector, ReductionProfile, bound_ratio
+from repro.obs.tracing import (
+    JsonlExporter,
+    RingBufferExporter,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    render_span_tree,
+    set_tracer,
+)
+
+__all__ = [
+    "CORE_METRIC_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "ProfileCollector",
+    "ReductionProfile",
+    "RingBufferExporter",
+    "Span",
+    "Tracer",
+    "bound_ratio",
+    "current_span",
+    "get_registry",
+    "get_tracer",
+    "install_core_metrics",
+    "quantile",
+    "render_span_tree",
+    "set_registry",
+    "set_tracer",
+]

@@ -1,0 +1,493 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The service runtime's observable claims are quantitative (step envelopes,
+cache hit rates, latency percentiles), so its stats surface is a proper
+metrics registry rather than ad-hoc dict counters:
+
+* :class:`Counter` — monotone, labelled (e.g. requests by status);
+* :class:`Gauge` — last-write-wins value (e.g. observed/bound step ratio);
+* :class:`Histogram` — fixed cumulative buckets plus sum/count (latencies).
+
+All metric types are thread-safe (one lock per registry; the hot path is a
+dict update) and exportable two ways: :meth:`MetricsRegistry.as_dict` for
+JSON (``repro stats --json``, the ``BENCH_*.json`` snapshots) and
+:meth:`MetricsRegistry.render_prometheus` for the Prometheus text
+exposition format.
+
+Metric *names* are stable API — they are documented in
+``docs/observability.md`` and asserted by CI — so changes there are
+breaking.  :func:`install_core_metrics` pre-registers the core family so
+every export contains the full set even before traffic arrives.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CORE_METRIC_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "get_registry",
+    "install_core_metrics",
+    "quantile",
+    "set_registry",
+]
+
+#: Default latency buckets (milliseconds): wide enough for both the NBE
+#: fast path and multi-second fixpoint cranks.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``sorted_values`` by linear interpolation.
+
+    This is the "linear" method (R-7, numpy's default): the quantile sits
+    at fractional rank ``h = q * (n - 1)`` and interpolates linearly
+    between the two order statistics bracketing ``h``.  Unlike a
+    nearest-rank rule it is exact at the endpoints (``q=0`` is the min,
+    ``q=1`` the max), continuous in ``q``, and well defined for every list
+    length: an empty list yields ``0.0`` and a singleton yields its only
+    element (for any ``q``).
+
+    ``sorted_values`` must already be sorted ascending; ``q`` is clamped
+    into ``[0, 1]``.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(sorted_values[0])
+    q = min(1.0, max(0.0, q))
+    h = q * (n - 1)
+    low = math.floor(h)
+    high = min(low + 1, n - 1)
+    frac = h - low
+    return float(
+        sorted_values[low] + (sorted_values[high] - sorted_values[low]) * frac
+    )
+
+
+def _label_key(
+    metric_name: str, labelnames: Tuple[str, ...], labels: Dict[str, str]
+) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"metric {metric_name!r} takes labels {labelnames}, "
+            f"got {tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Shared plumbing: a name, help text, label schema, and a lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Tuple[str, ...],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help_text
+        self.labelnames = labelnames
+        self._lock = lock
+
+    def _key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        return _label_key(self.name, self.labelnames, labels)
+
+    def _label_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    """A monotone counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name, help_text, labelnames, lock):
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0)
+
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        with self._lock:
+            return [
+                (self._label_dict(key), value)
+                for key, value in sorted(self._values.items())
+            ]
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+
+class Gauge(_Metric):
+    """A point-in-time value, optionally labelled."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help_text, labelnames, lock):
+        super().__init__(name, help_text, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> Optional[float]:
+        with self._lock:
+            return self._values.get(self._key(labels))
+
+    def items(self) -> List[Tuple[Dict[str, str], float]]:
+        with self._lock:
+            return [
+                (self._label_dict(key), value)
+                for key, value in sorted(self._values.items())
+            ]
+
+
+class Histogram(_Metric):
+    """A fixed-bucket cumulative histogram with sum and count.
+
+    Buckets are upper bounds (ascending); a terminal ``+Inf`` bucket is
+    implicit.  Quantiles are *estimates* reconstructed from the bucket
+    counts by linear interpolation inside the bracketing bucket (the same
+    method Prometheus' ``histogram_quantile`` uses); exact quantiles over
+    raw samples are :func:`quantile`'s job.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help_text, labelnames, lock, buckets):
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs >= 1 bucket")
+        self.bounds = bounds
+        # Per label-key: [bucket counts..., +Inf count], total sum, count.
+        self._data: Dict[Tuple[str, ...], List] = {}
+
+    def _cell(self, key: Tuple[str, ...]) -> List:
+        cell = self._data.get(key)
+        if cell is None:
+            cell = [[0] * (len(self.bounds) + 1), 0.0, 0]
+            self._data[key] = cell
+        return cell
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts, total, count = self._cell(key)
+            index = len(self.bounds)
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    index = i
+                    break
+            counts[index] += 1
+            cell = self._data[key]
+            cell[1] = total + value
+            cell[2] = count + 1
+
+    def snapshot(self, **labels: str) -> dict:
+        """Cumulative bucket counts plus sum/count for one label set."""
+        key = self._key(labels)
+        with self._lock:
+            counts, total, count = self._cell(key)
+            counts = list(counts)
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(
+            self.bounds + (math.inf,), counts
+        ):
+            running += bucket_count
+            cumulative.append((bound, running))
+        return {"buckets": cumulative, "sum": total, "count": count}
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets."""
+        snap = self.snapshot(**labels)
+        count = snap["count"]
+        if count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        rank = q * count
+        previous_bound = 0.0
+        previous_cum = 0
+        for bound, cum in snap["buckets"]:
+            if cum >= rank:
+                if math.isinf(bound):
+                    return previous_bound
+                in_bucket = cum - previous_cum
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - previous_cum) / in_bucket
+                return previous_bound + (bound - previous_bound) * frac
+            previous_bound, previous_cum = bound, cum
+        return previous_bound
+
+    def items(self) -> List[Tuple[Dict[str, str], dict]]:
+        with self._lock:
+            keys = sorted(self._data)
+        return [(self._label_dict(key), self.snapshot(**self._label_dict(key)))
+                for key in keys]
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    Re-requesting a metric by name returns the existing instance (the
+    type and label schema must match), so independent components can share
+    one registry without coordinating creation order.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "Dict[str, _Metric]" = {}
+
+    def _register(self, cls, name, help_text, labelnames, **extra):
+        labelnames = tuple(labelnames or ())
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or (
+                    existing.labelnames != labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, self._lock, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help_text: str = "",
+        labels: Iterable[str] = (),
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labels)
+
+    def gauge(
+        self, name: str, help_text: str = "",
+        labels: Iterable[str] = (),
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, labels)
+
+    def histogram(
+        self, name: str, help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_MS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> List[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every metric."""
+        out = []
+        for metric in self.metrics():
+            entry = {
+                "name": metric.name,
+                "type": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+            }
+            if isinstance(metric, Histogram):
+                entry["values"] = [
+                    {
+                        "labels": labels,
+                        "count": snap["count"],
+                        "sum": round(snap["sum"], 6),
+                        "buckets": [
+                            ["+Inf" if math.isinf(b) else b, c]
+                            for b, c in snap["buckets"]
+                        ],
+                    }
+                    for labels, snap in metric.items()
+                ]
+            else:
+                entry["values"] = [
+                    {"labels": labels, "value": value}
+                    for labels, value in metric.items()
+                ]
+            out.append(entry)
+        return {"metrics": out}
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for labels, snap in metric.items():
+                    for bound, cum in snap["buckets"]:
+                        le = "+Inf" if math.isinf(bound) else _num(bound)
+                        lines.append(
+                            f"{metric.name}_bucket"
+                            f"{_labels({**labels, 'le': le})} {cum}"
+                        )
+                    lines.append(
+                        f"{metric.name}_sum{_labels(labels)} "
+                        f"{_num(snap['sum'])}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{_labels(labels)} "
+                        f"{snap['count']}"
+                    )
+            else:
+                items = metric.items() or [({}, 0) if not metric.labelnames
+                                           else None]
+                for item in items:
+                    if item is None:
+                        continue
+                    labels, value = item
+                    lines.append(
+                        f"{metric.name}{_labels(labels)} {_num(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    quoted = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in sorted(labels.items())
+    )
+    return "{" + quoted + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+# -- the core metric family --------------------------------------------------
+
+#: Names every ``repro stats`` export must contain (CI asserts this set).
+CORE_METRIC_NAMES = (
+    "repro_requests_total",
+    "repro_request_latency_ms",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_inflight_waits_total",
+    "repro_engine_steps_total",
+    "repro_steps_bound_ratio",
+    "repro_slow_queries_total",
+)
+
+
+def install_core_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
+    """Pre-register the query-lifecycle metric family on ``registry``.
+
+    Idempotent; returns the handles keyed by short name so the runtime can
+    update them without registry lookups on the hot path.
+    """
+    return {
+        "requests": registry.counter(
+            "repro_requests_total",
+            "Requests served, by terminal status",
+            labels=("status",),
+        ),
+        "latency": registry.histogram(
+            "repro_request_latency_ms",
+            "End-to-end request wall time (milliseconds)",
+            buckets=LATENCY_BUCKETS_MS,
+        ),
+        "cache_hits": registry.counter(
+            "repro_cache_hits_total",
+            "Result-cache lookups that hit",
+        ),
+        "cache_misses": registry.counter(
+            "repro_cache_misses_total",
+            "Result-cache lookups that missed",
+        ),
+        "inflight_waits": registry.counter(
+            "repro_cache_inflight_waits_total",
+            "Requests that waited behind an identical in-flight evaluation",
+        ),
+        "engine_steps": registry.counter(
+            "repro_engine_steps_total",
+            "Reduction steps spent in the engines, by engine",
+            labels=("engine",),
+        ),
+        "bound_ratio": registry.gauge(
+            "repro_steps_bound_ratio",
+            "Observed steps / static cost bound, last evaluation per query "
+            "(Theorem 5.1 says honest plans stay <= 1)",
+            labels=("query",),
+        ),
+        "slow_queries": registry.counter(
+            "repro_slow_queries_total",
+            "Requests over the configured --slow-query-ms threshold",
+        ),
+    }
+
+
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (shared by components that are
+    not handed an explicit one)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide default registry; returns the previous."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous

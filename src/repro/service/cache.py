@@ -46,21 +46,38 @@ class CachedResult:
     #: The fuel budget the computing request ran under (None for engines
     #: that take no fuel); informational on later hits.
     fuel_budget: Optional[int] = None
+    #: The computing request's reduction profile (step breakdown plus the
+    #: static-bound comparison); replayed verbatim on later hits.
+    profile: Optional[dict] = None
 
 
 @dataclass
 class CacheStats:
-    """Counters surfaced on every service response."""
+    """Counters surfaced on every service response.
+
+    ``inflight_waits`` counts requests that blocked behind an identical
+    in-flight evaluation (single-flight sharing): those requests never
+    performed an independent evaluation, and their subsequent lookup is a
+    hit against the entry the leader populated.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    inflight_waits: int = 0
     size: int = 0
     capacity: int = 0
 
     @property
     def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` over *lookups only*.
+
+        Evictions and invalidations are bookkeeping, not lookups, so they
+        do not dilute the rate: dropping a database's entries (or the
+        LRU shedding cold ones) leaves the hit rate exactly where the
+        lookup history put it.
+        """
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -70,6 +87,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "inflight_waits": self.inflight_waits,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -90,6 +108,7 @@ class ResultCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._inflight_waits = 0
 
     def get(self, key: CacheKey) -> Optional[CachedResult]:
         with self._lock:
@@ -120,6 +139,12 @@ class ResultCache:
             self._invalidations += len(stale)
             return len(stale)
 
+    def count_inflight_wait(self) -> None:
+        """Record one request that waited behind an identical in-flight
+        evaluation (called by the runtime's single-flight path)."""
+        with self._lock:
+            self._inflight_waits += 1
+
     def clear(self) -> None:
         with self._lock:
             self._invalidations += len(self._data)
@@ -132,6 +157,7 @@ class ResultCache:
                 misses=self._misses,
                 evictions=self._evictions,
                 invalidations=self._invalidations,
+                inflight_waits=self._inflight_waits,
                 size=len(self._data),
                 capacity=self._capacity,
             )

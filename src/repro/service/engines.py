@@ -18,7 +18,7 @@ Theorem 5.2 stage-materializing evaluator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.errors import EvaluationError
 from repro.lam.nbe import nbe_normalize_counted
@@ -73,19 +73,26 @@ def evaluate_term_query(
     engine: str = "nbe",
     fuel: int = DEFAULT_FUEL,
     max_depth: int = DEFAULT_MAX_DEPTH,
+    observer: Optional[Callable[[dict], None]] = None,
 ) -> EngineResult:
     """Normalize ``(query r̄1 ... r̄l)`` — Definition 3.10's application of a
-    query term to an already-encoded database — on the selected engine."""
+    query term to an already-encoded database — on the selected engine.
+
+    ``observer`` receives the engine's step breakdown dict (the
+    :mod:`repro.obs.profiler` contract); step totals are unchanged by it.
+    """
     validate_engine(engine)
     applied = app(query, *encoded_inputs)
     if engine == "nbe":
         normal_form, steps = nbe_normalize_counted(
-            applied, max_depth=max_depth, fuel=fuel
+            applied, max_depth=max_depth, fuel=fuel, observer=observer
         )
         return EngineResult(
             normal_form=normal_form, engine=engine, steps=steps
         )
-    outcome = normalize(applied, _STRATEGIES[engine], fuel=fuel)
+    outcome = normalize(
+        applied, _STRATEGIES[engine], fuel=fuel, observer=observer
+    )
     return EngineResult(
         normal_form=outcome.term, engine=engine, steps=outcome.steps
     )

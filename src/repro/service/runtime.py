@@ -21,11 +21,24 @@ cache across requests, which is exactly what the acceptance benchmark
 measures.  Per-request wall-clock timeouts are enforced at the waiting
 side (the worker finishes its bounded budget in the background; a
 completed result still lands in the cache for later requests).
+
+**Observability.**  Every request is traced through the lifecycle spans
+``query`` → ``resolve`` / ``cache.wait`` / ``cache.lookup`` / ``fuel`` /
+``evaluate`` / ``decode`` (see :mod:`repro.obs.tracing`; tracing is off
+unless the service is built with an enabled tracer), counted into the
+service's :class:`~repro.obs.metrics.MetricsRegistry` (the
+``repro_*`` core family), and profiled: the evaluation's beta/delta/let/
+quote step breakdown lands on :attr:`QueryResponse.profile` together with
+the certifier's static cost bound and the observed/bound ratio, which is
+also exported as the ``repro_steps_bound_ratio`` gauge.  Requests slower
+than ``slow_query_ms`` emit a structured warning on the
+``repro.service.slow`` logger.
 """
 
 from __future__ import annotations
 
 import hashlib
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
@@ -39,6 +52,13 @@ from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
 from repro.errors import FuelExhausted, ReproError
 from repro.lam.terms import Term, digest
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_core_metrics,
+    quantile,
+)
+from repro.obs.profiler import ProfileCollector, bound_ratio
+from repro.obs.tracing import Tracer, get_tracer
 from repro.queries.fixpoint import FixpointQuery
 from repro.service.cache import CachedResult, CacheKey, ResultCache
 from repro.service.catalog import (
@@ -61,6 +81,9 @@ STATUS_OK = "ok"
 STATUS_FUEL = "fuel_exhausted"
 STATUS_TIMEOUT = "timeout"
 STATUS_ERROR = "error"
+
+logger = logging.getLogger("repro.service")
+slow_logger = logging.getLogger("repro.service.slow")
 
 
 @dataclass(frozen=True)
@@ -92,7 +115,13 @@ class QueryRequest:
 
 @dataclass
 class QueryResponse:
-    """The outcome of one request, with its serving stats."""
+    """The outcome of one request, with its serving stats.
+
+    ``profile`` is the reduction profile of the evaluation that produced
+    the result (cache hits replay the computing request's profile): the
+    beta/delta/let/quote step breakdown, the readback depth watermark,
+    the certifier's ``static_bound``, and the observed/bound ratio.
+    """
 
     status: str
     query: str
@@ -109,6 +138,7 @@ class QueryResponse:
     compute_wall_ms: Optional[float] = None
     error: Optional[str] = None
     tag: Optional[str] = None
+    profile: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -131,6 +161,7 @@ class QueryResponse:
             "steps": self.steps,
             "stages": self.stages,
             "fuel_budget": self.fuel_budget,
+            "profile": self.profile,
             "error": self.error,
             "tag": self.tag,
         }
@@ -155,30 +186,28 @@ class BatchResult:
         hits = sum(1 for r in self.responses if r.cache_hit)
         latencies = sorted(r.wall_ms for r in self.responses)
         total = len(self.responses)
+        # The hit rate is over responses that actually performed a cache
+        # lookup: errors and timeouts never reached the cache, so they
+        # dilute neither side of the ratio.
+        looked = sum(
+            1 for r in self.responses if r.status in (STATUS_OK, STATUS_FUEL)
+        )
         return {
             "requests": total,
             "statuses": by_status,
             "cache_hits": hits,
-            "cache_misses": total - hits,
-            "hit_rate": round(hits / total, 4) if total else 0.0,
+            "cache_misses": looked - hits,
+            "hit_rate": round(hits / looked, 4) if looked else 0.0,
             "wall_ms": round(self.wall_ms, 3),
             "throughput_qps": (
                 round(total / (self.wall_ms / 1000.0), 2)
                 if self.wall_ms > 0
                 else 0.0
             ),
-            "latency_p50_ms": _percentile(latencies, 0.50),
-            "latency_p95_ms": _percentile(latencies, 0.95),
+            "latency_p50_ms": round(quantile(latencies, 0.50), 3),
+            "latency_p95_ms": round(quantile(latencies, 0.95), 3),
             "total_steps": sum(r.steps or 0 for r in self.responses),
         }
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    if not sorted_values:
-        return 0.0
-    index = max(0, min(len(sorted_values) - 1,
-                       int(round(q * len(sorted_values))) - 1))
-    return round(sorted_values[index], 3)
 
 
 @dataclass(frozen=True)
@@ -195,7 +224,15 @@ class _ResolvedQuery:
 
 
 class QueryService:
-    """Catalog + cache + batch executor, safe for concurrent use."""
+    """Catalog + cache + batch executor, safe for concurrent use.
+
+    ``registry`` defaults to a fresh per-service
+    :class:`~repro.obs.metrics.MetricsRegistry` (pass a shared one to
+    aggregate across services); ``tracer`` defaults to the process
+    default, which is disabled until configured; ``slow_query_ms`` turns
+    on structured slow-query logging via the ``repro.service.slow``
+    logger.
+    """
 
     def __init__(
         self,
@@ -203,15 +240,19 @@ class QueryService:
         *,
         cache_capacity: int = 256,
         max_workers: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        slow_query_ms: Optional[float] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.cache = ResultCache(capacity=cache_capacity)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.slow_query_ms = slow_query_ms
+        self._metrics = install_core_metrics(self.registry)
         self._max_workers = max_workers
         self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
         self._inflight_guard = threading.Lock()
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._by_status: Dict[str, int] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -275,13 +316,21 @@ class QueryService:
         return BatchResult(responses=responses, wall_ms=wall_ms)
 
     def stats(self) -> dict:
-        with self._stats_lock:
-            by_status = dict(self._by_status)
-            requests = self._requests
+        """Aggregate serving stats, read back from the metrics registry
+        (the registry is the source of truth; this is a convenience
+        projection keeping the pre-registry dict shape)."""
+        statuses = {
+            labels["status"]: int(value)
+            for labels, value in self._metrics["requests"].items()
+        }
+        latency = self._metrics["latency"]
         return {
-            "requests": requests,
-            "statuses": by_status,
+            "requests": sum(statuses.values()),
+            "statuses": statuses,
             "cache": self.cache.stats().as_dict(),
+            "latency_p50_ms": round(latency.quantile(0.50), 3),
+            "latency_p95_ms": round(latency.quantile(0.95), 3),
+            "slow_queries": int(self._metrics["slow_queries"].value()),
         }
 
     # -- request resolution --------------------------------------------------
@@ -348,29 +397,44 @@ class QueryService:
 
     def _serve(self, request: QueryRequest) -> QueryResponse:
         start = time.perf_counter()
-        try:
-            response = self._serve_inner(request, start)
-        except (ReproError, RecursionError) as exc:
-            response = QueryResponse(
-                status=STATUS_ERROR,
-                query=self._query_label(request),
-                database=self._database_label(request),
-                database_version=0,
-                engine=request.engine or "?",
-                error=str(exc),
-                wall_ms=(time.perf_counter() - start) * 1000.0,
-                tag=request.tag,
-            )
-        self._count(response.status)
+        with self.tracer.span(
+            "query",
+            query=self._query_label(request),
+            database=self._database_label(request),
+            tag=request.tag,
+        ) as span:
+            try:
+                response = self._serve_inner(request, start)
+            except (ReproError, RecursionError) as exc:
+                response = QueryResponse(
+                    status=STATUS_ERROR,
+                    query=self._query_label(request),
+                    database=self._database_label(request),
+                    database_version=0,
+                    engine=request.engine or "?",
+                    error=str(exc),
+                    wall_ms=(time.perf_counter() - start) * 1000.0,
+                    tag=request.tag,
+                )
+            span.set_attr("engine", response.engine)
+            span.set_attr("cache_hit", response.cache_hit)
+            span.set_attr("status", response.status)
+            if response.status != STATUS_OK:
+                span.set_status(response.status)
+        self._observe(response)
         return response
 
     def _serve_inner(
         self, request: QueryRequest, start: float
     ) -> QueryResponse:
+        tracer = self.tracer
         if request.engine is not None:
             validate_engine(request.engine, allow_fixpoint=True)
-        resolved = self._resolve_query(request)
-        db_entry = self._resolve_database(request)
+        with tracer.span("resolve") as span:
+            resolved = self._resolve_query(request)
+            db_entry = self._resolve_database(request)
+            span.set_attr("query", resolved.name)
+            span.set_attr("database", db_entry.name)
         if resolved.engine == FIXPOINT_ENGINE and resolved.fixpoint is None:
             raise ReproError(
                 f"query {resolved.name!r} has no fixpoint spec; the "
@@ -390,15 +454,28 @@ class QueryService:
 
         lock = self._acquire_key(key)
         try:
-            with lock:
-                cached = self.cache.get(key)
+            # Single flight: if an identical evaluation is in flight, the
+            # blocked acquire is the wait — trace and count it, so shared
+            # work is visible rather than disguised as a fast hit.
+            if not lock.acquire(blocking=False):
+                with tracer.span("cache.wait"):
+                    lock.acquire()
+                self.cache.count_inflight_wait()
+                self._metrics["inflight_waits"].inc()
+            try:
+                with tracer.span("cache.lookup") as span:
+                    cached = self.cache.get(key)
+                    span.set_attr("hit", cached is not None)
                 if cached is not None:
+                    self._metrics["cache_hits"].inc()
                     return self._from_cache(
                         request, resolved, db_entry, cached, arity, start
                     )
+                self._metrics["cache_misses"].inc()
+                collector = ProfileCollector()
                 try:
                     computed = self._evaluate(
-                        request, resolved, db_entry, arity
+                        request, resolved, db_entry, arity, collector
                     )
                 except FuelExhausted as exc:
                     return QueryResponse(
@@ -414,8 +491,13 @@ class QueryService:
                         error=str(exc),
                         wall_ms=(time.perf_counter() - start) * 1000.0,
                         tag=request.tag,
+                        profile=self._finish_profile(
+                            collector, resolved, db_entry, exc.steps
+                        ),
                     )
                 self.cache.put(key, computed)
+            finally:
+                lock.release()
         finally:
             self._release_key(key)
 
@@ -435,6 +517,7 @@ class QueryService:
             wall_ms=wall_ms,
             compute_wall_ms=computed.compute_wall_ms,
             tag=request.tag,
+            profile=computed.profile,
         )
 
     def _evaluate(
@@ -443,30 +526,50 @@ class QueryService:
         resolved: _ResolvedQuery,
         db_entry: DatabaseEntry,
         arity: Optional[int],
+        collector: ProfileCollector,
     ) -> CachedResult:
+        tracer = self.tracer
         compute_start = time.perf_counter()
         if resolved.engine == FIXPOINT_ENGINE:
             from repro.eval.ptime import run_fixpoint_query
 
-            run = run_fixpoint_query(
-                resolved.fixpoint,
-                db_entry.database,
-                max_depth=request.max_depth,
-            )
+            with tracer.span("evaluate", engine=resolved.engine) as span:
+                try:
+                    run = run_fixpoint_query(
+                        resolved.fixpoint,
+                        db_entry.database,
+                        max_depth=request.max_depth,
+                        observer=collector,
+                    )
+                finally:
+                    self._annotate_evaluation(span, collector)
+                span.set_attr("stages", run.stages)
             decoded, normal_form = run.decoded, run.normal_form
-            steps: Optional[int] = None
+            steps: Optional[int] = run.nbe_steps
             stages: Optional[int] = run.stages
             fuel: Optional[int] = None
         else:
-            fuel = self._fuel_for(request, resolved, db_entry)
-            result = evaluate_term_query(
-                resolved.term,
-                db_entry.encoded,
-                engine=resolved.engine,
-                fuel=fuel,
-                max_depth=request.max_depth,
-            )
-            decoded = decode_relation(result.normal_form, arity)
+            with tracer.span("fuel") as span:
+                fuel = self._fuel_for(request, resolved, db_entry)
+                span.set_attr("budget", fuel)
+                span.set_attr(
+                    "derived",
+                    request.fuel is None and resolved.cost is not None,
+                )
+            with tracer.span("evaluate", engine=resolved.engine) as span:
+                try:
+                    result = evaluate_term_query(
+                        resolved.term,
+                        db_entry.encoded,
+                        engine=resolved.engine,
+                        fuel=fuel,
+                        max_depth=request.max_depth,
+                        observer=collector,
+                    )
+                finally:
+                    self._annotate_evaluation(span, collector)
+            with tracer.span("decode"):
+                decoded = decode_relation(result.normal_form, arity)
             normal_form = result.normal_form
             steps = result.steps
             stages = None
@@ -480,7 +583,47 @@ class QueryService:
             stages=stages,
             compute_wall_ms=compute_ms,
             fuel_budget=fuel,
+            profile=self._finish_profile(collector, resolved, db_entry, steps),
         )
+
+    @staticmethod
+    def _annotate_evaluation(span, collector: ProfileCollector) -> None:
+        """Copy the collected step breakdown onto the evaluation span
+        (runs in a ``finally``, so exhausted evaluations are annotated
+        with their partial counts too)."""
+        profile = collector.profile
+        span.set_attr("steps", profile.steps)
+        span.set_attr("beta", profile.beta)
+        span.set_attr("delta", profile.delta)
+        span.set_attr("let", profile.let)
+        span.set_attr("quote", profile.quote)
+        span.set_attr("max_depth", profile.max_depth)
+
+    def _finish_profile(
+        self,
+        collector: ProfileCollector,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        steps: Optional[int],
+    ) -> dict:
+        """The response-facing profile: the collected breakdown plus the
+        static cost bound and the observed/bound ratio (mirrored to the
+        ``repro_steps_bound_ratio`` gauge)."""
+        profile = collector.profile.as_dict()
+        bound: Optional[int] = None
+        if resolved.cost is not None:
+            stats = db_entry.stats
+            if stats is None:
+                stats = DatabaseStats.of(db_entry.database)
+            bound = resolved.cost.bound(stats)
+        ratio = bound_ratio(steps, bound)
+        profile["static_bound"] = bound
+        profile["bound_ratio"] = (
+            round(ratio, 6) if ratio is not None else None
+        )
+        if ratio is not None:
+            self._metrics["bound_ratio"].set(ratio, query=resolved.name)
+        return profile
 
     @staticmethod
     def _fuel_for(
@@ -527,6 +670,7 @@ class QueryService:
             wall_ms=(time.perf_counter() - start) * 1000.0,
             compute_wall_ms=cached.compute_wall_ms,
             tag=request.tag,
+            profile=cached.profile,
         )
 
     # -- database updates ----------------------------------------------------
@@ -557,10 +701,44 @@ class QueryService:
             else:
                 self._inflight[key] = (lock, count - 1)
 
-    def _count(self, status: str) -> None:
-        with self._stats_lock:
-            self._requests += 1
-            self._by_status[status] = self._by_status.get(status, 0) + 1
+    def _observe(self, response: QueryResponse) -> None:
+        """Fold one finished response into the registry (and the slow-query
+        log).  Called for every response, including synthesized timeout
+        responses — matching the pre-registry counting semantics."""
+        metrics = self._metrics
+        metrics["requests"].inc(status=response.status)
+        metrics["latency"].observe(response.wall_ms)
+        if response.steps and not response.cache_hit:
+            metrics["engine_steps"].inc(
+                response.steps, engine=response.engine
+            )
+        threshold = self.slow_query_ms
+        if threshold is not None and response.wall_ms >= threshold:
+            metrics["slow_queries"].inc()
+            slow_logger.warning(
+                "slow query %s@%s: %.1fms >= %.1fms "
+                "(status=%s engine=%s cache_hit=%s steps=%s tag=%s)",
+                response.query,
+                response.database,
+                response.wall_ms,
+                threshold,
+                response.status,
+                response.engine,
+                response.cache_hit,
+                response.steps,
+                response.tag,
+                extra={
+                    "query": response.query,
+                    "database": response.database,
+                    "wall_ms": round(response.wall_ms, 3),
+                    "threshold_ms": threshold,
+                    "status": response.status,
+                    "engine": response.engine,
+                    "cache_hit": response.cache_hit,
+                    "steps": response.steps,
+                    "tag": response.tag,
+                },
+            )
 
     def _timed_out(
         self, request: QueryRequest, wall_ms: float
@@ -575,7 +753,7 @@ class QueryService:
             wall_ms=wall_ms,
             tag=request.tag,
         )
-        self._count(STATUS_TIMEOUT)
+        self._observe(response)
         return response
 
     @staticmethod

@@ -1,0 +1,376 @@
+"""Unit tests for the observability layer: metrics, tracing, profiler."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FuelExhausted
+from repro.lam.nbe import nbe_normalize_counted
+from repro.lam.parser import parse
+from repro.lam.reduce import Strategy, normalize
+from repro.obs.metrics import (
+    CORE_METRIC_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    install_core_metrics,
+    quantile,
+)
+from repro.obs.profiler import ProfileCollector, ReductionProfile, bound_ratio
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    JsonlExporter,
+    RingBufferExporter,
+    Tracer,
+    current_span,
+    render_span_tree,
+)
+
+
+# ---------------------------------------------------------------------------
+# quantile
+# ---------------------------------------------------------------------------
+
+class TestQuantile:
+    def test_empty_list_is_zero(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([], 0.95) == 0.0
+
+    def test_singleton_is_its_element_for_any_q(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert quantile([7.0], q) == 7.0
+
+    def test_endpoints_are_min_and_max(self):
+        values = [1.0, 2.0, 5.0, 9.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_linear_interpolation(self):
+        # R-7 / numpy 'linear': h = q * (n - 1).
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert quantile([0.0, 10.0], 0.25) == 2.5
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_q_is_clamped(self):
+        assert quantile([1.0, 2.0], -1.0) == 1.0
+        assert quantile([1.0, 2.0], 2.0) == 2.0
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_inc_and_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help", labels=("status",))
+        counter.inc(status="ok")
+        counter.inc(2, status="ok")
+        counter.inc(status="error")
+        assert counter.value(status="ok") == 3
+        assert counter.value(status="error") == 1
+        assert counter.value(status="missing") == 0
+        assert counter.total() == 4
+        assert dict(
+            (labels["status"], value) for labels, value in counter.items()
+        ) == {"ok": 3, "error": 1}
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_rejects_wrong_labels(self):
+        counter = MetricsRegistry().counter("c_total", labels=("status",))
+        with pytest.raises(ValueError):
+            counter.inc(engine="nbe")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert gauge.value() is None
+        gauge.set(4.5)
+        gauge.inc(0.5)
+        gauge.dec(2.0)
+        assert gauge.value() == 3.0
+
+    def test_histogram_snapshot_is_cumulative(self):
+        hist = MetricsRegistry().histogram(
+            "h_ms", buckets=(1, 10, 100)
+        )
+        for value in (0.5, 5, 5, 50, 5000):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(5060.5)
+        cum = {bound: c for bound, c in snap["buckets"]}
+        assert cum[1.0] == 1
+        assert cum[10.0] == 3
+        assert cum[100.0] == 4
+        assert cum[float("inf")] == 5
+
+    def test_histogram_quantile_estimate(self):
+        hist = MetricsRegistry().histogram("h_ms", buckets=(10, 20, 40))
+        for _ in range(10):
+            hist.observe(15)  # all in the (10, 20] bucket
+        estimate = hist.quantile(0.5)
+        assert 10 <= estimate <= 20
+        assert hist.quantile(0.0) == pytest.approx(10.0)
+
+    def test_histogram_empty_quantile(self):
+        hist = MetricsRegistry().histogram("h_ms", buckets=(10,))
+        assert hist.quantile(0.5) == 0.0
+
+    def test_registry_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", labels=("status",))
+        again = registry.counter("c_total", labels=("status",))
+        assert first is again
+
+    def test_registry_rejects_conflicting_reregistration(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labels=("status",))
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+        with pytest.raises(ValueError):
+            registry.counter("m", labels=("engine",))
+
+    def test_as_dict_shape_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter", labels=("status",)).inc(
+            status="ok"
+        )
+        registry.histogram("h_ms", buckets=(1, 10)).observe(3)
+        payload = json.loads(json.dumps(registry.as_dict()))
+        by_name = {m["name"]: m for m in payload["metrics"]}
+        assert by_name["c_total"]["type"] == "counter"
+        assert by_name["c_total"]["values"] == [
+            {"labels": {"status": "ok"}, "value": 1}
+        ]
+        buckets = by_name["h_ms"]["values"][0]["buckets"]
+        assert buckets[-1][0] == "+Inf"
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "req_total", "requests", labels=("status",)
+        ).inc(status="ok")
+        registry.histogram("lat_ms", buckets=(1,)).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE req_total counter" in text
+        assert 'req_total{status="ok"} 1' in text
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+        assert "lat_ms_count 1" in text
+
+    def test_install_core_metrics_covers_documented_names(self):
+        registry = MetricsRegistry()
+        handles = install_core_metrics(registry)
+        names = {metric.name for metric in registry.metrics()}
+        assert set(CORE_METRIC_NAMES) <= names
+        # Idempotent: a second install returns the same instances.
+        again = install_core_metrics(registry)
+        assert all(handles[k] is again[k] for k in handles)
+
+    def test_core_metrics_export_before_traffic(self):
+        registry = MetricsRegistry()
+        install_core_metrics(registry)
+        exported = {m["name"] for m in registry.as_dict()["metrics"]}
+        assert set(CORE_METRIC_NAMES) <= exported
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+
+class TestTracing:
+    def test_disabled_tracer_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("query", key="value")
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set_attr("a", 1)
+            inner.set_status("error")
+
+    def test_spans_nest_and_export(self):
+        ring = RingBufferExporter()
+        tracer = Tracer(exporters=[ring])
+        with tracer.span("query", query="q") as root:
+            with tracer.span("resolve") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+                assert current_span() is child
+            assert current_span() is root
+        assert current_span() is None
+        spans = ring.spans()
+        assert [s.name for s in spans] == ["resolve", "query"]
+        assert all(s.duration_ms is not None for s in spans)
+        assert not tracer.open_spans()
+
+    def test_exception_closes_span_with_error_status(self):
+        ring = RingBufferExporter()
+        tracer = Tracer(exporters=[ring])
+        with pytest.raises(RuntimeError):
+            with tracer.span("query"):
+                raise RuntimeError("boom")
+        (span,) = ring.spans()
+        assert span.status == "error"
+        assert "boom" in span.attrs["error"]
+        assert not tracer.open_spans()
+
+    def test_explicit_status_survives_exception(self):
+        ring = RingBufferExporter()
+        tracer = Tracer(exporters=[ring])
+        with pytest.raises(FuelExhausted):
+            with tracer.span("query") as span:
+                span.set_status("fuel_exhausted")
+                raise FuelExhausted(3)
+        (span,) = ring.spans()
+        assert span.status == "fuel_exhausted"
+
+    def test_ring_buffer_bounds_retention(self):
+        ring = RingBufferExporter(capacity=2)
+        tracer = Tracer(exporters=[ring])
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [s.name for s in ring.spans()] == ["s2", "s3"]
+        assert len(ring) == 2
+
+    def test_jsonl_exporter_writes_one_object_per_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        exporter = JsonlExporter(str(path))
+        tracer = Tracer(exporters=[exporter])
+        with tracer.span("query", query="q"):
+            with tracer.span("evaluate"):
+                pass
+        exporter.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"query", "evaluate"}
+        assert records[0]["trace_id"] == records[1]["trace_id"]
+
+    def test_render_span_tree(self):
+        ring = RingBufferExporter()
+        tracer = Tracer(exporters=[ring])
+        with tracer.span("query", query="q"):
+            with tracer.span("resolve"):
+                pass
+            with tracer.span("evaluate", engine="nbe"):
+                pass
+        text = render_span_tree(ring.spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("query")
+        assert "query=q" in lines[0]
+        assert any(line.startswith("├─ resolve") for line in lines)
+        assert any(line.startswith("└─ evaluate") for line in lines)
+        assert "engine=nbe" in text
+
+    def test_render_promotes_orphans(self):
+        ring = RingBufferExporter()
+        tracer = Tracer(exporters=[ring])
+        with tracer.span("query"):
+            with tracer.span("evaluate"):
+                pass
+        # Render only the child (as if the parent was evicted from the
+        # ring): the orphan must be promoted to a root, not dropped.
+        orphans = [s for s in ring.spans() if s.name == "evaluate"]
+        text = render_span_tree(orphans)
+        assert text.startswith("evaluate")
+
+
+# ---------------------------------------------------------------------------
+# profiler + engine observers
+# ---------------------------------------------------------------------------
+
+class TestProfiler:
+    def test_collector_merges_breakdowns(self):
+        collector = ProfileCollector()
+        collector({"steps": 3, "beta": 2, "delta": 1, "max_depth": 2})
+        collector({"steps": 5, "beta": 5, "quote": 4, "max_depth": 1})
+        profile = collector.profile
+        assert profile.steps == 8
+        assert profile.beta == 7
+        assert profile.delta == 1
+        assert profile.quote == 4
+        assert profile.max_depth == 2
+        assert profile.events == 2
+        assert profile.as_dict()["steps"] == 8
+
+    def test_bound_ratio(self):
+        assert bound_ratio(50, 100) == 0.5
+        assert bound_ratio(None, 100) is None
+        assert bound_ratio(50, None) is None
+        assert bound_ratio(50, 0) is None
+
+    def test_profile_defaults(self):
+        profile = ReductionProfile()
+        assert profile.as_dict() == {
+            "steps": 0, "beta": 0, "delta": 0, "let": 0,
+            "quote": 0, "max_depth": 0, "events": 0,
+        }
+
+
+class TestEngineObservers:
+    TERM = r"(\x. \y. x) a b"
+
+    def test_nbe_observer_breakdown_partitions_steps(self):
+        term = parse(self.TERM)
+        collector = ProfileCollector()
+        normal, steps = nbe_normalize_counted(term, observer=collector)
+        profile = collector.profile
+        assert profile.steps == steps > 0
+        assert profile.beta + profile.delta + profile.let == profile.steps
+        assert profile.events == 1
+
+    def test_nbe_step_total_unchanged_by_observer(self):
+        term = parse(r"(\f. \x. f (f x)) (\y. y) a")
+        _, plain = nbe_normalize_counted(term)
+        _, observed = nbe_normalize_counted(
+            term, observer=ProfileCollector()
+        )
+        assert plain == observed
+
+    def test_nbe_observer_fires_on_fuel_exhaustion(self):
+        term = parse(r"(\f. \x. f (f (f x))) (\y. y) a")
+        collector = ProfileCollector()
+        with pytest.raises(FuelExhausted):
+            nbe_normalize_counted(term, fuel=2, observer=collector)
+        assert collector.profile.steps == 3  # the overflowing tick included
+        assert collector.profile.events == 1
+
+    def test_nbe_delta_steps_attributed(self):
+        # o-prefixed names parse as constants, so Eq collapses (delta).
+        term = parse(r"Eq o1 o1 o2 o3")
+        collector = ProfileCollector()
+        nbe_normalize_counted(term, observer=collector)
+        assert collector.profile.delta >= 1
+
+    def test_smallstep_observer_matches_result_counts(self):
+        term = parse(r"let id = \x. x in id (Eq a a b c)")
+        collector = ProfileCollector()
+        outcome = normalize(
+            term, Strategy.NORMAL_ORDER, observer=collector
+        )
+        profile = collector.profile
+        assert profile.steps == outcome.steps
+        assert profile.beta == outcome.beta_steps
+        assert profile.delta == outcome.delta_steps
+        assert profile.let == outcome.let_steps
+
+    def test_smallstep_observer_fires_on_fuel_exhaustion(self):
+        term = parse(r"(\x. x x) (\x. x x)")
+        collector = ProfileCollector()
+        with pytest.raises(FuelExhausted):
+            normalize(
+                term, Strategy.NORMAL_ORDER, fuel=5, observer=collector
+            )
+        # Partial counts are reported (the overflowing step included).
+        assert collector.profile.steps >= 5
+        assert collector.profile.events == 1

@@ -1,0 +1,343 @@
+"""Integration tests: the service runtime's tracing, metrics, and profile.
+
+The load-bearing scenario is satellite-free concurrency: N identical
+concurrent requests must produce exactly one evaluation span (single
+flight), N-1 cache-wait spans, and registry counters that sum to N.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.lam.parser import parse
+from repro.obs.tracing import RingBufferExporter, Tracer
+from repro.queries.fixpoint import transitive_closure_query
+from repro.queries.language import QueryArity
+from repro.service import QueryRequest, QueryService
+import repro.service.runtime as runtime_module
+
+
+SWAP = r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n"
+
+
+def traced_service(**kwargs):
+    ring = RingBufferExporter()
+    tracer = Tracer(exporters=[ring])
+    service = QueryService(tracer=tracer, **kwargs)
+    return service, tracer, ring
+
+
+def register_swap(service, db):
+    service.catalog.register_database("db", db)
+    service.catalog.register_query(
+        "swap", parse(SWAP), signature=QueryArity((2, 2), 2)
+    )
+
+
+class TestLifecycleSpans:
+    def test_miss_then_hit_span_shapes(self, small_db):
+        service, tracer, ring = traced_service()
+        register_swap(service, small_db)
+        request = QueryRequest(query="swap", database="db")
+
+        miss = service.execute(request)
+        miss_spans = {s.name for s in ring.spans()}
+        assert miss_spans == {
+            "query", "resolve", "cache.lookup", "fuel", "evaluate", "decode",
+        }
+        evaluate = next(s for s in ring.spans() if s.name == "evaluate")
+        assert evaluate.attrs["engine"] == "nbe"
+        assert evaluate.attrs["steps"] == miss.steps > 0
+        assert evaluate.attrs["beta"] >= 1
+        assert (
+            evaluate.attrs["beta"]
+            + evaluate.attrs["delta"]
+            + evaluate.attrs["let"]
+            == evaluate.attrs["steps"]
+        )
+        root = next(s for s in ring.spans() if s.name == "query")
+        assert root.attrs["cache_hit"] is False
+        assert root.attrs["status"] == "ok"
+
+        ring.clear()
+        hit = service.execute(request)
+        assert hit.cache_hit
+        hit_spans = {s.name for s in ring.spans()}
+        assert hit_spans == {"query", "resolve", "cache.lookup"}
+        assert hit.profile == miss.profile  # replayed verbatim
+        assert not tracer.open_spans()
+
+    def test_profile_carries_static_bound_and_ratio(self, small_db):
+        service, _, _ = traced_service()
+        register_swap(service, small_db)
+        response = service.execute(
+            QueryRequest(query="swap", database="db")
+        )
+        profile = response.profile
+        assert profile is not None
+        assert profile["steps"] == response.steps
+        assert profile["static_bound"] is not None
+        assert profile["bound_ratio"] == pytest.approx(
+            response.steps / profile["static_bound"], abs=5e-7
+        )
+        assert profile["bound_ratio"] <= 1.0
+        gauge = service.registry.get("repro_steps_bound_ratio")
+        assert gauge.value(query="swap") == pytest.approx(
+            response.steps / profile["static_bound"]
+        )
+
+    def test_fixpoint_profile_spans(self, tiny_graph):
+        from repro.db.relations import Database
+
+        service, tracer, ring = traced_service()
+        service.catalog.register_database(
+            "g", Database.of({"E": tiny_graph})
+        )
+        service.catalog.register_query("tc", transitive_closure_query("E"))
+        response = service.execute(QueryRequest(query="tc", database="g"))
+        assert response.ok
+        assert response.steps == response.profile["steps"] > 0
+        evaluate = next(s for s in ring.spans() if s.name == "evaluate")
+        assert evaluate.attrs["engine"] == "fixpoint"
+        assert evaluate.attrs["stages"] == response.stages
+        # One engine invocation merged per stage normalization.
+        assert response.profile["events"] > 1
+        assert not tracer.open_spans()
+
+
+class TestSingleFlight:
+    def test_n_concurrent_identical_requests(self, small_db, monkeypatch):
+        service, tracer, ring = traced_service()
+        register_swap(service, small_db)
+
+        release = threading.Event()
+        real_evaluate = runtime_module.evaluate_term_query
+
+        def gated_evaluate(*args, **kwargs):
+            assert release.wait(timeout=10), "test never released the gate"
+            return real_evaluate(*args, **kwargs)
+
+        monkeypatch.setattr(
+            runtime_module, "evaluate_term_query", gated_evaluate
+        )
+
+        n = 4
+        pool = ThreadPoolExecutor(max_workers=n)
+        try:
+            futures = [
+                pool.submit(
+                    service.execute,
+                    QueryRequest(query="swap", database="db"),
+                )
+                for _ in range(n)
+            ]
+            # The leader is parked inside the gated evaluation; wait until
+            # every follower is visibly blocked in its cache.wait span,
+            # then release.  This makes the overlap deterministic.
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                waiting = [
+                    s for s in tracer.open_spans() if s.name == "cache.wait"
+                ]
+                if len(waiting) == n - 1:
+                    break
+                time.sleep(0.002)
+            else:
+                pytest.fail("followers never reached cache.wait")
+            release.set()
+            responses = [f.result(timeout=10) for f in futures]
+        finally:
+            release.set()
+            pool.shutdown(wait=True)
+
+        assert all(r.ok for r in responses)
+        assert sum(1 for r in responses if not r.cache_hit) == 1
+        assert sum(1 for r in responses if r.cache_hit) == n - 1
+        # Every response carries the single evaluation's profile.
+        profiles = {tuple(sorted(r.profile.items())) for r in responses}
+        assert len(profiles) == 1
+
+        spans = ring.spans()
+        assert len([s for s in spans if s.name == "evaluate"]) == 1
+        assert len([s for s in spans if s.name == "cache.wait"]) == n - 1
+        assert len([s for s in spans if s.name == "query"]) == n
+        assert not tracer.open_spans()
+
+        registry = service.registry
+        statuses = dict(
+            (labels["status"], value)
+            for labels, value in registry.get("repro_requests_total").items()
+        )
+        assert statuses == {"ok": n}
+        assert registry.get("repro_cache_hits_total").value() == n - 1
+        assert registry.get("repro_cache_misses_total").value() == 1
+        assert (
+            registry.get("repro_cache_inflight_waits_total").value() == n - 1
+        )
+        cache_stats = service.cache.stats()
+        assert cache_stats.inflight_waits == n - 1
+        assert cache_stats.hit_rate == pytest.approx((n - 1) / n)
+
+
+class TestDegradedRequests:
+    def test_fuel_exhaustion_closes_spans_and_counts(self, small_db):
+        service, tracer, ring = traced_service()
+        register_swap(service, small_db)
+        response = service.execute(
+            QueryRequest(query="swap", database="db", fuel=2)
+        )
+        assert response.status == "fuel_exhausted"
+        # The partial profile still surfaces (fuel=2: the overflowing
+        # third tick is counted, matching FuelExhausted.steps).
+        assert response.profile["steps"] == response.steps == 3
+        assert not tracer.open_spans()
+        evaluate = next(s for s in ring.spans() if s.name == "evaluate")
+        assert evaluate.status == "error"
+        assert evaluate.attrs["steps"] == 3
+        root = next(s for s in ring.spans() if s.name == "query")
+        assert root.status == "fuel_exhausted"
+        statuses = dict(
+            (labels["status"], value)
+            for labels, value in service.registry.get(
+                "repro_requests_total"
+            ).items()
+        )
+        assert statuses == {"fuel_exhausted": 1}
+
+    def test_error_requests_close_spans_and_count(self, small_db):
+        service, tracer, ring = traced_service()
+        register_swap(service, small_db)
+        response = service.execute(
+            QueryRequest(query="no-such-query", database="db")
+        )
+        assert response.status == "error"
+        assert not tracer.open_spans()
+        root = next(s for s in ring.spans() if s.name == "query")
+        assert root.status == "error"
+        assert (
+            service.registry.get("repro_requests_total").value(
+                status="error"
+            )
+            == 1
+        )
+
+    def test_timeout_counts_and_background_spans_drain(
+        self, small_db, monkeypatch
+    ):
+        service, tracer, ring = traced_service()
+        register_swap(service, small_db)
+        real_evaluate = runtime_module.evaluate_term_query
+
+        def slow_evaluate(*args, **kwargs):
+            time.sleep(0.2)
+            return real_evaluate(*args, **kwargs)
+
+        monkeypatch.setattr(
+            runtime_module, "evaluate_term_query", slow_evaluate
+        )
+        response = service.execute(
+            QueryRequest(query="swap", database="db", timeout_s=0.01)
+        )
+        assert response.status == "timeout"
+        assert (
+            service.registry.get("repro_requests_total").value(
+                status="timeout"
+            )
+            == 1
+        )
+        # The abandoned worker finishes its bounded budget in the
+        # background; its spans must drain to zero, never leak.
+        deadline = time.time() + 5
+        while tracer.open_spans() and time.time() < deadline:
+            time.sleep(0.01)
+        assert not tracer.open_spans()
+
+
+class TestSlowQueryLogging:
+    def test_slow_queries_logged_and_counted(self, small_db, caplog):
+        service, _, _ = traced_service(slow_query_ms=0.0)
+        register_swap(service, small_db)
+        with caplog.at_level(logging.WARNING, logger="repro.service.slow"):
+            service.execute(QueryRequest(query="swap", database="db"))
+        assert any(
+            record.name == "repro.service.slow"
+            and "slow query" in record.message
+            for record in caplog.records
+        )
+        record = next(
+            r for r in caplog.records if r.name == "repro.service.slow"
+        )
+        assert record.query == "swap"
+        assert record.status == "ok"
+        assert record.wall_ms >= 0.0
+        assert (
+            service.registry.get("repro_slow_queries_total").value() == 1
+        )
+        assert service.stats()["slow_queries"] == 1
+
+    def test_threshold_filters(self, small_db, caplog):
+        service, _, _ = traced_service(slow_query_ms=60_000.0)
+        register_swap(service, small_db)
+        with caplog.at_level(logging.WARNING, logger="repro.service.slow"):
+            service.execute(QueryRequest(query="swap", database="db"))
+        assert not [
+            r for r in caplog.records if r.name == "repro.service.slow"
+        ]
+        assert (
+            service.registry.get("repro_slow_queries_total").value() == 0
+        )
+
+
+class TestStatsSurface:
+    def test_stats_shape_preserved(self, small_db):
+        service, _, _ = traced_service()
+        register_swap(service, small_db)
+        for _ in range(3):
+            service.execute(QueryRequest(query="swap", database="db"))
+        stats = service.stats()
+        assert stats["requests"] == 3
+        assert stats["statuses"] == {"ok": 3}
+        assert stats["cache"]["hits"] == 2
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hit_rate"] == pytest.approx(2 / 3, abs=1e-4)
+        assert stats["latency_p50_ms"] >= 0.0
+
+    def test_batch_stats_use_lookup_only_hit_rate(self, small_db):
+        service, _, _ = traced_service()
+        register_swap(service, small_db)
+        result = service.execute_batch(
+            [
+                QueryRequest(query="swap", database="db"),
+                QueryRequest(query="swap", database="db"),
+                QueryRequest(query="no-such-query", database="db"),
+            ]
+        )
+        stats = result.stats
+        # The error response never reached the cache: 2 lookups, 1 hit.
+        assert stats["statuses"] == {"ok": 2, "error": 1}
+        assert stats["cache_hits"] + stats["cache_misses"] == 2
+        assert stats["hit_rate"] == pytest.approx(
+            stats["cache_hits"] / 2
+        )
+
+    def test_empty_batch_percentiles_are_zero(self):
+        from repro.service.runtime import BatchResult
+
+        stats = BatchResult(responses=[], wall_ms=0.0).stats
+        assert stats["latency_p50_ms"] == 0.0
+        assert stats["latency_p95_ms"] == 0.0
+        assert stats["hit_rate"] == 0.0
+
+    def test_engine_steps_counted_once_per_evaluation(self, small_db):
+        service, _, _ = traced_service()
+        register_swap(service, small_db)
+        first = service.execute(QueryRequest(query="swap", database="db"))
+        service.execute(QueryRequest(query="swap", database="db"))
+        counter = service.registry.get("repro_engine_steps_total")
+        # Cache hits replay results without engine work: no double count.
+        assert counter.value(engine="nbe") == first.steps
