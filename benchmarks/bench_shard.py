@@ -1,0 +1,230 @@
+"""The sharded-execution benchmark: speedup and per-shard bound ratios.
+
+Runs a partitionable workload twice — in-process and sharded over the
+service's worker pool — and writes ``BENCH_shard.json``:
+
+* per query: both wall times, the speedup, whether the canonically
+  merged sharded result is tuple-for-tuple equal to the single-shard
+  result, and the per-shard rows (steps, fuel, observed/bound ratio);
+* the service's ``repro_shard_*`` metrics snapshot.
+
+Correctness is asserted unconditionally.  Per-shard observed/bound
+ratios must stay <= 1 on term plans (each shard evaluation is a
+Theorem 5.1 run over its own shard database).  The >= 2x speedup gate
+only applies to full (non ``--smoke``) runs on >= 4 CPUs: evaluation is
+pure Python, so shard parallelism needs real cores.
+
+    python benchmarks/bench_shard.py --smoke --out /tmp/BENCH_shard.json
+    python benchmarks/bench_shard.py --shards 4
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+def build_catalog(tuples: int, seed: int):
+    from repro.db.generators import random_relation
+    from repro.db.relations import Database, Relation
+    from repro.queries.fixpoint import transitive_closure_query
+    from repro.queries.language import QueryArity
+    from repro.queries.relalg_compile import build_ra_query
+    from repro.relalg.ast import Base, Project, Union
+    from repro.service import Catalog
+
+    relation = random_relation(2, tuples, seed=seed)
+    database = Database.of({"E": relation})
+    # A small ring for the fixpoint query (stage count is what matters,
+    # not raw tuple volume).
+    ring = max(4, min(12, tuples // 8))
+    edges = Relation.from_tuples(
+        2, [(f"n{i}", f"n{(i + 1) % ring}") for i in range(ring)]
+    )
+    graph = Database.of({"E": edges})
+
+    schema = {"E": 2}
+    signature = QueryArity((2,), 2)
+    plans = {
+        # Symmetric closure: two parallel folds of E (union of a
+        # projection with the identity copy) — partitionable.
+        "sym": Union(Project(Base("E"), (1, 0)), Base("E")),
+        # Left column as a diagonal — one fold, partitionable.
+        "diag": Project(Base("E"), (0, 0)),
+        # Both orientations plus the diagonal: three parallel folds.
+        "wide": Union(
+            Union(Project(Base("E"), (1, 0)), Base("E")),
+            Project(Base("E"), (1, 1)),
+        ),
+    }
+    catalog = Catalog()
+    catalog.register_database("main", database)
+    catalog.register_database("graph", graph)
+    for name, expr in plans.items():
+        catalog.register_query(
+            name,
+            build_ra_query(expr, ["E"], schema),
+            signature=signature,
+        )
+    catalog.register_query("tc", transitive_closure_query("E"))
+    return catalog, database, graph
+
+
+def run(smoke: bool, out: str, shards: int, partitioner: str) -> None:
+    from repro.service import QueryRequest, QueryService, ShardPolicy
+    from repro.shard.partition import canonical_relation
+
+    tuples = 60 if smoke else 400
+    rounds = 1 if smoke else 3
+    catalog, database, graph = build_catalog(tuples, seed=7)
+    policy = ShardPolicy(shards=shards, partitioner=partitioner)
+    term_queries = ("sym", "diag", "wide")
+    cases = [(q, "main") for q in term_queries] + [("tc", "graph")]
+
+    rows = []
+    with QueryService(catalog) as service:
+        # Spawn the pool outside the timed region.
+        service.execute(
+            QueryRequest(query="diag", database="main", shard_policy=policy)
+        )
+        for query, db_name in cases:
+            local_s = sharded_s = 0.0
+            shard_rows = None
+            match = True
+            for _ in range(rounds):
+                # Version-bump so every timed execution is a cache miss
+                # (including vs the warm-up request); worker snapshots
+                # stay warm — they are keyed by content digest.
+                service.update_database(
+                    db_name, database if db_name == "main" else graph
+                )
+                start = time.perf_counter()
+                local = service.execute(
+                    QueryRequest(query=query, database=db_name)
+                )
+                local_s += time.perf_counter() - start
+                start = time.perf_counter()
+                sharded = service.execute(
+                    QueryRequest(
+                        query=query, database=db_name, shard_policy=policy
+                    )
+                )
+                sharded_s += time.perf_counter() - start
+                assert local.ok and sharded.ok, (
+                    query, local.status, local.error,
+                    sharded.status, sharded.error,
+                )
+                match = match and (
+                    canonical_relation(local.relation).tuples
+                    == canonical_relation(sharded.relation).tuples
+                )
+                shard_profile = (sharded.profile or {}).get("shard")
+                assert shard_profile is not None, (
+                    f"{query} did not take the sharded path"
+                )
+                shard_rows = shard_profile["rows"]
+            assert match, f"sharded result diverged for {query!r}"
+            if query in term_queries:
+                for row in shard_rows:
+                    ratio = row.get("bound_ratio")
+                    assert ratio is None or ratio <= 1.0, (query, row)
+            rows.append(
+                {
+                    "query": query,
+                    "database": db_name,
+                    "mode": shard_profile["mode"],
+                    "code": shard_profile["code"],
+                    "match": match,
+                    "local_wall_s": round(local_s, 4),
+                    "sharded_wall_s": round(sharded_s, 4),
+                    "speedup": (
+                        round(local_s / sharded_s, 3) if sharded_s else None
+                    ),
+                    "shard_rows": shard_rows,
+                }
+            )
+        metrics = {
+            entry["name"]: entry["values"]
+            for entry in service.registry.as_dict()["metrics"]
+            if entry["name"].startswith("repro_shard_")
+        }
+
+    cpu_count = os.cpu_count() or 1
+    speedups = [r["speedup"] for r in rows if r["speedup"] is not None]
+    payload = {
+        "experiment": "shard",
+        "smoke": smoke,
+        "cpu_count": cpu_count,
+        "shards": shards,
+        "partitioner": partitioner,
+        "workload": {
+            "tuples": tuples,
+            "rounds": rounds,
+            "queries": [query for query, _ in cases],
+        },
+        "rows": rows,
+        "speedup_max": max(speedups) if speedups else None,
+        "metrics": metrics,
+    }
+    if not smoke and cpu_count >= 4:
+        assert payload["speedup_max"] >= 2.0, (
+            f"expected >= 2x speedup with {shards} shards on "
+            f"{cpu_count} CPUs, got {payload['speedup_max']}"
+        )
+
+    out_path = os.path.abspath(
+        out
+        or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_shard.json",
+        )
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in rows:
+        print(
+            f"{row['query']:>6} [{row['mode']}] "
+            f"local {row['local_wall_s']}s sharded {row['sharded_wall_s']}s "
+            f"speedup {row['speedup']}x match={row['match']}"
+        )
+    print(f"wrote {out_path}")
+
+
+def main(argv) -> None:
+    args = list(argv[1:])
+    smoke = False
+    out = None
+    shards = 4
+    partitioner = "hash"
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--smoke":
+            smoke = True
+        elif arg == "--out":
+            index += 1
+            out = args[index]
+        elif arg == "--shards":
+            index += 1
+            shards = int(args[index])
+        elif arg == "--partitioner":
+            index += 1
+            partitioner = args[index]
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+        index += 1
+    run(smoke, out, shards, partitioner)
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+        ),
+    )
+    main(sys.argv)

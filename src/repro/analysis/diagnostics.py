@@ -169,6 +169,25 @@ CODES: Dict[str, CodeInfo] = {
             "The step never reads the current stage, so the iteration "
             "converges after one stage; a plain TLI=0 query would do.",
         ),
+        CodeInfo(
+            "TLI017",
+            "plan is shard-distributable",
+            Severity.INFO,
+            "Every input relation is consumed by a single tuple-local "
+            "fold (or the plan joins inputs so that one side can be "
+            "split with the rest broadcast), so partitioned evaluation "
+            "followed by the canonical merge equals single-shard "
+            "evaluation by fold/concatenation distributivity.",
+        ),
+        CodeInfo(
+            "TLI018",
+            "plan is not partition-distributable",
+            Severity.INFO,
+            "The plan re-iterates an input, folds one inside another "
+            "(a self-join), or depends on a global property of the "
+            "whole database (active domain, tuple order), so shards "
+            "cannot evaluate it independently; it runs in-process.",
+        ),
     )
 }
 

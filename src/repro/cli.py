@@ -651,6 +651,121 @@ def cmd_trace(args) -> int:
     return 0 if response.ok else 1
 
 
+def cmd_shard(args) -> int:
+    """Evaluate one request on the sharded execution engine and (by
+    default) check it against the in-process result."""
+    from repro.service import QueryRequest
+    from repro.shard import ShardPolicy, canonical_relation
+
+    service = _build_service(args)
+    try:
+        query = args.query_ref
+        known_queries = {entry.name for entry in service.catalog.queries()}
+        if query not in known_queries:
+            query = read_term_argument(query, constants=args.constants or ())
+        db_names = [entry.name for entry in service.catalog.databases()]
+        database = args.database
+        if database is None:
+            if len(db_names) != 1:
+                raise ReproError(
+                    f"--database required: {len(db_names)} databases are "
+                    f"registered"
+                )
+            database = db_names[0]
+
+        policy = ShardPolicy(
+            shards=args.shards,
+            partitioner=args.partitioner,
+            fallback=args.fallback,
+            task_timeout_s=args.task_timeout_s,
+        )
+        base = dict(
+            query=query,
+            database=database,
+            engine=args.engine,
+            arity=args.arity,
+            fuel=args.fuel,
+        )
+        sharded = service.execute(
+            QueryRequest(shard_policy=policy, **base)
+        )
+        local = None
+        match = None
+        speedup = None
+        if not args.no_compare and sharded.ok:
+            local = service.execute(QueryRequest(**base))
+            if local.ok:
+                match = canonical_relation(local.relation) == (
+                    canonical_relation(sharded.relation)
+                )
+                if (
+                    sharded.compute_wall_ms
+                    and local.compute_wall_ms is not None
+                ):
+                    speedup = round(
+                        local.compute_wall_ms / sharded.compute_wall_ms, 3
+                    )
+        shard_profile = (sharded.profile or {}).get("shard")
+
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "response": sharded.as_dict(
+                            include_tuples=not args.no_tuples
+                        ),
+                        "plan": shard_profile,
+                        "match": match,
+                        "speedup": speedup,
+                        "local_compute_wall_ms": (
+                            round(local.compute_wall_ms, 3)
+                            if local is not None
+                            and local.compute_wall_ms is not None
+                            else None
+                        ),
+                    },
+                    indent=2,
+                )
+            )
+            return 0 if sharded.ok and match is not False else 1
+
+        if shard_profile is None:
+            print(
+                f"# plan is not shard-distributable; served "
+                f"{sharded.status} in-process"
+            )
+        else:
+            print(
+                f"# mode={shard_profile['mode']} [{shard_profile['code']}] "
+                f"shards={shard_profile['shards']} "
+                f"partitioner={shard_profile['partitioner']} "
+                f"split={','.join(shard_profile['partitioned'])}"
+            )
+            for row in shard_profile["rows"]:
+                ratio = row.get("bound_ratio")
+                print(
+                    f"#   shard {row['shard']}: in={row['input_tuples']} "
+                    f"steps={row['steps']} fuel={row['fuel']} "
+                    f"bound_ratio={ratio if ratio is not None else '-'} "
+                    f"worker={row['worker']} retries={row['retries']}"
+                    + (" degraded" if row["degraded"] else "")
+                )
+        if match is not None:
+            verdict = "equal" if match else "MISMATCH"
+            print(
+                f"# vs in-process: {verdict}"
+                + (f", speedup {speedup}x" if speedup is not None else "")
+            )
+        if sharded.relation is not None and not args.no_tuples:
+            for row in sharded.relation.tuples:
+                print("\t".join(row))
+        elif sharded.error:
+            print(f"# {sharded.status}: {sharded.error}", file=sys.stderr)
+        return 0 if sharded.ok and match is not False else 1
+    finally:
+        service.close()
+
+
 def cmd_encode(args) -> int:
     database = load_database(args.db)
     for name, relation in database:
@@ -899,6 +1014,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-tuples", action="store_true",
                    help="omit result tuples from the output")
     p.set_defaults(handler=cmd_trace)
+
+    p = commands.add_parser(
+        "shard",
+        help="evaluate a request on the sharded execution engine",
+    )
+    p.add_argument("query_ref", metavar="QUERY",
+                   help="a query registered via --query/--fixpoint, or an "
+                        "inline term / @file")
+    add_service_options(p)
+    p.add_argument("--database", default=None,
+                   help="which registered database to query (default: the "
+                        "only one)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="partition count k (default 2)")
+    p.add_argument("--partitioner", default="hash",
+                   choices=["hash", "round_robin"],
+                   help="tuple-to-shard assignment rule")
+    p.add_argument("--fallback", default="local",
+                   choices=["local", "error"],
+                   help="what a non-distributable plan does (default: "
+                        "fall back to in-process evaluation)")
+    p.add_argument("--task-timeout-s", type=float, default=None,
+                   help="per-shard task deadline on the worker pool")
+    p.add_argument("--engine", default=None,
+                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   help="override the plan's engine")
+    p.add_argument("--arity", type=int, default=None,
+                   help="expected output arity")
+    p.add_argument("--fuel", type=int, default=None,
+                   help="explicit per-shard fuel (default: the cost "
+                        "certificate split over each shard's statistics)")
+    p.add_argument("--no-compare", action="store_true",
+                   help="skip the in-process comparison run")
+    p.add_argument("--no-tuples", action="store_true",
+                   help="omit result tuples from the output")
+    p.set_defaults(handler=cmd_shard)
 
     p = commands.add_parser("encode", help="encode database relations")
     p.add_argument("--db", required=True)

@@ -161,6 +161,14 @@ class Database:
                 seen.setdefault(value, None)
         return list(seen)
 
+    def map_relations(self, fn) -> "Database":
+        """A copy with every relation replaced by ``fn(name, relation)``
+        (names and their order are preserved — shard databases built this
+        way keep the schema of the original, Definition 3.4)."""
+        return Database(
+            tuple((name, fn(name, relation)) for name, relation in self.relations)
+        )
+
     def with_relation(self, name: str, relation: Relation) -> "Database":
         """A copy with ``name`` bound to ``relation`` (added or replaced)."""
         items = [

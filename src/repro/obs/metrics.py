@@ -33,8 +33,10 @@ __all__ = [
     "Histogram",
     "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
+    "SHARD_METRIC_NAMES",
     "get_registry",
     "install_core_metrics",
+    "install_shard_metrics",
     "quantile",
     "set_registry",
 ]
@@ -470,6 +472,56 @@ def install_core_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
         "slow_queries": registry.counter(
             "repro_slow_queries_total",
             "Requests over the configured --slow-query-ms threshold",
+        ),
+    }
+
+
+#: Names the sharded execution engine exports (``repro shard`` / service
+#: requests with a :class:`~repro.shard.policy.ShardPolicy`).
+SHARD_METRIC_NAMES = (
+    "repro_shard_requests_total",
+    "repro_shard_tasks_total",
+    "repro_shard_retries_total",
+    "repro_shard_worker_crashes_total",
+    "repro_shard_degraded_total",
+    "repro_shard_workers",
+)
+
+
+def install_shard_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
+    """Pre-register the sharded-execution metric family on ``registry``.
+
+    Idempotent (same contract as :func:`install_core_metrics`); the pool's
+    observer hook and the runtime's sharded path both write through these
+    handles.
+    """
+    return {
+        "shard_requests": registry.counter(
+            "repro_shard_requests_total",
+            "Sharded requests, by distribution mode "
+            "(partitionable / broadcast / local-only)",
+            labels=("mode",),
+        ),
+        "shard_tasks": registry.counter(
+            "repro_shard_tasks_total",
+            "Per-shard tasks dispatched to the worker pool",
+        ),
+        "shard_retries": registry.counter(
+            "repro_shard_retries_total",
+            "Shard tasks retried after a worker crash or timeout",
+        ),
+        "shard_crashes": registry.counter(
+            "repro_shard_worker_crashes_total",
+            "Worker processes observed dead (crash or timeout kill)",
+        ),
+        "shard_degraded": registry.counter(
+            "repro_shard_degraded_total",
+            "Shard tasks that exhausted retries and degraded to "
+            "in-process evaluation",
+        ),
+        "shard_workers": registry.gauge(
+            "repro_shard_workers",
+            "Live worker processes in the shard pool",
         ),
     }
 

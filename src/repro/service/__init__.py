@@ -38,9 +38,11 @@ from repro.service.runtime import (
     QueryResponse,
     QueryService,
 )
+from repro.shard.policy import ShardPolicy
 
 __all__ = [
     "BatchResult",
+    "ShardPolicy",
     "CachedResult",
     "CacheStats",
     "Catalog",

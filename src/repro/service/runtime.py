@@ -55,12 +55,15 @@ from repro.lam.terms import Term, digest
 from repro.obs.metrics import (
     MetricsRegistry,
     install_core_metrics,
+    install_shard_metrics,
     quantile,
 )
 from repro.obs.profiler import ProfileCollector, bound_ratio
 from repro.obs.tracing import Tracer, get_tracer
 from repro.queries.fixpoint import FixpointQuery
+from repro.queries.language import QueryArity
 from repro.service.cache import CachedResult, CacheKey, ResultCache
+from repro.shard.policy import FALLBACK_ERROR, ShardPolicy
 from repro.service.catalog import (
     Catalog,
     DatabaseEntry,
@@ -75,6 +78,13 @@ from repro.service.engines import (
 )
 
 DEFAULT_FUEL = 10_000_000
+
+#: Size of the shared deadline-watch thread pool (`execute` with
+#: ``timeout_s``).  Workers abandoned by a timeout occupy a slot only
+#: until their bounded fuel/depth budget completes, so a modest fixed
+#: size suffices; requests queued behind a full pool still observe their
+#: own deadline at the waiting side.
+TIMEOUT_POOL_WORKERS = 16
 
 #: Statuses a response can carry.
 STATUS_OK = "ok"
@@ -101,6 +111,13 @@ class QueryRequest:
     honest plans finish inside the bound, so exhausting it means a
     runaway); plans without a certificate fall back to
     :data:`DEFAULT_FUEL`.
+
+    ``shards`` (or a full ``shard_policy``) asks for partition-parallel
+    evaluation on the service's worker pool: the plan is classified by
+    :mod:`repro.shard.planner` and, when distributable, evaluated
+    shard-by-shard with a canonical merge.  Non-distributable plans fall
+    back to the ordinary in-process path (or error, per the policy's
+    ``fallback``).
     """
 
     query: Union[str, Term, FixpointQuery]
@@ -111,6 +128,8 @@ class QueryRequest:
     max_depth: int = DEFAULT_MAX_DEPTH
     timeout_s: Optional[float] = None
     tag: Optional[str] = None
+    shards: Optional[int] = None
+    shard_policy: Optional[ShardPolicy] = None
 
 
 @dataclass
@@ -221,6 +240,7 @@ class _ResolvedQuery:
     fixpoint: Optional[FixpointQuery]
     output_arity: Optional[int]
     cost: Optional[CostProfile] = None
+    signature: Optional[QueryArity] = None
 
 
 class QueryService:
@@ -243,6 +263,7 @@ class QueryService:
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         slow_query_ms: Optional[float] = None,
+        shard_workers: Optional[int] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.cache = ResultCache(capacity=cache_capacity)
@@ -250,9 +271,19 @@ class QueryService:
         self.tracer = tracer if tracer is not None else get_tracer()
         self.slow_query_ms = slow_query_ms
         self._metrics = install_core_metrics(self.registry)
+        self._shard_metrics = install_shard_metrics(self.registry)
         self._max_workers = max_workers
         self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
         self._inflight_guard = threading.Lock()
+        # Long-lived executors, created lazily and released by close():
+        # the deadline-watch thread pool (one per service, not one per
+        # timed request) and the shard worker pool.
+        self._timeout_pool: Optional[ThreadPoolExecutor] = None
+        self._timeout_pool_lock = threading.Lock()
+        self._shard_workers = shard_workers
+        self._shard_pool = None
+        self._shard_pool_lock = threading.Lock()
+        self._plan_cache: Dict[Tuple[str, Tuple[str, ...]], object] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -265,17 +296,45 @@ class QueryService:
         """
         if request.timeout_s is None:
             return self._serve(request)
-        pool = ThreadPoolExecutor(max_workers=1)
+        future = self._timeout_executor().submit(self._serve, request)
         try:
-            future = pool.submit(self._serve, request)
-            try:
-                return future.result(timeout=request.timeout_s)
-            except FutureTimeout:
-                return self._timed_out(request, request.timeout_s * 1000.0)
-        finally:
+            return future.result(timeout=request.timeout_s)
+        except FutureTimeout:
             # Never wait for an abandoned worker: its fuel/depth budget
             # bounds it, and a late success still lands in the cache.
-            pool.shutdown(wait=False)
+            return self._timed_out(request, request.timeout_s * 1000.0)
+
+    def _timeout_executor(self) -> ThreadPoolExecutor:
+        """The shared deadline-watch pool (created on first timed request,
+        released by :meth:`close`)."""
+        with self._timeout_pool_lock:
+            if self._timeout_pool is None:
+                self._timeout_pool = ThreadPoolExecutor(
+                    max_workers=TIMEOUT_POOL_WORKERS,
+                    thread_name_prefix="repro-timeout",
+                )
+            return self._timeout_pool
+
+    def close(self) -> None:
+        """Release the service's long-lived executors (idempotent).
+
+        Abandoned timed-out evaluations are not waited for — same
+        semantics as serving time: their budgets bound them.
+        """
+        with self._timeout_pool_lock:
+            pool, self._timeout_pool = self._timeout_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        with self._shard_pool_lock:
+            shard_pool, self._shard_pool = self._shard_pool, None
+        if shard_pool is not None:
+            shard_pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def execute_batch(
         self,
@@ -348,6 +407,7 @@ class QueryService:
                 fixpoint=entry.fixpoint,
                 output_arity=entry.output_arity,
                 cost=entry.cost,
+                signature=entry.signature,
             )
         if isinstance(query, FixpointQuery):
             spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
@@ -440,11 +500,20 @@ class QueryService:
                 f"query {resolved.name!r} has no fixpoint spec; the "
                 f"'fixpoint' engine applies to FixpointQuery plans only"
             )
+        policy, shard_plan = self._shard_dispatch(request, resolved, db_entry)
+        # Sharded results come back in canonical (merged) order, so they
+        # must not share cache entries with in-process results: the shard
+        # spec is folded into the cache key's engine component.
+        engine_key = (
+            f"{resolved.engine}#s{policy.shards}:{policy.partitioner}"
+            if policy is not None
+            else resolved.engine
+        )
         key: CacheKey = (
             resolved.digest,
             db_entry.name,
             db_entry.version,
-            resolved.engine,
+            engine_key,
         )
         arity = (
             request.arity
@@ -475,7 +544,8 @@ class QueryService:
                 collector = ProfileCollector()
                 try:
                     computed = self._evaluate(
-                        request, resolved, db_entry, arity, collector
+                        request, resolved, db_entry, arity, collector,
+                        policy=policy, shard_plan=shard_plan,
                     )
                 except FuelExhausted as exc:
                     return QueryResponse(
@@ -527,9 +597,16 @@ class QueryService:
         db_entry: DatabaseEntry,
         arity: Optional[int],
         collector: ProfileCollector,
+        *,
+        policy: Optional[ShardPolicy] = None,
+        shard_plan=None,
     ) -> CachedResult:
         tracer = self.tracer
         compute_start = time.perf_counter()
+        if policy is not None and shard_plan is not None:
+            return self._evaluate_sharded(
+                request, resolved, db_entry, arity, policy, shard_plan
+            )
         if resolved.engine == FIXPOINT_ENGINE:
             from repro.eval.ptime import run_fixpoint_query
 
@@ -585,6 +662,219 @@ class QueryService:
             fuel_budget=fuel,
             profile=self._finish_profile(collector, resolved, db_entry, steps),
         )
+
+    # -- sharded evaluation --------------------------------------------------
+
+    def _shard_dispatch(
+        self,
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+    ):
+        """Resolve the request's shard policy against the plan's
+        distribution classification.
+
+        Returns ``(policy, plan)`` when the request wants sharding and the
+        plan supports it, ``(None, None)`` otherwise (falling back to the
+        in-process path, or raising when the policy says ``error``).
+        """
+        policy = request.shard_policy
+        if policy is None and request.shards is not None:
+            policy = ShardPolicy(shards=request.shards)
+        if policy is None:
+            return None, None
+        plan = self._distribution_plan(resolved, db_entry)
+        usable = False
+        if plan.distributable:
+            try:
+                chosen = plan.choose_partition(db_entry.database)
+                usable = set(chosen) <= set(db_entry.database.names)
+            except ReproError:
+                usable = False
+        if not usable:
+            self._shard_metrics["shard_requests"].inc(mode="local-only")
+            if policy.fallback == FALLBACK_ERROR:
+                raise ReproError(
+                    f"[{plan.code}] query {resolved.name!r} is not "
+                    f"shard-distributable: {plan.reason}"
+                )
+            with self.tracer.span(
+                "shard.fallback", code=plan.code, reason=plan.reason
+            ):
+                pass
+            return None, None
+        self._shard_metrics["shard_requests"].inc(mode=plan.mode)
+        return policy, plan
+
+    def _distribution_plan(
+        self, resolved: _ResolvedQuery, db_entry: DatabaseEntry
+    ):
+        """The (memoized) distribution classification of one plan against
+        one database schema."""
+        from repro.shard.planner import (
+            DistributionPlan,
+            MODE_LOCAL,
+            CODE_LOCAL_ONLY,
+            plan_distribution,
+        )
+
+        names = tuple(db_entry.database.names)
+        key = (resolved.digest, names)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            try:
+                if resolved.fixpoint is not None:
+                    plan = plan_distribution(resolved.fixpoint)
+                else:
+                    plan = plan_distribution(
+                        resolved.term,
+                        signature=resolved.signature,
+                        input_names=names,
+                    )
+            except ReproError as exc:
+                plan = DistributionPlan(
+                    mode=MODE_LOCAL,
+                    kind="term" if resolved.term is not None else "fixpoint",
+                    partition_names=(),
+                    broadcast_names=names,
+                    code=CODE_LOCAL_ONLY,
+                    reason=f"distribution analysis failed: {exc}",
+                )
+            self._plan_cache[key] = plan
+        return plan
+
+    def _shard_pool_for(self, policy: ShardPolicy):
+        """The lazily-created shared worker pool, grown to the policy's
+        shard count (capped at the service's ``shard_workers``)."""
+        from repro.shard.pool import ShardWorkerPool
+
+        wanted = policy.shards
+        if self._shard_workers is not None:
+            wanted = min(wanted, self._shard_workers)
+        with self._shard_pool_lock:
+            if self._shard_pool is None:
+                self._shard_pool = ShardWorkerPool(
+                    wanted, observer=self._shard_event
+                )
+            elif self._shard_pool.size < wanted:
+                self._shard_pool.ensure_workers(wanted)
+            self._shard_metrics["shard_workers"].set(self._shard_pool.size)
+            return self._shard_pool
+
+    def _shard_event(self, event: str) -> None:
+        """Pool observer: fold worker-pool events into the registry."""
+        metric = {
+            "task": "shard_tasks",
+            "retry": "shard_retries",
+            "crash": "shard_crashes",
+            "timeout": "shard_crashes",
+            "degraded": "shard_degraded",
+        }.get(event)
+        if metric is not None:
+            self._shard_metrics[metric].inc()
+
+    def _evaluate_sharded(
+        self,
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        arity: Optional[int],
+        policy: ShardPolicy,
+        shard_plan,
+    ) -> CachedResult:
+        from repro.shard.executor import (
+            execute_sharded_fixpoint,
+            execute_sharded_term,
+        )
+
+        compute_start = time.perf_counter()
+        pool = self._shard_pool_for(policy)
+        if resolved.fixpoint is not None and (
+            resolved.engine == FIXPOINT_ENGINE
+        ):
+            outcome = execute_sharded_fixpoint(
+                pool=pool,
+                tracer=self.tracer,
+                policy=policy,
+                plan=shard_plan,
+                fixpoint=resolved.fixpoint,
+                database=db_entry.database,
+                db_digest=db_entry.digest,
+                cost=resolved.cost,
+                max_depth=request.max_depth,
+            )
+        else:
+            outcome = execute_sharded_term(
+                pool=pool,
+                tracer=self.tracer,
+                policy=policy,
+                plan=shard_plan,
+                term=resolved.term,
+                engine=resolved.engine,
+                database=db_entry.database,
+                db_digest=db_entry.digest,
+                arity=arity,
+                cost=resolved.cost,
+                fuel_override=request.fuel,
+                default_fuel=DEFAULT_FUEL,
+                max_depth=request.max_depth,
+            )
+        with self.tracer.span("decode"):
+            decoded = decode_relation(outcome.normal_form, arity)
+        fuels = [
+            row["fuel"]
+            for row in outcome.shard_rows
+            if row.get("fuel") is not None
+        ]
+        compute_ms = (time.perf_counter() - compute_start) * 1000.0
+        return CachedResult(
+            relation=decoded.relation,
+            decoded=decoded,
+            normal_form=outcome.normal_form,
+            engine=resolved.engine,
+            steps=outcome.steps,
+            stages=outcome.stages,
+            compute_wall_ms=compute_ms,
+            fuel_budget=max(fuels) if fuels else None,
+            profile=self._shard_profile(
+                outcome, resolved, db_entry, policy, shard_plan
+            ),
+        )
+
+    def _shard_profile(
+        self,
+        outcome,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        policy: ShardPolicy,
+        shard_plan,
+    ) -> dict:
+        """The response profile of a sharded run: the full-database static
+        bound plus the per-shard rows.  The gauge (and headline ratio) is
+        the *worst per-shard* observed/bound ratio — each shard evaluation
+        is a Theorem 5.1 run over its own shard database, so that is the
+        ratio the theorem bounds by 1 (summing shard steps against the
+        full-database bound would double-count broadcast work)."""
+        bound: Optional[int] = None
+        if resolved.cost is not None:
+            stats = db_entry.stats
+            if stats is None:
+                stats = DatabaseStats.of(db_entry.database)
+            bound = resolved.cost.bound(stats)
+        ratios = [
+            row["bound_ratio"]
+            for row in outcome.shard_rows
+            if row.get("bound_ratio") is not None
+        ]
+        ratio = max(ratios) if ratios else None
+        if ratio is not None:
+            self._metrics["bound_ratio"].set(ratio, query=resolved.name)
+        return {
+            "steps": outcome.steps,
+            "static_bound": bound,
+            "bound_ratio": ratio,
+            "shard": outcome.profile_dict(policy, shard_plan),
+        }
 
     @staticmethod
     def _annotate_evaluation(span, collector: ProfileCollector) -> None:

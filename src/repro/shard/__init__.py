@@ -1,0 +1,65 @@
+"""Sharded execution: partition-parallel query evaluation (Definition 3.1).
+
+The paper encodes every relation as a *fold over its tuple list*, and folds
+distribute over list concatenation: for any tuple-local step ``s``,
+
+    fold(s, z, xs ++ ys) = fold(s, fold(s, z, ys), xs)
+
+so a selection/projection/union-shaped plan — and each stage map of the
+Theorem 5.2 fixpoint evaluator — can be evaluated shard-by-shard and the
+shard outputs merged, with the Theorem 5.1 cost certificate splitting
+additively over the shard statistics.  This package makes that concrete:
+
+* :mod:`repro.shard.partition` — deterministic hash / round-robin
+  partitioners splitting a :class:`~repro.db.relations.Database` into ``k``
+  shard databases, plus the canonical merge/dedup combiner;
+* :mod:`repro.shard.planner` — the per-plan distribution analyzer
+  (``partitionable`` / ``broadcast`` / ``local-only``) layered on
+  :mod:`repro.analysis`, with per-shard fuel derivation;
+* :mod:`repro.shard.pool` — the persistent ``multiprocessing`` worker pool
+  with warm per-worker snapshots, health checks, crash recovery, and
+  graceful degradation to in-process evaluation;
+* :mod:`repro.shard.executor` — the coordinator gluing the three together
+  for the service runtime (``QueryRequest.shards`` / :class:`ShardPolicy`).
+"""
+
+from repro.shard.partition import (
+    PARTITIONERS,
+    canonical_relation,
+    merge_relations,
+    partition_database,
+    partition_relation,
+    shard_index,
+)
+from repro.shard.planner import (
+    MODE_BROADCAST,
+    MODE_LOCAL,
+    MODE_PARTITIONABLE,
+    DistributionPlan,
+    plan_distribution,
+    plan_fixpoint_distribution,
+    plan_term_distribution,
+    shard_fuel,
+)
+from repro.shard.policy import ShardPolicy
+from repro.shard.pool import ShardWorkerPool, WorkerCrash
+
+__all__ = [
+    "DistributionPlan",
+    "MODE_BROADCAST",
+    "MODE_LOCAL",
+    "MODE_PARTITIONABLE",
+    "PARTITIONERS",
+    "ShardPolicy",
+    "ShardWorkerPool",
+    "WorkerCrash",
+    "canonical_relation",
+    "merge_relations",
+    "partition_database",
+    "partition_relation",
+    "plan_distribution",
+    "plan_fixpoint_distribution",
+    "plan_term_distribution",
+    "shard_fuel",
+    "shard_index",
+]

@@ -1,0 +1,153 @@
+"""Deterministic database partitioners and the canonical merge combiner.
+
+A partition of a list-represented relation (Definition 3.4) is a split of
+its tuple *list* into ``k`` disjoint sublists, each keeping the original
+relative order — concatenating the shards back in shard order is a
+permutation-free identity for the round-robin partitioner and a stable
+reshuffle for the hash partitioner.  Either way the *set* is preserved,
+which is what fold/concatenation distributivity needs:
+
+    R (as a fold)  =  merge(R_0, ..., R_{k-1})
+
+The merge combiner re-canonicalizes: shard evaluation produces the same
+tuple set as single-shard evaluation but in a shard-interleaved order, so
+both sides are compared (and cached) in the canonical sorted order
+:meth:`repro.db.relations.Relation.from_any_order` defines — the same
+ordering the catalog digest fixes tuple lists against.
+
+Hash assignment must be stable across *processes* (workers verify their
+slice against the coordinator's), so it uses CRC-32 over a length-prefixed
+serialization of the row — never Python's randomized ``hash()``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.relations import Database, Relation, TupleValue
+from repro.errors import ReproError
+
+#: The registered partitioner names.
+PARTITIONER_HASH = "hash"
+PARTITIONER_ROUND_ROBIN = "round_robin"
+PARTITIONERS: Tuple[str, ...] = (PARTITIONER_HASH, PARTITIONER_ROUND_ROBIN)
+
+
+def _row_bytes(row: TupleValue) -> bytes:
+    # Length-prefixed, so constants containing separator characters cannot
+    # shift a boundary (same framing idea as the catalog digest).
+    parts = []
+    for value in row:
+        encoded = value.encode()
+        parts.append(b"%d:%s," % (len(encoded), encoded))
+    return b"".join(parts)
+
+
+def shard_index(row: Sequence[str], shards: int) -> int:
+    """The hash shard a tuple lands on: CRC-32 of the framed row, mod k.
+
+    Deterministic across processes and platforms (CRC-32 is fully
+    specified), so coordinator and workers always agree.
+    """
+    return zlib.crc32(_row_bytes(tuple(row))) % shards
+
+
+def partition_relation(
+    relation: Relation,
+    shards: int,
+    *,
+    partitioner: str = PARTITIONER_HASH,
+) -> Tuple[Relation, ...]:
+    """Split one relation into ``shards`` disjoint sub-relations.
+
+    Every input tuple lands on exactly one shard, keeping its relative
+    order within the shard; the union of the shards is the input.
+    """
+    if shards < 1:
+        raise ReproError(f"shards must be >= 1, got {shards}")
+    buckets: List[List[TupleValue]] = [[] for _ in range(shards)]
+    if partitioner == PARTITIONER_HASH:
+        for row in relation.tuples:
+            buckets[shard_index(row, shards)].append(row)
+    elif partitioner == PARTITIONER_ROUND_ROBIN:
+        for position, row in enumerate(relation.tuples):
+            buckets[position % shards].append(row)
+    else:
+        raise ReproError(
+            f"unknown partitioner {partitioner!r}; known: {PARTITIONERS}"
+        )
+    return tuple(
+        Relation.from_tuples(relation.arity, bucket) for bucket in buckets
+    )
+
+
+def partition_database(
+    database: Database,
+    shards: int,
+    *,
+    partitioner: str = PARTITIONER_HASH,
+    partition_names: Optional[Iterable[str]] = None,
+) -> Tuple[Database, ...]:
+    """Split a database into ``shards`` shard databases.
+
+    Relations named in ``partition_names`` are split; all others are
+    *broadcast* (replicated in full on every shard — the planner's
+    ``broadcast`` mode keeps the small side of a join whole this way).
+    ``partition_names=None`` splits every relation.
+    """
+    split = (
+        set(database.names)
+        if partition_names is None
+        else set(partition_names)
+    )
+    unknown = split - set(database.names)
+    if unknown:
+        raise ReproError(
+            f"cannot partition unknown relation(s) {sorted(unknown)}; "
+            f"known: {database.names}"
+        )
+    pieces = {
+        name: partition_relation(relation, shards, partitioner=partitioner)
+        for name, relation in database
+        if name in split
+    }
+    return tuple(
+        database.map_relations(
+            lambda name, relation, i=i: (
+                pieces[name][i] if name in pieces else relation
+            )
+        )
+        for i in range(shards)
+    )
+
+
+def canonical_relation(relation: Relation) -> Relation:
+    """The canonical (sorted) list-representation of a relation's set."""
+    return relation.sorted()
+
+
+def merge_relations(
+    parts: Sequence[Relation], *, arity: Optional[int] = None
+) -> Relation:
+    """The canonical merge/dedup combiner.
+
+    Returns the union of the shard outputs as a canonically ordered
+    relation; by fold/concatenation distributivity this is tuple-for-tuple
+    equal to :func:`canonical_relation` of the single-shard output.
+    """
+    if not parts:
+        if arity is None:
+            raise ReproError("merging zero shards needs an explicit arity")
+        return Relation.empty(arity)
+    merged_arity = arity if arity is not None else parts[0].arity
+    for part in parts:
+        if part.arity != merged_arity:
+            raise ReproError(
+                f"cannot merge shard outputs of arities "
+                f"{sorted({p.arity for p in parts})}"
+            )
+    rows: List[TupleValue] = []
+    for part in parts:
+        rows.extend(part.tuples)
+    return Relation.from_any_order(merged_arity, rows)

@@ -1,0 +1,40 @@
+"""The request-side sharding policy (kept dependency-free so the service
+runtime can import it without pulling in ``multiprocessing``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: Fallback behaviours when a plan is not distributable (or workers die).
+FALLBACK_LOCAL = "local"
+FALLBACK_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """How a request wants to be sharded.
+
+    ``shards`` is the partition count ``k``; ``partitioner`` picks the
+    row-assignment rule (``"hash"`` or ``"round_robin"``, see
+    :mod:`repro.shard.partition`); ``fallback`` says what a ``local-only``
+    classification does (``"local"`` degrades to the ordinary in-process
+    path, ``"error"`` turns it into an error response);
+    ``task_timeout_s`` bounds each per-shard task on the worker pool.
+    """
+
+    shards: int
+    partitioner: str = "hash"
+    fallback: str = FALLBACK_LOCAL
+    task_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ReproError(f"shards must be >= 1, got {self.shards}")
+        if self.fallback not in (FALLBACK_LOCAL, FALLBACK_ERROR):
+            raise ReproError(
+                f"unknown shard fallback {self.fallback!r}; "
+                f"expected 'local' or 'error'"
+            )

@@ -1,0 +1,439 @@
+"""The persistent ``multiprocessing`` worker pool for shard tasks.
+
+One worker = one long-lived process holding a *warm snapshot cache*: shard
+databases (and their Definition 3.1 encodings) are shipped once, keyed by
+digest, and later tasks reference them by digest only — the expensive
+``encode_database`` runs once per (worker, shard) pair, mirroring what the
+catalog does in-process.
+
+Reliability model:
+
+* **Health checks** — :meth:`ShardWorkerPool.ping` round-trips every
+  worker and respawns any that died idle.
+* **Crash detection** — a worker dying mid-task surfaces as ``EOFError``
+  / ``BrokenPipeError`` on its pipe; the coordinator respawns the worker
+  (its snapshot cache restarts cold) and retries the task with
+  exponential backoff, at most ``max_retries`` times.
+* **Per-task timeouts** — a task overrunning its deadline gets its worker
+  killed (the budgeted evaluation would finish eventually, but the
+  deadline wins) and counts as a crash for retry purposes.
+* **Graceful degradation** — when retries are exhausted the task runs
+  in-process via :func:`execute_task`, so a dying pool degrades to the
+  single-process runtime instead of erroring the batch.
+
+Tasks and replies are plain picklable dicts; :func:`execute_task` is the
+single execution semantics shared by workers and the degraded path.
+``{"kind": "crash"}`` makes a worker ``os._exit`` — the deterministic
+crash injection the recovery tests use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.db.encode import encode_database
+from repro.db.relations import Database, Relation
+from repro.errors import FuelExhausted, ReproError
+
+#: Events reported to the pool's observer callback.
+EVENT_TASK = "task"
+EVENT_RETRY = "retry"
+EVENT_CRASH = "crash"
+EVENT_TIMEOUT = "timeout"
+EVENT_DEGRADED = "degraded"
+EVENT_RESPAWN = "respawn"
+
+
+class WorkerCrash(ReproError):
+    """A worker died (or timed out) while running a task."""
+
+
+class WorkerTimeout(WorkerCrash):
+    """A worker missed its per-task deadline (killed and respawned)."""
+
+
+# ---------------------------------------------------------------------------
+# Task execution (worker side and the degraded in-process path)
+# ---------------------------------------------------------------------------
+
+def _resolve_database(
+    task: dict, cache: Dict[str, Tuple[Database, tuple]]
+) -> Tuple[Database, tuple]:
+    digest = task.get("db_digest")
+    database = task.get("database")
+    if database is not None:
+        entry = (database, tuple(encode_database(database)))
+        if digest is not None:
+            cache[digest] = entry
+        return entry
+    if digest is not None and digest in cache:
+        return cache[digest]
+    raise ReproError(
+        f"task references unknown database snapshot {digest!r}"
+    )
+
+
+def execute_task(
+    task: dict, cache: Optional[Dict[str, Tuple[Database, tuple]]] = None
+) -> dict:
+    """Execute one shard task; never raises — errors become replies.
+
+    Kinds: ``ping`` (health check), ``db`` (preload a snapshot), ``term``
+    (evaluate a term plan over a snapshot), ``ra`` (evaluate an RA step,
+    optionally with the broadcast fixpoint stage bound to ``fix_name``).
+    """
+    if cache is None:
+        cache = {}
+    kind = task.get("kind")
+    try:
+        if kind == "ping":
+            return {"ok": True, "kind": "pong", "pid": os.getpid()}
+        if kind == "db":
+            _resolve_database(task, cache)
+            return {"ok": True, "kind": "db"}
+        if kind == "term":
+            from repro.db.decode import decode_relation
+            from repro.obs.profiler import ProfileCollector
+            from repro.service.engines import evaluate_term_query
+
+            _, encoded = _resolve_database(task, cache)
+            collector = ProfileCollector()
+            result = evaluate_term_query(
+                task["term"],
+                encoded,
+                engine=task.get("engine", "nbe"),
+                fuel=task.get("fuel"),
+                max_depth=task.get("max_depth", 600_000),
+                observer=collector,
+            )
+            decoded = decode_relation(
+                result.normal_form, task.get("arity")
+            )
+            return {
+                "ok": True,
+                "tuples": decoded.relation.tuples,
+                "arity": decoded.relation.arity,
+                "steps": result.steps,
+                "profile": collector.profile.as_dict(),
+            }
+        if kind == "ra":
+            from repro.eval.materialize import run_ra_query_materialized
+
+            database, _ = _resolve_database(task, cache)
+            fix_tuples = task.get("fix_tuples")
+            if fix_tuples is not None:
+                database = database.with_relation(
+                    task["fix_name"],
+                    Relation.from_tuples(task["fix_arity"], fix_tuples),
+                )
+            run = run_ra_query_materialized(
+                task["expr"],
+                database,
+                max_depth=task.get("max_depth", 600_000),
+            )
+            return {
+                "ok": True,
+                "tuples": run.relation.tuples,
+                "arity": run.relation.arity,
+                "steps": run.steps,
+            }
+        return {"ok": False, "error_kind": "error",
+                "error": f"unknown task kind {kind!r}"}
+    except FuelExhausted as exc:
+        return {
+            "ok": False,
+            "error_kind": "fuel",
+            "steps": exc.steps,
+            "error": str(exc),
+        }
+    except Exception as exc:  # noqa: BLE001 - replies, never raises
+        return {
+            "ok": False,
+            "error_kind": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _worker_main(conn) -> None:
+    """The worker process loop: recv task, execute, send reply."""
+    cache: Dict[str, Tuple[Database, tuple]] = {}
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = task.get("kind")
+        if kind == "shutdown":
+            return
+        if kind == "crash":
+            # Deterministic crash injection for the recovery tests: die
+            # without replying, exactly like a segfault would.
+            os._exit(task.get("exitcode", 3))
+        conn.send(execute_task(task, cache))
+
+
+# ---------------------------------------------------------------------------
+# The coordinator
+# ---------------------------------------------------------------------------
+
+class _Worker:
+    __slots__ = ("index", "process", "conn", "seen", "respawns")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.seen: set = set()
+        self.respawns = 0
+
+
+class ShardWorkerPool:
+    """A fixed-size pool of persistent shard workers.
+
+    ``observer`` (if given) is called with one event name per notable
+    occurrence (``task`` / ``retry`` / ``crash`` / ``timeout`` /
+    ``degraded`` / ``respawn``) — the service runtime wires it to the
+    ``repro_shard_*`` metrics.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        start_method: Optional[str] = None,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        task_timeout_s: Optional[float] = None,
+        observer: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"pool needs >= 1 worker, got {workers}")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.task_timeout_s = task_timeout_s
+        self._observer = observer
+        self._lock = threading.Lock()
+        self._closed = False
+        self._workers: List[_Worker] = []
+        for index in range(workers):
+            self._workers.append(self._spawn(index))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _notify(self, event: str) -> None:
+        if self._observer is not None:
+            self._observer(event)
+
+    def _spawn(self, index: int) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(index, process, parent_conn)
+
+    def _respawn(self, index: int) -> _Worker:
+        old = self._workers[index]
+        try:
+            old.conn.close()
+        except OSError:
+            pass
+        if old.process.is_alive():
+            old.process.kill()
+        old.process.join(timeout=5)
+        fresh = self._spawn(index)
+        fresh.respawns = old.respawns + 1
+        self._workers[index] = fresh
+        self._notify(EVENT_RESPAWN)
+        return fresh
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def ensure_workers(self, count: int) -> None:
+        """Grow the pool to at least ``count`` workers."""
+        with self._lock:
+            while len(self._workers) < count:
+                self._workers.append(self._spawn(len(self._workers)))
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [w.process.pid for w in self._workers]
+
+    def respawn_counts(self) -> List[int]:
+        return [w.respawns for w in self._workers]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for worker in self._workers:
+                try:
+                    worker.conn.send({"kind": "shutdown"})
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+            for worker in self._workers:
+                worker.process.join(timeout=2)
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=2)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- health --------------------------------------------------------------
+
+    def ping(self, timeout_s: float = 5.0) -> List[bool]:
+        """Round-trip every worker; dead workers are respawned and
+        reported ``False`` for this check."""
+        health: List[bool] = []
+        for index in range(len(self._workers)):
+            try:
+                reply = self._roundtrip(
+                    index, {"kind": "ping"}, timeout_s
+                )
+                health.append(bool(reply.get("ok")))
+            except WorkerCrash:
+                with self._lock:
+                    self._respawn(index)
+                health.append(False)
+        return health
+
+    def inject_crash(self, index: int, *, exitcode: int = 3) -> None:
+        """Make worker ``index`` exit without replying (test hook)."""
+        worker = self._workers[index]
+        try:
+            worker.conn.send({"kind": "crash", "exitcode": exitcode})
+        except (OSError, ValueError, BrokenPipeError):
+            return
+        worker.process.join(timeout=5)
+
+    # -- task execution ------------------------------------------------------
+
+    def _roundtrip(self, index: int, payload: dict, timeout_s) -> dict:
+        worker = self._workers[index]
+        try:
+            worker.conn.send(payload)
+            if timeout_s is not None:
+                if not worker.conn.poll(timeout_s):
+                    raise WorkerTimeout(
+                        f"worker {index} missed its {timeout_s}s deadline"
+                    )
+            return worker.conn.recv()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise WorkerCrash(f"worker {index} died: {exc}") from exc
+
+    def run_task(
+        self,
+        task: dict,
+        *,
+        worker_index: int = 0,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        """Run one task with crash recovery; degrades in-process on
+        exhausted retries.  The reply carries a ``_meta`` dict with the
+        worker index, retry count, and whether it degraded."""
+        if self._closed:
+            raise ReproError("the shard worker pool is closed")
+        timeout = timeout_s if timeout_s is not None else self.task_timeout_s
+        index = worker_index % len(self._workers)
+        self._notify(EVENT_TASK)
+        retries = 0
+        while retries <= self.max_retries:
+            worker = self._workers[index]
+            payload = dict(task)
+            digest = payload.get("db_digest")
+            if digest is not None and digest in worker.seen:
+                payload.pop("database", None)
+            try:
+                reply = self._roundtrip(index, payload, timeout)
+            except WorkerCrash as crash:
+                timed_out = isinstance(crash, WorkerTimeout)
+                self._notify(EVENT_TIMEOUT if timed_out else EVENT_CRASH)
+                with self._lock:
+                    self._respawn(index)
+                retries += 1
+                if retries <= self.max_retries:
+                    self._notify(EVENT_RETRY)
+                    time.sleep(self.backoff_s * (2 ** (retries - 1)))
+                continue
+            if digest is not None:
+                worker.seen.add(digest)
+            reply["_meta"] = {
+                "worker": index,
+                "retries": retries,
+                "degraded": False,
+            }
+            return reply
+        # Retries exhausted: degrade to in-process evaluation (the task's
+        # own fuel/depth budgets still bound it).
+        self._notify(EVENT_DEGRADED)
+        reply = execute_task(dict(task))
+        reply["_meta"] = {
+            "worker": None,
+            "retries": retries,
+            "degraded": True,
+        }
+        return reply
+
+    def run_batch(
+        self,
+        tasks: List[dict],
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> List[dict]:
+        """Run ``tasks`` concurrently (task ``i`` starts on worker ``i mod
+        size``); one reply per task, in task order, never an exception."""
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [self.run_task(tasks[0], timeout_s=timeout_s)]
+        size = len(self._workers)
+        replies: List[Optional[dict]] = [None] * len(tasks)
+        # Each worker's pipe is serial, so tasks assigned to the same
+        # worker run back-to-back on one coordinator thread per worker.
+        by_worker: Dict[int, List[int]] = {}
+        for position in range(len(tasks)):
+            by_worker.setdefault(position % size, []).append(position)
+
+        def drive(worker_index: int, positions: List[int]) -> None:
+            for position in positions:
+                replies[position] = self.run_task(
+                    tasks[position],
+                    worker_index=worker_index,
+                    timeout_s=timeout_s,
+                )
+
+        threads = [
+            threading.Thread(
+                target=drive, args=(worker_index, positions), daemon=True
+            )
+            for worker_index, positions in by_worker.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return [reply for reply in replies if reply is not None]
