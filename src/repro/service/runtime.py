@@ -41,6 +41,7 @@ import hashlib
 import logging
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -85,6 +86,12 @@ DEFAULT_FUEL = 10_000_000
 #: size suffices; requests queued behind a full pool still observe their
 #: own deadline at the waiting side.
 TIMEOUT_POOL_WORKERS = 16
+
+#: Capacity of the per-service distribution-plan LRU (keyed by query
+#: digest x schema names).  Classification is cheap to redo, so a small
+#: bound beats an unbounded dict on long-lived services with churning
+#: inline queries or schemas.
+PLAN_CACHE_CAPACITY = 128
 
 #: Statuses a response can carry.
 STATUS_OK = "ok"
@@ -283,7 +290,10 @@ class QueryService:
         self._shard_workers = shard_workers
         self._shard_pool = None
         self._shard_pool_lock = threading.Lock()
-        self._plan_cache: Dict[Tuple[str, Tuple[str, ...]], object] = {}
+        self._plan_cache: "OrderedDict[Tuple[str, Tuple[str, ...]], object]" = (
+            OrderedDict()
+        )
+        self._plan_cache_lock = threading.Lock()
 
     # -- public API ----------------------------------------------------------
 
@@ -302,6 +312,9 @@ class QueryService:
         except FutureTimeout:
             # Never wait for an abandoned worker: its fuel/depth budget
             # bounds it, and a late success still lands in the cache.
+            # Cancelling drops evaluations the shared pool has not started
+            # yet, so sustained timeouts cannot queue useless work.
+            future.cancel()
             return self._timed_out(request, request.timeout_s * 1000.0)
 
     def _timeout_executor(self) -> ThreadPoolExecutor:
@@ -720,27 +733,34 @@ class QueryService:
 
         names = tuple(db_entry.database.names)
         key = (resolved.digest, names)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            try:
-                if resolved.fixpoint is not None:
-                    plan = plan_distribution(resolved.fixpoint)
-                else:
-                    plan = plan_distribution(
-                        resolved.term,
-                        signature=resolved.signature,
-                        input_names=names,
-                    )
-            except ReproError as exc:
-                plan = DistributionPlan(
-                    mode=MODE_LOCAL,
-                    kind="term" if resolved.term is not None else "fixpoint",
-                    partition_names=(),
-                    broadcast_names=names,
-                    code=CODE_LOCAL_ONLY,
-                    reason=f"distribution analysis failed: {exc}",
+        with self._plan_cache_lock:
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                self._plan_cache.move_to_end(key)
+                return plan
+        try:
+            if resolved.fixpoint is not None:
+                plan = plan_distribution(resolved.fixpoint)
+            else:
+                plan = plan_distribution(
+                    resolved.term,
+                    signature=resolved.signature,
+                    input_names=names,
                 )
+        except ReproError as exc:
+            plan = DistributionPlan(
+                mode=MODE_LOCAL,
+                kind="term" if resolved.term is not None else "fixpoint",
+                partition_names=(),
+                broadcast_names=names,
+                code=CODE_LOCAL_ONLY,
+                reason=f"distribution analysis failed: {exc}",
+            )
+        with self._plan_cache_lock:
             self._plan_cache[key] = plan
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > PLAN_CACHE_CAPACITY:
+                self._plan_cache.popitem(last=False)
         return plan
 
     def _shard_pool_for(self, policy: ShardPolicy):

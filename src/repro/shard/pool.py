@@ -224,8 +224,15 @@ class ShardWorkerPool:
         self._lock = threading.Lock()
         self._closed = False
         self._workers: List[_Worker] = []
+        # One mutex per worker *slot*, held across every send/recv
+        # roundtrip (and the respawn that follows a crash).  The pool is
+        # shared by concurrent requests, so without it two threads could
+        # interleave sends on one pipe and steal each other's replies.
+        # Locks are keyed by index and survive respawns.
+        self._worker_locks: List[threading.Lock] = []
         for index in range(workers):
             self._workers.append(self._spawn(index))
+            self._worker_locks.append(threading.Lock())
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -246,6 +253,10 @@ class ShardWorkerPool:
         return _Worker(index, process, parent_conn)
 
     def _respawn(self, index: int) -> _Worker:
+        # Caller holds the worker's slot lock; a pool that closed while
+        # this task was in flight must not spawn a zombie replacement.
+        if self._closed:
+            raise ReproError("the shard worker pool is closed")
         old = self._workers[index]
         try:
             old.conn.close()
@@ -267,8 +278,11 @@ class ShardWorkerPool:
     def ensure_workers(self, count: int) -> None:
         """Grow the pool to at least ``count`` workers."""
         with self._lock:
+            if self._closed:
+                raise ReproError("the shard worker pool is closed")
             while len(self._workers) < count:
                 self._workers.append(self._spawn(len(self._workers)))
+                self._worker_locks.append(threading.Lock())
 
     def worker_pids(self) -> List[Optional[int]]:
         return [w.process.pid for w in self._workers]
@@ -277,25 +291,38 @@ class ShardWorkerPool:
         return [w.respawns for w in self._workers]
 
     def close(self) -> None:
-        """Shut every worker down (idempotent)."""
+        """Shut every worker down (idempotent).
+
+        Close does not wait for in-flight tasks: a slot whose lock cannot
+        be grabbed promptly is busy mid-roundtrip, so its shutdown message
+        is skipped (sending would tear the pipe) and the join-timeout/kill
+        below reaps the worker instead.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            for worker in self._workers:
-                try:
-                    worker.conn.send({"kind": "shutdown"})
-                except (OSError, ValueError, BrokenPipeError):
-                    pass
-            for worker in self._workers:
+        for index, worker in enumerate(self._workers):
+            slot = self._worker_locks[index]
+            acquired = slot.acquire(timeout=0.25)
+            try:
+                if acquired:
+                    try:
+                        worker.conn.send({"kind": "shutdown"})
+                    except (OSError, ValueError, BrokenPipeError):
+                        pass
+            finally:
+                if acquired:
+                    slot.release()
+        for worker in self._workers:
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.kill()
                 worker.process.join(timeout=2)
-                if worker.process.is_alive():
-                    worker.process.kill()
-                    worker.process.join(timeout=2)
-                try:
-                    worker.conn.close()
-                except OSError:
-                    pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ShardWorkerPool":
         return self
@@ -310,29 +337,37 @@ class ShardWorkerPool:
         reported ``False`` for this check."""
         health: List[bool] = []
         for index in range(len(self._workers)):
-            try:
-                reply = self._roundtrip(
-                    index, {"kind": "ping"}, timeout_s
-                )
-                health.append(bool(reply.get("ok")))
-            except WorkerCrash:
-                with self._lock:
+            with self._worker_locks[index]:
+                try:
+                    reply = self._roundtrip(
+                        index, {"kind": "ping"}, timeout_s
+                    )
+                    health.append(bool(reply.get("ok")))
+                except WorkerCrash:
                     self._respawn(index)
-                health.append(False)
+                    health.append(False)
         return health
 
     def inject_crash(self, index: int, *, exitcode: int = 3) -> None:
         """Make worker ``index`` exit without replying (test hook)."""
-        worker = self._workers[index]
-        try:
-            worker.conn.send({"kind": "crash", "exitcode": exitcode})
-        except (OSError, ValueError, BrokenPipeError):
-            return
-        worker.process.join(timeout=5)
+        with self._worker_locks[index]:
+            worker = self._workers[index]
+            try:
+                worker.conn.send({"kind": "crash", "exitcode": exitcode})
+            except (OSError, ValueError, BrokenPipeError):
+                return
+            worker.process.join(timeout=5)
 
     # -- task execution ------------------------------------------------------
 
     def _roundtrip(self, index: int, payload: dict, timeout_s) -> dict:
+        """One send/recv pair on worker ``index``'s pipe.
+
+        The caller must hold ``self._worker_locks[index]``: the pipe is a
+        plain duplex channel with no request routing, so the slot lock is
+        what guarantees a reply goes back to the thread that sent the
+        matching task.
+        """
         worker = self._workers[index]
         try:
             worker.conn.send(payload)
@@ -359,28 +394,40 @@ class ShardWorkerPool:
             raise ReproError("the shard worker pool is closed")
         timeout = timeout_s if timeout_s is not None else self.task_timeout_s
         index = worker_index % len(self._workers)
+        slot = self._worker_locks[index]
         self._notify(EVENT_TASK)
         retries = 0
         while retries <= self.max_retries:
-            worker = self._workers[index]
-            payload = dict(task)
-            digest = payload.get("db_digest")
-            if digest is not None and digest in worker.seen:
-                payload.pop("database", None)
-            try:
-                reply = self._roundtrip(index, payload, timeout)
-            except WorkerCrash as crash:
-                timed_out = isinstance(crash, WorkerTimeout)
-                self._notify(EVENT_TIMEOUT if timed_out else EVENT_CRASH)
-                with self._lock:
+            # The slot lock covers the whole attempt — worker lookup, the
+            # snapshot-cache check, the pipe roundtrip, and the respawn on
+            # crash — so concurrent requests sharing the pool can never
+            # interleave on one pipe or double-respawn a worker.  The
+            # backoff sleep happens outside it.
+            crashed = False
+            with slot:
+                worker = self._workers[index]
+                payload = dict(task)
+                digest = payload.get("db_digest")
+                if digest is not None and digest in worker.seen:
+                    payload.pop("database", None)
+                try:
+                    reply = self._roundtrip(index, payload, timeout)
+                except WorkerCrash as crash:
+                    timed_out = isinstance(crash, WorkerTimeout)
+                    self._notify(
+                        EVENT_TIMEOUT if timed_out else EVENT_CRASH
+                    )
                     self._respawn(index)
+                    crashed = True
+                else:
+                    if digest is not None:
+                        worker.seen.add(digest)
+            if crashed:
                 retries += 1
                 if retries <= self.max_retries:
                     self._notify(EVENT_RETRY)
                     time.sleep(self.backoff_s * (2 ** (retries - 1)))
                 continue
-            if digest is not None:
-                worker.seen.add(digest)
             reply["_meta"] = {
                 "worker": index,
                 "retries": retries,
@@ -398,6 +445,31 @@ class ShardWorkerPool:
         }
         return reply
 
+    def _run_task_reply(
+        self,
+        task: dict,
+        worker_index: int,
+        timeout_s: Optional[float],
+    ) -> dict:
+        """``run_task`` with the never-raises batch contract: coordinator
+        failures (e.g. ``close()`` racing an in-flight batch) become error
+        replies so batch positions always stay aligned with their tasks."""
+        try:
+            return self.run_task(
+                task, worker_index=worker_index, timeout_s=timeout_s
+            )
+        except Exception as exc:  # noqa: BLE001 - replies, never raises
+            return {
+                "ok": False,
+                "error_kind": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+                "_meta": {
+                    "worker": worker_index,
+                    "retries": 0,
+                    "degraded": False,
+                },
+            }
+
     def run_batch(
         self,
         tasks: List[dict],
@@ -405,11 +477,13 @@ class ShardWorkerPool:
         timeout_s: Optional[float] = None,
     ) -> List[dict]:
         """Run ``tasks`` concurrently (task ``i`` starts on worker ``i mod
-        size``); one reply per task, in task order, never an exception."""
+        size``); exactly one reply per task, in task order, never an
+        exception — failures (including coordinator-side ones) are error
+        replies at their task's position."""
         if not tasks:
             return []
         if len(tasks) == 1:
-            return [self.run_task(tasks[0], timeout_s=timeout_s)]
+            return [self._run_task_reply(tasks[0], 0, timeout_s)]
         size = len(self._workers)
         replies: List[Optional[dict]] = [None] * len(tasks)
         # Each worker's pipe is serial, so tasks assigned to the same
@@ -420,10 +494,8 @@ class ShardWorkerPool:
 
         def drive(worker_index: int, positions: List[int]) -> None:
             for position in positions:
-                replies[position] = self.run_task(
-                    tasks[position],
-                    worker_index=worker_index,
-                    timeout_s=timeout_s,
+                replies[position] = self._run_task_reply(
+                    tasks[position], worker_index, timeout_s
                 )
 
         threads = [
@@ -436,4 +508,14 @@ class ShardWorkerPool:
             thread.start()
         for thread in threads:
             thread.join()
-        return [reply for reply in replies if reply is not None]
+        return [
+            reply
+            if reply is not None
+            else {
+                "ok": False,
+                "error_kind": "error",
+                "error": "shard task produced no reply",
+                "_meta": {"worker": None, "retries": 0, "degraded": False},
+            }
+            for reply in replies
+        ]

@@ -309,6 +309,59 @@ class TestWorkerPool:
         assert reply["ok"] is False
         assert "unknown task kind" in reply["error"]
 
+    def test_concurrent_tasks_never_cross_replies(self):
+        """Regression: the pool is shared across concurrent requests, so
+        the per-worker slot lock must keep each send/recv pair atomic —
+        two threads hammering one worker must each get their own query's
+        result back, never the other's."""
+        import threading
+
+        db = random_database([2], [8], seed=11)
+        term = parse(PARTITIONABLE_OPS["swap"])
+        errors = []
+        with ShardWorkerPool(1) as pool:
+            reference = pool.run_task(
+                {"kind": "term", "db_digest": "ref", "database": db,
+                 "term": term, "arity": 2}
+            )
+            assert reference["ok"]
+            expected = sorted(reference["tuples"])
+
+            def hammer(thread_id, rounds):
+                for _ in range(rounds):
+                    reply = pool.run_task(
+                        {"kind": "term", "db_digest": f"t{thread_id}",
+                         "database": db, "term": term, "arity": 2}
+                    )
+                    if (
+                        not reply["ok"]
+                        or reply["arity"] != 2
+                        or sorted(reply["tuples"]) != expected
+                    ):
+                        errors.append((thread_id, reply))
+
+            threads = [
+                threading.Thread(target=hammer, args=(t, 10))
+                for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+
+    def test_closed_pool_batch_stays_aligned(self):
+        """Regression: coordinator-side failures (here a closed pool) must
+        come back as error replies at their task's position, never as a
+        shorter reply list."""
+        pool = ShardWorkerPool(2)
+        pool.close()
+        tasks = [{"kind": "ping"} for _ in range(3)]
+        replies = pool.run_batch(tasks)
+        assert len(replies) == 3
+        assert all(r["ok"] is False for r in replies)
+        assert all("closed" in r["error"] for r in replies)
+
 
 @pytest.fixture
 def shard_service():
