@@ -8,6 +8,10 @@ looseness is the price of deriving fuel budgets without running the
 query.
 """
 
+import json
+import math
+import os
+
 import pytest
 
 from repro.analysis import (
@@ -15,8 +19,10 @@ from repro.analysis import (
     analyze_fixpoint,
     analyze_term,
     term_cost_profile,
+    tighten_term_profile,
 )
 from repro.db.encode import encode_database
+from repro.db.generators import random_database
 from repro.lam.nbe import nbe_normalize_counted
 from repro.lam.parser import parse
 from repro.lam.terms import app
@@ -68,3 +74,108 @@ def test_bound_dominates_observed(bench_db, name):
     )
     bound = profile.bound(stats)
     assert steps <= bound
+
+
+def analysis_rows(db):
+    """Per-plan bound/observed ratios before and after absint tightening."""
+    stats = DatabaseStats.of(db)
+    encoded = encode_database(db)
+    rows = []
+    for name in sorted(SUITE):
+        source, signature = SUITE[name]
+        term = parse(source)
+        base = term_cost_profile(
+            term,
+            input_count=len(signature.inputs),
+            output_arity=signature.output,
+        )
+        tightened, _ = tighten_term_profile(
+            term, base=base, input_count=len(signature.inputs)
+        )
+        effective = tightened or base
+        _, observed = nbe_normalize_counted(app(term, *encoded))
+        base_bound = base.bound(stats)
+        effective_bound = effective.bound(stats)
+        rows.append(
+            {
+                "plan": name,
+                "observed_steps": observed,
+                "base_bound": base_bound,
+                "tightened_bound": effective_bound,
+                "tightened": tightened is not None,
+                "base_ratio": round(base_bound / observed, 3),
+                "tightened_ratio": round(effective_bound / observed, 3),
+            }
+        )
+    return rows
+
+
+def _geo_mean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def analysis_summary(db):
+    rows = analysis_rows(db)
+    before = _geo_mean([row["base_ratio"] for row in rows])
+    after = _geo_mean([row["tightened_ratio"] for row in rows])
+    return {
+        "experiment": "analysis",
+        "rows": rows,
+        "geomean_bound_over_observed_before": round(before, 3),
+        "geomean_bound_over_observed_after": round(after, 3),
+        "improvement": round(before / after, 3),
+    }
+
+
+def test_tightened_bounds_dominate_and_improve(bench_db):
+    """The acceptance gate: soundness everywhere, >= 2x geo-mean gain."""
+    summary = analysis_summary(bench_db)
+    for row in summary["rows"]:
+        assert row["observed_steps"] <= row["tightened_bound"], row
+        assert row["tightened_bound"] <= row["base_bound"], row
+    assert summary["improvement"] >= 2.0, summary
+
+
+def main(argv):
+    out = None
+    args = list(argv[1:])
+    index = 0
+    while index < len(args):
+        if args[index] == "--out":
+            index += 1
+            out = args[index]
+        else:
+            raise SystemExit(f"unknown argument: {args[index]}")
+        index += 1
+    db = random_database([2, 2], [8, 6], universe_size=5, seed=101)
+    payload = analysis_summary(db)
+    out_path = os.path.abspath(
+        out
+        or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_analysis.json",
+        )
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in payload["rows"]:
+        print(
+            f"{row['plan']:>10} observed {row['observed_steps']} "
+            f"bound {row['base_bound']} -> {row['tightened_bound']} "
+            f"(ratio {row['base_ratio']} -> {row['tightened_ratio']})"
+        )
+    print(
+        f"geo-mean bound/observed "
+        f"{payload['geomean_bound_over_observed_before']} -> "
+        f"{payload['geomean_bound_over_observed_after']} "
+        f"({payload['improvement']}x tighter)"
+    )
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv)

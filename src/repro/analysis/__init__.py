@@ -12,6 +12,17 @@ Entry points: :func:`analyze` / :func:`analyze_term` /
 ``Catalog.register_query`` (which refuses plans whose report has errors).
 """
 
+from repro.analysis.absint import (
+    AbstractFacts,
+    Interval,
+    ScanSite,
+    abstract_fixpoint_facts,
+    abstract_term_facts,
+    demanded_occurrences,
+    let_liveness,
+    tighten_fixpoint_profile,
+    tighten_term_profile,
+)
 from repro.analysis.analyzer import (
     FIXPOINT_TOWER_ORDER,
     analyze,
@@ -19,6 +30,7 @@ from repro.analysis.analyzer import (
     analyze_term,
     fuel_budget,
 )
+from repro.analysis.simplify import SimplificationOutcome, simplify_term
 from repro.analysis.cost import (
     DEFAULT_COEFFICIENT,
     CostProfile,
@@ -44,6 +56,7 @@ from repro.analysis.corpus import (
 )
 
 __all__ = [
+    "AbstractFacts",
     "AnalysisReport",
     "CODES",
     "CodeInfo",
@@ -53,17 +66,27 @@ __all__ = [
     "DatabaseStats",
     "Diagnostic",
     "FIXPOINT_TOWER_ORDER",
+    "Interval",
     "LintTarget",
+    "ScanSite",
     "Severity",
+    "SimplificationOutcome",
+    "abstract_fixpoint_facts",
+    "abstract_term_facts",
     "analyze",
     "analyze_fixpoint",
     "analyze_term",
     "collect_lam_files",
+    "demanded_occurrences",
     "fixpoint_cost_profile",
     "fuel_budget",
+    "let_liveness",
     "load_lam_file",
     "load_lam_source",
     "operator_library_targets",
     "render_reports_json",
+    "simplify_term",
     "term_cost_profile",
+    "tighten_fixpoint_profile",
+    "tighten_term_profile",
 ]

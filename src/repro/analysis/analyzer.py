@@ -65,11 +65,93 @@ def analyze_term(
     if typing is not None:
         input_count = len(signature.inputs) if signature is not None else None
         output_arity = signature.output if signature is not None else 0
+        events: list = []
         report.cost = term_cost_profile(
-            term, input_count=input_count, output_arity=output_arity
+            term,
+            input_count=input_count,
+            output_arity=output_arity,
+            events=events,
         )
+        for _tag, message in events:
+            report.add("TLI022", message)
+
+        effective = _simplify_pass(term, report)
+        _absint_pass(effective, report, input_count=input_count)
         _certify_cost(report, stats=stats, default_fuel=default_fuel)
+        if signature is not None:
+            _distribution_pass(report, effective, signature)
     return report
+
+
+def _simplify_pass(term: Term, report: AnalysisReport) -> Term:
+    """Run the plan simplifier; returns the plan the runtime should
+    evaluate (the simplified one when any rewrite applied)."""
+    from repro.analysis.simplify import simplify_term
+
+    outcome = simplify_term(term)
+    if outcome.skipped is not None:
+        report.add("TLI022", outcome.skipped)
+        return term
+    if outcome.dead_bindings:
+        names = ", ".join(outcome.dead_bindings)
+        report.add(
+            "TLI019",
+            f"eliminated dead let-binding(s) {names}: never demanded by "
+            "the liveness dataflow; the simplified plan skips their "
+            "let-steps entirely",
+        )
+    if outcome.changed:
+        report.simplified = outcome.term
+    return outcome.term if outcome.changed else term
+
+
+def _absint_pass(
+    term: Term,
+    report: AnalysisReport,
+    *,
+    input_count: Optional[int],
+) -> None:
+    """Run the abstract interpreter; adopt a tightened profile (TLI020)."""
+    from repro.analysis.absint import tighten_term_profile
+
+    if report.cost is None:
+        return
+    tightened, facts = tighten_term_profile(
+        term, base=report.cost, input_count=input_count
+    )
+    report.facts = facts.as_dict()
+    if tightened is not None:
+        report.tightened_cost = tightened
+        report.add(
+            "TLI020",
+            f"abstract interpretation tightened the cost certificate: "
+            f"{report.cost.describe()} -> {tightened.describe()} "
+            f"({len(facts.scan_sites)} scan site(s), loop-entry degree "
+            f"{facts.scan_degree})",
+        )
+
+
+def _distribution_pass(
+    report: AnalysisReport,
+    term: Term,
+    signature: "QueryArity",
+) -> None:
+    """Classify the plan for sharded execution (TLI017/TLI018) and note
+    when the per-shard fuel split rides the tightened certificate
+    (TLI021)."""
+    # Imported lazily: the shard planner imports this module.
+    from repro.shard.planner import plan_term_distribution
+
+    plan = plan_term_distribution(term, signature)
+    report.add(plan.code, f"[{plan.mode}] {plan.reason}")
+    if plan.distributable and report.tightened_cost is not None:
+        report.add(
+            "TLI021",
+            "per-shard fuel budgets derive from the tightened "
+            f"certificate {report.tightened_cost.describe()} instantiated "
+            "at each shard's statistics (instead of the syntactic "
+            f"envelope {report.cost.describe()})",
+        )
 
 
 def analyze_fixpoint(
@@ -106,7 +188,36 @@ def analyze_fixpoint(
     if compiled is None:
         compiled = build_fixpoint_query(query)
     report.cost = fixpoint_cost_profile(query, compiled)
+
+    from repro.analysis.absint import (
+        abstract_fixpoint_facts,
+        tighten_fixpoint_profile,
+    )
+
+    report.facts = abstract_fixpoint_facts(query).as_dict()
+    report.tightened_cost = tighten_fixpoint_profile(report.cost)
+    report.add(
+        "TLI020",
+        "abstract interpretation capped the crank's stage multiplier by "
+        f"the domain: {report.cost.describe()} -> "
+        f"{report.tightened_cost.describe()} (the inflationary crank "
+        f"runs at most |D|^{query.output_arity} stages)",
+    )
     _certify_cost(report, stats=stats, default_fuel=default_fuel)
+
+    # Imported lazily: the shard planner imports this module.
+    from repro.shard.planner import plan_fixpoint_distribution
+
+    plan = plan_fixpoint_distribution(query)
+    report.add(plan.code, f"[{plan.mode}] {plan.reason}")
+    if plan.distributable:
+        report.add(
+            "TLI021",
+            "per-shard fuel budgets derive from the tightened "
+            f"certificate {report.tightened_cost.describe()} instantiated "
+            "at each shard's statistics (instead of the syntactic "
+            f"envelope {report.cost.describe()})",
+        )
     return report
 
 
@@ -158,16 +269,19 @@ def _certify_cost(
             f"{profile.bound(stats)} steps"
         )
     report.add("TLI010", message)
+    # Fuel derivation rides the tightened certificate when one was
+    # adopted, so the headroom check does too.
+    effective = report.tightened_cost or profile
     if (
         stats is not None
         and default_fuel is not None
-        and profile.bound(stats) > default_fuel
+        and effective.bound(stats) > default_fuel
     ):
         report.add(
             "TLI011",
-            f"static cost bound {profile.bound(stats)} exceeds the default "
-            f"fuel budget {default_fuel}; requests against a database this "
-            f"size need a derived or explicit budget",
+            f"static cost bound {effective.bound(stats)} exceeds the "
+            f"default fuel budget {default_fuel}; requests against a "
+            f"database this size need a derived or explicit budget",
         )
 
 

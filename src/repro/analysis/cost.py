@@ -48,9 +48,15 @@ from repro.lam.terms import Abs, App, Let, Term, Var, term_size
 DEFAULT_COEFFICIENT = 16
 
 #: Let-expansion guard: beyond this many nodes the expansion is abandoned
-#: and occurrences are counted on the shared form (plus the let count, so
-#: reuse through a binding still raises the degree).
+#: and occurrences come from the liveness dataflow of
+#: :func:`repro.analysis.absint.demanded_occurrences` instead (same count,
+#: computed without materializing the expansion); the event is surfaced to
+#: the analyzer as a TLI022 diagnostic.
 _EXPANSION_CAP = 200_000
+
+#: Event tag recorded on the ``events`` out-parameter of
+#: :func:`term_cost_profile` when the expansion guard trips.
+EXPANSION_GUARD_EVENT = "expansion-guard"
 
 
 @dataclass(frozen=True)
@@ -99,12 +105,20 @@ class CostProfile:
     degree: int          # scan degree (see module docstring)
     stage_arity: int     # fixpoint output arity k; 0 for term plans
     coefficient: int = DEFAULT_COEFFICIENT
+    #: Fixpoint stage multiplier: "atoms" charges the syntactic
+    #: ``(N+2)^k``; "domain" the abstract-interpretation cap ``D^k + 2``
+    #: (the inflationary crank runs at most ``|D|^k`` stages plus the
+    #: initial and convergence ones, and ``D^k + 2 <= (N+2)^k`` always).
+    stage_cap: str = "atoms"
 
     def bound(self, stats: DatabaseStats) -> int:
         base = stats.atoms + 2
         if self.kind == "fixpoint":
             k = self.stage_arity
-            stages = base ** k
+            if self.stage_cap == "domain":
+                stages = stats.domain ** k + 2
+            else:
+                stages = base ** k
             stage_atoms = stats.atoms + k * (max(stats.domain, 1) ** k) + 2
             per_stage = self.size * stage_atoms ** self.degree
             return self.coefficient * stages * per_stage
@@ -112,8 +126,12 @@ class CostProfile:
 
     def describe(self) -> str:
         if self.kind == "fixpoint":
+            if self.stage_cap == "domain":
+                stages = f"(D^{self.stage_arity}+2)"
+            else:
+                stages = f"(N+2)^{self.stage_arity}"
             return (
-                f"{self.coefficient}·{self.size}·(N+2)^{self.stage_arity}"
+                f"{self.coefficient}·{self.size}·{stages}"
                 f"·(N+k·D^k+2)^{self.degree}"
             )
         return f"{self.coefficient}·{self.size}·(N+2)^{self.degree}"
@@ -125,6 +143,7 @@ class CostProfile:
             "degree": self.degree,
             "stage_arity": self.stage_arity,
             "coefficient": self.coefficient,
+            "stage_cap": self.stage_cap,
             "formula": self.describe(),
         }
 
@@ -173,20 +192,29 @@ def term_cost_profile(
     input_count: Optional[int] = None,
     output_arity: int = 0,
     coefficient: int = DEFAULT_COEFFICIENT,
+    events: Optional[list] = None,
 ) -> CostProfile:
     """The cost profile of a term plan ``λR1 ... λRl. body``.
 
     ``input_count`` fixes how many leading binders are database inputs;
     by default the whole binder prefix is (which matches how the engines
     apply a plan to every encoded relation of the database).
+
+    ``events``, when given, collects ``(tag, message)`` pairs for
+    noteworthy estimation events — currently only
+    :data:`EXPANSION_GUARD_EVENT`, recorded when the let-expansion guard
+    trips and the occurrence count comes from the liveness dataflow
+    instead of the materialized expansion.
     """
     names, counted_on = _strip_binders(term, input_count)
     lets = _count_lets(counted_on)
+    occurrences: Optional[int] = None
     if lets:
         from repro.lam.terms import expand_lets
 
         # Reuse through a let multiplies scans; expand when affordable so
         # the occurrence count sees every copy.
+        expanded = None
         if term_size(counted_on) <= _EXPANSION_CAP:
             try:
                 expanded = expand_lets(counted_on)
@@ -194,12 +222,32 @@ def term_cost_profile(
                 expanded = None
             if (
                 expanded is not None
-                and term_size(expanded) <= _EXPANSION_CAP
+                and term_size(expanded) > _EXPANSION_CAP
             ):
-                counted_on = expanded
-                lets = 0
+                expanded = None
+        if expanded is not None:
+            counted_on = expanded
+        else:
+            # Guard tripped: the backward multiplicity dataflow computes
+            # the same count the expansion would, without materializing
+            # it.  Surfaced so the analyzer can report TLI022.
+            from repro.analysis.absint import demanded_occurrences
 
-    occurrences = _free_occurrences(counted_on, names) + lets
+            occurrences = demanded_occurrences(counted_on, names)
+            if events is not None:
+                events.append(
+                    (
+                        EXPANSION_GUARD_EVENT,
+                        "let-expansion guard tripped "
+                        f"({term_size(counted_on)} nodes > "
+                        f"{_EXPANSION_CAP}); occurrence count "
+                        f"({occurrences}) derived by liveness dataflow "
+                        "instead of expansion",
+                    )
+                )
+
+    if occurrences is None:
+        occurrences = _free_occurrences(counted_on, names)
     degree = max(occurrences, output_arity)
     return CostProfile(
         kind="term",

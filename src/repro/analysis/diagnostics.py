@@ -188,6 +188,44 @@ CODES: Dict[str, CodeInfo] = {
             "whole database (active domain, tuple order), so shards "
             "cannot evaluate it independently; it runs in-process.",
         ),
+        CodeInfo(
+            "TLI019",
+            "dead subplan eliminated",
+            Severity.INFO,
+            "A let-binding is never demanded by its body (liveness "
+            "dataflow), so the simplifier removed it; the plan pays one "
+            "less let-step per evaluation and the registered simplified "
+            "plan no longer contains the subterm.",
+        ),
+        CodeInfo(
+            "TLI020",
+            "tightened cost certificate",
+            Severity.INFO,
+            "Abstract interpretation over the plan's data-independent "
+            "normal form produced a sharper cost polynomial than the "
+            "syntactic occurrence count; the message carries the "
+            "before/after formulas and the runtime derives fuel from "
+            "the tightened one.",
+        ),
+        CodeInfo(
+            "TLI021",
+            "cardinality-refined shard fuel split",
+            Severity.INFO,
+            "The plan is shard-distributable and carries a tightened "
+            "cost certificate, so the shard planner's per-shard fuel "
+            "budgets are derived from the abstract cardinality facts "
+            "instead of the loose syntactic envelope.",
+        ),
+        CodeInfo(
+            "TLI022",
+            "analysis guard: simplification or expansion skipped",
+            Severity.WARNING,
+            "A size guard stopped an analysis transformation: either "
+            "the plan simplifier skipped a plan too large to rewrite, "
+            "or the cost estimator's let-expansion guard tripped and "
+            "the occurrence count came from the liveness dataflow "
+            "instead of the materialized expansion.",
+        ),
     )
 }
 
@@ -270,6 +308,14 @@ class AnalysisReport:
     order: Optional[int] = None
     fragment: Optional[str] = None
     cost: Optional["CostProfile"] = None  # noqa: F821 - see analysis.cost
+    #: The absint-tightened profile, when adopted (TLI020); the syntactic
+    #: profile in ``cost`` is kept for comparison and cache continuity.
+    tightened_cost: Optional["CostProfile"] = None  # noqa: F821
+    #: The simplified plan, when the simplifier changed it (TLI019 etc.);
+    #: the runtime evaluates this one.
+    simplified: Optional[Term] = None
+    #: Abstract facts (``AbstractFacts.as_dict()``) for ``lint --analyze``.
+    facts: Optional[dict] = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -331,6 +377,13 @@ class AnalysisReport:
             "order": self.order,
             "fragment": self.fragment,
             "cost": self.cost.as_dict() if self.cost is not None else None,
+            "tightened_cost": (
+                self.tightened_cost.as_dict()
+                if self.tightened_cost is not None
+                else None
+            ),
+            "simplified": self.simplified is not None,
+            "facts": self.facts,
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
             "diagnostics": [d.as_dict() for d in self.diagnostics],
@@ -345,6 +398,8 @@ class AnalysisReport:
             facts.append(f"order {self.order}{fragment}")
         if self.cost is not None:
             facts.append(f"cost {self.cost.describe()}")
+        if self.tightened_cost is not None:
+            facts.append(f"tightened {self.tightened_cost.describe()}")
         status = "ok" if self.ok else "FAIL"
         lines = [f"{headline}: {status}"
                  + (f" — {', '.join(facts)}" if facts else "")]

@@ -1,0 +1,271 @@
+"""Registration-time plan simplifier (driven by the absint liveness facts).
+
+Three rewrites, all meaning-preserving under the call-by-need NBE
+semantics (``let x = M in N  ==  N[x := M]`` in a pure calculus) and all
+differentially verified against the NBE oracle in the test suite:
+
+* **Dead-binding elimination** — a ``let`` whose body never demands the
+  binding (zero occurrences under the multiplicity dataflow of
+  :func:`repro.analysis.absint.demanded_occurrences`) evaluates its
+  ``let``-step every run for nothing; drop it.  Surfaced as TLI019.
+
+* **Occurrence-reducing let-inlining** — a binding demanded exactly once,
+  or bound to a trivial payload (a variable or constant), is inlined:
+  this removes a ``let`` step per evaluation without duplicating work.
+
+* **Duplicate-subterm let-factoring** — a subterm repeated verbatim
+  whose free variables are all prefix binders (never rebound in the
+  body) is hoisted into a fresh ``let`` under the plan's binder prefix,
+  so call-by-need evaluates it once instead of ``count`` times.  Applied
+  only when it shrinks the plan (the repeats must outweigh the new
+  binding).
+
+A size guard skips plans too large to rewrite safely; the skip is
+surfaced as TLI022 rather than silently returning the plan unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.absint import demanded_occurrences
+from repro.lam.subst import substitute
+from repro.lam.terms import (
+    Abs,
+    App,
+    Const,
+    EqConst,
+    Let,
+    Term,
+    Var,
+    all_vars,
+    bound_vars,
+    free_vars,
+    subterms,
+    term_size,
+)
+
+#: Plans beyond this size are not rewritten (TLI022).
+SIMPLIFY_SIZE_CAP = 50_000
+
+#: Bounded rewrite rounds (each round is already a fixpoint-ish sweep;
+#: the bound only guards against pathological interactions).
+_MAX_ROUNDS = 8
+
+#: Closed subterms smaller than this are not worth a let of their own.
+_FACTOR_MIN_SIZE = 12
+
+
+@dataclass
+class SimplificationOutcome:
+    """What the simplifier did to one plan."""
+
+    term: Term
+    changed: bool = False
+    dead_bindings: Tuple[str, ...] = ()
+    inlined: Tuple[str, ...] = ()
+    factored: Tuple[str, ...] = ()
+    skipped: Optional[str] = None   # guard reason; term is the original
+
+    def as_dict(self) -> dict:
+        return {
+            "changed": self.changed,
+            "dead_bindings": list(self.dead_bindings),
+            "inlined": list(self.inlined),
+            "factored": list(self.factored),
+            "skipped": self.skipped,
+        }
+
+
+@dataclass
+class _Log:
+    dead: List[str] = field(default_factory=list)
+    inlined: List[str] = field(default_factory=list)
+    factored: List[str] = field(default_factory=list)
+
+
+def _is_trivial(term: Term) -> bool:
+    return isinstance(term, (Var, Const, EqConst))
+
+
+def _occurs_under_binder(term: Term, name: str) -> bool:
+    """Does ``name`` occur free inside an ``Abs`` within ``term``?
+
+    A let binding is shared across every call of an enclosing lambda;
+    inlining a payload into a lambda body would re-evaluate it per call,
+    so single-use inlining is restricted to occurrences outside binders.
+    """
+    stack: List[Tuple[Term, bool]] = [(term, False)]
+    while stack:
+        node, inside = stack.pop()
+        if isinstance(node, Var):
+            if inside and node.name == name:
+                return True
+        elif isinstance(node, Abs):
+            if node.var != name:
+                stack.append((node.body, True))
+        elif isinstance(node, App):
+            stack.append((node.fn, inside))
+            stack.append((node.arg, inside))
+        elif isinstance(node, Let):
+            stack.append((node.bound, inside))
+            if node.var != name:
+                stack.append((node.body, inside))
+    return False
+
+
+def _let_pass(term: Term, log: _Log) -> Term:
+    """One bottom-up sweep of dead-elimination and inlining."""
+    if isinstance(term, Abs):
+        body = _let_pass(term.body, log)
+        if body is term.body:
+            return term
+        return Abs(term.var, body, term.annotation)
+    if isinstance(term, App):
+        fn = _let_pass(term.fn, log)
+        arg = _let_pass(term.arg, log)
+        if fn is term.fn and arg is term.arg:
+            return term
+        return App(fn, arg)
+    if isinstance(term, Let):
+        bound = _let_pass(term.bound, log)
+        body = _let_pass(term.body, log)
+        uses = demanded_occurrences(body, (term.var,))
+        if uses == 0:
+            log.dead.append(term.var)
+            return body
+        if _is_trivial(bound) or (
+            uses == 1 and not _occurs_under_binder(body, term.var)
+        ):
+            log.inlined.append(term.var)
+            return substitute(body, term.var, bound)
+        if bound is term.bound and body is term.body:
+            return term
+        return Let(term.var, bound, body)
+    return term
+
+
+def _shared_duplicates(body: Term, allowed: frozenset) -> Optional[Term]:
+    """The most profitable subterm of ``body`` repeated at least twice and
+    safe to hoist under the binder prefix, or ``None``.
+
+    Safe means: every free variable of the candidate is a prefix binder
+    (``allowed``) that is never rebound inside ``body`` — then every
+    occurrence refers to the same bindings and a single shared ``let``
+    preserves meaning.  Equality is literal/structural, so alpha-variant
+    duplicates are missed (acceptable: the compilers emit repeats
+    verbatim)."""
+    shadowed = bound_vars(body)
+    counts: Dict[Term, int] = {}
+    sizes: Dict[Term, int] = {}
+    for node in subterms(body):
+        if isinstance(node, (Var, Const, EqConst)):
+            continue
+        size = term_size(node)
+        if size < _FACTOR_MIN_SIZE:
+            continue
+        counts[node] = counts.get(node, 0) + 1
+        sizes[node] = size
+    best: Optional[Term] = None
+    best_gain = 0
+    for node, count in counts.items():
+        if count < 2:
+            continue
+        free = free_vars(node)
+        if not free <= allowed or free & shadowed:
+            continue
+        # count copies (count*size nodes) become count vars plus one
+        # let-bound copy (count + 1 + size nodes); require a real gain.
+        gain = (count - 1) * sizes[node] - count - 1
+        if gain > best_gain:
+            best, best_gain = node, gain
+    return best
+
+
+def _replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
+    if term == target:
+        return replacement
+    if isinstance(term, Abs):
+        body = _replace_subterm(term.body, target, replacement)
+        if body is term.body:
+            return term
+        return Abs(term.var, body, term.annotation)
+    if isinstance(term, App):
+        fn = _replace_subterm(term.fn, target, replacement)
+        arg = _replace_subterm(term.arg, target, replacement)
+        if fn is term.fn and arg is term.arg:
+            return term
+        return App(fn, arg)
+    if isinstance(term, Let):
+        bound = _replace_subterm(term.bound, target, replacement)
+        body = _replace_subterm(term.body, target, replacement)
+        if bound is term.bound and body is term.body:
+            return term
+        return Let(term.var, bound, body)
+    return term
+
+
+def _fresh_name(term: Term, base: str = "shared") -> str:
+    taken = all_vars(term)
+    if base not in taken:
+        return base
+    index = 0
+    while f"{base}{index}" in taken:
+        index += 1
+    return f"{base}{index}"
+
+
+def _factor_pass(term: Term, log: _Log) -> Term:
+    """Hoist one repeated closed subterm under the binder prefix."""
+    prefix: List[Abs] = []
+    body = term
+    while isinstance(body, Abs):
+        prefix.append(body)
+        body = body.body
+    allowed = frozenset(binder.var for binder in prefix)
+    target = _shared_duplicates(body, allowed)
+    if target is None:
+        return term
+    name = _fresh_name(term)
+    replaced = _replace_subterm(body, target, Var(name))
+    rebuilt: Term = Let(name, target, replaced)
+    for binder in reversed(prefix):
+        rebuilt = Abs(binder.var, rebuilt, binder.annotation)
+    if term_size(rebuilt) >= term_size(term):
+        return term
+    log.factored.append(name)
+    return rebuilt
+
+
+def simplify_term(term: Term) -> SimplificationOutcome:
+    """Simplify one term plan; never changes its meaning.
+
+    Returns the original term (with ``skipped`` set) when the size guard
+    trips — the caller surfaces that as TLI022 instead of the old silent
+    behavior.
+    """
+    size = term_size(term)
+    if size > SIMPLIFY_SIZE_CAP:
+        return SimplificationOutcome(
+            term=term,
+            skipped=(
+                f"plan has {size} nodes, beyond the simplifier guard "
+                f"({SIMPLIFY_SIZE_CAP})"
+            ),
+        )
+    log = _Log()
+    current = term
+    for _ in range(_MAX_ROUNDS):
+        previous = current
+        current = _let_pass(current, log)
+        current = _factor_pass(current, log)
+        if current is previous or current == previous:
+            break
+    return SimplificationOutcome(
+        term=current,
+        changed=current != term,
+        dead_bindings=tuple(log.dead),
+        inlined=tuple(log.inlined),
+        factored=tuple(log.factored),
+    )

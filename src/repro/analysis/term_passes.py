@@ -9,7 +9,7 @@ query and registering it can never disagree.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.diagnostics import AnalysisReport, describe_path
 from repro.errors import TypeInferenceError
@@ -20,7 +20,6 @@ from repro.lam.terms import (
     EqConst,
     Let,
     Term,
-    Var,
     binder_prefix,
     free_vars,
     spine,

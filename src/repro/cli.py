@@ -395,6 +395,8 @@ def cmd_lint(args) -> int:
         ok = not blocking and not missing
         failures += 0 if ok else 1
         lines.append(report.render(verbose=args.verbose))
+        if args.analyze:
+            lines.extend(_render_abstract_facts(report))
         if missing:
             lines.append(
                 f"  expected diagnostic(s) did not fire: {', '.join(missing)}"
@@ -412,6 +414,54 @@ def cmd_lint(args) -> int:
             f"{' (strict)' if args.strict else ''}"
         )
     return 1 if failures else 0
+
+
+def _render_abstract_facts(report) -> list:
+    """The ``repro lint --analyze`` fact block for one report."""
+    facts = report.facts
+    if facts is None:
+        return ["  (no abstract facts: plan did not reach the absint pass)"]
+    out = []
+    if facts.get("fallback"):
+        out.append(f"  absint fell back: {facts['fallback']}")
+    else:
+        for name, interval in sorted(
+            (facts.get("input_scans") or {}).items()
+        ):
+            depths = sorted(
+                site["depth"]
+                for site in facts.get("scan_sites", ())
+                if site["input"] == name
+            )
+            out.append(
+                f"  input {name}: scan sites in "
+                f"[{interval['lo']}, {interval['hi']}]"
+                + (f" at depths {depths}" if depths else "")
+            )
+        if facts.get("kind") == "term":
+            out.append(
+                f"  loop-entry degree {facts.get('scan_degree', 0)}, "
+                f"output rows <= {facts.get('emit_sites', 0)}"
+                f"*T^{facts.get('emit_degree', 0)}"
+            )
+        stage = facts.get("stage_interval")
+        if stage is not None:
+            hi = stage["hi"] if stage["hi"] is not None else "|D|^k"
+            out.append(f"  fixpoint stages in [{stage['lo']}, {hi}]")
+        if facts.get("let_bindings"):
+            dead = facts.get("dead_bindings") or []
+            out.append(
+                f"  {facts['let_bindings']} let binding(s)"
+                + (f", dead: {', '.join(dead)}" if dead else "")
+            )
+    if report.tightened_cost is not None and report.cost is not None:
+        out.append(
+            f"  cost {report.cost.describe()} -> tightened "
+            f"{report.tightened_cost.describe()}"
+        )
+    elif report.cost is not None:
+        out.append(f"  cost {report.cost.describe()} (not tightened)")
+    return out
 
 
 def _load_batch_requests(path: str, service, constants):
@@ -952,6 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable report")
     p.add_argument("--verbose", action="store_true",
                    help="include info-level certificates in text output")
+    p.add_argument("--analyze", action="store_true",
+                   help="show the abstract-interpretation facts per plan "
+                        "(scan sites, per-input scan intervals, "
+                        "cardinality, tightened cost)")
     p.set_defaults(handler=cmd_lint)
 
     p = commands.add_parser(

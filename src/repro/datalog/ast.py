@@ -9,7 +9,7 @@ literal) is checked at construction time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.errors import SchemaError
 

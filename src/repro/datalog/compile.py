@@ -18,11 +18,11 @@ of :mod:`repro.datalog.engine`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.datalog.ast import Literal, Program, RConst, RVar, Rule
 from repro.errors import QueryTermError, SchemaError
-from repro.queries.fixpoint import FIX_NAME, FixpointQuery, fix
+from repro.queries.fixpoint import FixpointQuery, fix
 from repro.relalg.ast import (
     Base,
     ColumnEqualsColumn,
@@ -131,7 +131,6 @@ def run_multi_idb_via_fixpoint(program: Program, database, tags=None, pad=None):
     fixed constants for a data-independent query term).  Raises
     :class:`SchemaError` when the domain is too small to host the tags.
     """
-    from repro.errors import EvaluationError
     from repro.eval.ptime import run_fixpoint_query
 
     idb_schema = program.idb_schema()

@@ -20,11 +20,10 @@ each round (used by the ablation benchmark).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.ast import Literal, Program, RConst, Rule, RVar
+from repro.datalog.ast import Literal, Program, RConst, Rule
 from repro.datalog.stratify import stratify
 from repro.db.relations import Database, Relation
 from repro.errors import EvaluationError

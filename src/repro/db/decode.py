@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro.db.relations import Relation, TupleValue
 from repro.errors import DecodeError
-from repro.lam.terms import Abs, App, Const, Term, Var, spine
+from repro.lam.terms import Abs, Const, Term, Var, spine
 
 
 @dataclass(frozen=True)

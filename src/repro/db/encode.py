@@ -16,8 +16,8 @@ from typing import List, Optional
 
 from repro.db.relations import Database, Relation
 from repro.errors import EncodingError
-from repro.lam.terms import Abs, App, Const, Term, Var, app, lam
-from repro.types.types import Type, relation_type, tuple_consumer_type
+from repro.lam.terms import Const, Term, Var, app, lam
+from repro.types.types import Type, tuple_consumer_type
 from repro.types.types import G as TYPE_G
 
 

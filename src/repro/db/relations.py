@@ -13,7 +13,7 @@ Constants are strings (see :mod:`repro.naming`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
 from repro.errors import SchemaError

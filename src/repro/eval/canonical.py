@@ -54,9 +54,6 @@ from repro.queries.language import QueryArity
 from repro.types.infer import infer
 from repro.types.order import ground
 from repro.types.types import (
-    Arrow,
-    BaseG,
-    BaseO,
     Type,
     TypeVar,
     arrow_parts,

@@ -34,11 +34,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Sequence, Tuple
 
 from repro.db.relations import Database, Relation
 from repro.errors import EvaluationError
-from repro.eval.canonical import CanonicalQuery, canonical_query
+from repro.eval.canonical import canonical_query
 from repro.eval.structure import (
     AnalyzedQuery,
     ConsIR,
@@ -71,7 +71,6 @@ from repro.folog.formulas import (
     and_all,
     exists_many,
     forall_many,
-    formula_constants,
 )
 from repro.lam.terms import Term
 from repro.queries.language import QueryArity

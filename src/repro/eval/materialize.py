@@ -20,11 +20,11 @@ reduction produces — the test suite asserts this on small instances.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Optional
 
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_relation
-from repro.db.relations import Database, Relation
+from repro.db.relations import Database
 from repro.errors import SchemaError
 from repro.eval.driver import QueryRun
 from repro.lam.nbe import nbe_normalize_counted

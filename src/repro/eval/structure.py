@@ -25,12 +25,11 @@ in :mod:`repro.eval.fo_translation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import List, Tuple, Union
 
 from repro.errors import CanonicalFormError
 from repro.eval.canonical import CanonicalQuery
-from repro.lam.terms import Abs, App, Const, EqConst, Term, Var, spine
-from repro.types.types import BaseG, BaseO, Type
+from repro.lam.terms import Abs, Const, EqConst, Term, Var, spine
 
 
 # ---------------------------------------------------------------------------

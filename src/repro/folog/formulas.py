@@ -8,7 +8,7 @@ atoms ``Precedes_R(s̄; t̄)`` comparing two tuples of the input ``R``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple, Union
+from typing import FrozenSet, Tuple
 
 
 class FTerm:
@@ -95,9 +95,9 @@ class Precedes(Formula):
     right: Tuple[FTerm, ...]
 
     def __str__(self) -> str:
-        l = ", ".join(str(t) for t in self.left)
-        r = ", ".join(str(t) for t in self.right)
-        return f"Precedes_{self.relation}({l}; {r})"
+        lhs = ", ".join(str(t) for t in self.left)
+        rhs = ", ".join(str(t) for t in self.right)
+        return f"Precedes_{self.relation}({lhs}; {rhs})"
 
 
 @dataclass(frozen=True, slots=True)

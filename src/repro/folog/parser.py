@@ -26,7 +26,7 @@ Example:   ``exists y. R(x, y) & ~S(y, x) | x = 'alice'``
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Set
 
 from repro.errors import ParseError
 from repro.folog.formulas import (

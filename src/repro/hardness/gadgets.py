@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.lam.terms import Abs, Term, Var, app, lam, let
-from repro.types.types import Arrow, Type, TypeVar
+from repro.types.types import Arrow, Type
 from repro.types.unify import Substitution
 
 

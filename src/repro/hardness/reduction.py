@@ -27,10 +27,9 @@ reconstruction.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.hardness.sat import CNF
-from repro.lam.terms import Abs, Term, Var, app, lam, let
+from repro.lam.terms import Term, Var, app, lam, let
 
 
 def cnf_to_ml_term(cnf: CNF) -> Term:

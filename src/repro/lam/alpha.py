@@ -10,7 +10,7 @@ free variables are never alpha-equal.
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Tuple
 
 from repro.lam.terms import Abs, App, Const, EqConst, Let, Term, Var
 

@@ -8,9 +8,9 @@ and by Curry-style reconstruction).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
-from repro.lam.terms import Abs, App, Const, Term, Var, app, lam
+from repro.lam.terms import Abs, App, Term, Var, app, lam
 from repro.types.types import Arrow, Type, bool_type, int_type
 from repro.types.types import G as TYPE_G
 

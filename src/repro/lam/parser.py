@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from repro.errors import ParseError
 from repro.lam.terms import Abs, App, Let, Const, EqConst, Term, Var

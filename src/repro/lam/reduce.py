@@ -33,7 +33,7 @@ strategies can take exponentially many steps on TLI=1 queries).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.errors import FuelExhausted, ReductionError

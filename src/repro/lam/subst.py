@@ -8,7 +8,7 @@ variable) are alpha-renamed on the way down.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Tuple
 
 from repro.lam.terms import (
     Abs,

@@ -425,6 +425,7 @@ CORE_METRIC_NAMES = (
     "repro_cache_inflight_waits_total",
     "repro_engine_steps_total",
     "repro_steps_bound_ratio",
+    "repro_cost_tightening_ratio",
     "repro_slow_queries_total",
 )
 
@@ -467,6 +468,12 @@ def install_core_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
             "repro_steps_bound_ratio",
             "Observed steps / static cost bound, last evaluation per query "
             "(Theorem 5.1 says honest plans stay <= 1)",
+            labels=("query",),
+        ),
+        "tightening": registry.gauge(
+            "repro_cost_tightening_ratio",
+            "Absint-tightened bound / syntactic bound, last evaluation "
+            "per query (in (0, 1]; absent when no tightening applied)",
             labels=("query",),
         ),
         "slow_queries": registry.counter(

@@ -32,13 +32,13 @@ databases [28, 46]).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Tuple
 
-from repro.errors import QueryTermError, SchemaError
-from repro.lam.terms import Abs, Const, Term, Var, app, lam, let
+from repro.errors import QueryTermError
+from repro.lam.terms import Abs, Const, Term, Var, app, lam
 from repro.queries import operators as ops
 from repro.queries.relalg_compile import compile_ra
-from repro.relalg.ast import Base, RAExpr, Union, schema_with_derived
+from repro.relalg.ast import Base, RAExpr, Union
 
 #: The reserved relation name standing for the fixpoint variable in steps.
 FIX_NAME = "__FIX__"

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.errors import EvaluationError, SchemaError
+from repro.errors import EvaluationError
 from repro.folog.formulas import (
     And,
     Atom,
@@ -56,7 +56,6 @@ from repro.relalg.ast import (
     CondTrue,
     Condition,
     Difference,
-    Intersection,
     Product,
     Project,
     RAExpr,

@@ -17,19 +17,14 @@ the fixed ``g``), never ``o`` or an arrow.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-from repro.errors import (
-    QueryTermError,
-    ReductionError,
-    TypeInferenceError,
-)
+from repro.errors import QueryTermError, TypeInferenceError
 from repro.lam.terms import Abs, Term, binder_prefix
 from repro.types.ml import TypeScheme, ml_infer
 from repro.types.infer import infer
-from repro.types.types import Arrow, BaseG, BaseO, Type, TypeVar, relation_type
+from repro.types.types import BaseG, Type, TypeVar, relation_type
 from repro.types.unify import UnificationError
 
 
@@ -177,7 +172,7 @@ def recognize_mli(
 def _var_occurrence_paths(term, names):
     """Paths (child-index tuples) of free occurrences of the given
     variables — the same path scheme the inference engines record."""
-    from repro.lam.terms import Abs, App, Const, EqConst, Let, Var
+    from repro.lam.terms import Abs, App, Let, Var
 
     paths = []
 

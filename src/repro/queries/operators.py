@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import QueryTermError
-from repro.lam.terms import Abs, App, Const, EqConst, Term, Var, app, lam
+from repro.lam.terms import Const, EqConst, Term, Var, app, lam
 from repro.relalg.ast import (
     ColumnEqualsColumn,
     ColumnEqualsConst,
@@ -148,13 +148,13 @@ def difference_term(k: int) -> Term:
     return lam(["R", "S", "c", "n"], app(Var("R"), loop, Var("n")))
 
 
-def product_term(k: int, l: int) -> Term:
+def product_term(k: int, width: int) -> Term:
     """``Product_{k,l}`` (Appendix): Cartesian product by nested iteration:
 
         λR. λS. λc. λn. R (λx̄. λT. S (λȳ. λU. c x̄ ȳ U) T) n
     """
     xs = _tuple_vars("x", k)
-    ys = _tuple_vars("y", l)
+    ys = _tuple_vars("y", width)
     inner = lam(
         ys + ["U"],
         app(

@@ -122,7 +122,9 @@ def active_domain_expr_term(
         projection = ops.distinct_projection_term
         union = ops.distinct_union_term
     else:
-        projection = lambda arity, column: ops.project_term(arity, [column])
+        def projection(arity, column):
+            return ops.project_term(arity, [column])
+
         union = ops.union_term
     pieces = []
     for name in schema:

@@ -9,7 +9,7 @@ pipeline is what the theorem tests assert.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, Mapping
 
 from repro.db.relations import Database, Relation
 from repro.errors import SchemaError

@@ -120,6 +120,10 @@ class QueryEntry:
     signature: Optional[QueryArity] = None
     order: Optional[int] = None
     report: Optional[AnalysisReport] = None
+    #: The simplifier's output when it rewrote the plan (the runtime
+    #: evaluates this; ``term`` and ``digest`` stay on the original for
+    #: cache continuity and reference cross-checks).
+    simplified: Optional[Term] = None
 
     @property
     def output_arity(self) -> Optional[int]:
@@ -132,6 +136,20 @@ class QueryEntry:
     @property
     def cost(self) -> Optional[CostProfile]:
         return self.report.cost if self.report is not None else None
+
+    @property
+    def effective_cost(self) -> Optional[CostProfile]:
+        """The absint-tightened profile when adopted, else the syntactic
+        one — what fuel budgets and shard splits should use."""
+        if self.report is None:
+            return None
+        return self.report.tightened_cost or self.report.cost
+
+    @property
+    def plan_term(self) -> Term:
+        """The term the engines should evaluate (simplified when the
+        simplifier changed the plan)."""
+        return self.simplified if self.simplified is not None else self.term
 
     def summary(self) -> dict:
         report = self.report
@@ -149,6 +167,12 @@ class QueryEntry:
                 if report and report.cost is not None
                 else None
             ),
+            "tightened_cost": (
+                report.tightened_cost.describe()
+                if report and report.tightened_cost is not None
+                else None
+            ),
+            "simplified": self.simplified is not None,
             "warnings": (
                 [d.format() for d in report.warnings()] if report else []
             ),
@@ -279,6 +303,9 @@ class Catalog:
                 self._reject(name, report)
             order = report.order
         term = intern_term(query)
+        simplified: Optional[Term] = None
+        if report is not None and report.simplified is not None:
+            simplified = intern_term(report.simplified)
         chosen = validate_engine(engine) if engine else "nbe"
         return QueryEntry(
             name=name,
@@ -289,6 +316,7 @@ class Catalog:
             signature=signature,
             order=order,
             report=report,
+            simplified=simplified,
         )
 
     def _register_fixpoint(

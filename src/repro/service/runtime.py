@@ -246,7 +246,12 @@ class _ResolvedQuery:
     term: Optional[Term]
     fixpoint: Optional[FixpointQuery]
     output_arity: Optional[int]
+    #: The effective profile (absint-tightened when adopted): drives fuel
+    #: budgets, static bounds, and per-shard fuel splits.
     cost: Optional[CostProfile] = None
+    #: The syntactic profile, kept so the tightening ratio can be
+    #: reported when the two differ.
+    base_cost: Optional[CostProfile] = None
     signature: Optional[QueryArity] = None
 
 
@@ -416,10 +421,11 @@ class QueryService:
                 name=entry.name,
                 digest=entry.digest,
                 engine=engine,
-                term=entry.term,
+                term=entry.plan_term,
                 fixpoint=entry.fixpoint,
                 output_arity=entry.output_arity,
-                cost=entry.cost,
+                cost=entry.effective_cost,
+                base_cost=entry.cost,
                 signature=entry.signature,
             )
         if isinstance(query, FixpointQuery):
@@ -876,11 +882,13 @@ class QueryService:
         ratio the theorem bounds by 1 (summing shard steps against the
         full-database bound would double-count broadcast work)."""
         bound: Optional[int] = None
+        tightening: Optional[float] = None
         if resolved.cost is not None:
             stats = db_entry.stats
             if stats is None:
                 stats = DatabaseStats.of(db_entry.database)
             bound = resolved.cost.bound(stats)
+            tightening = self._note_tightening(resolved, stats)
         ratios = [
             row["bound_ratio"]
             for row in outcome.shard_rows
@@ -893,6 +901,7 @@ class QueryService:
             "steps": outcome.steps,
             "static_bound": bound,
             "bound_ratio": ratio,
+            "tightening_ratio": tightening,
             "shard": outcome.profile_dict(policy, shard_plan),
         }
 
@@ -921,19 +930,41 @@ class QueryService:
         ``repro_steps_bound_ratio`` gauge)."""
         profile = collector.profile.as_dict()
         bound: Optional[int] = None
+        tightening: Optional[float] = None
         if resolved.cost is not None:
             stats = db_entry.stats
             if stats is None:
                 stats = DatabaseStats.of(db_entry.database)
             bound = resolved.cost.bound(stats)
+            tightening = self._note_tightening(resolved, stats)
         ratio = bound_ratio(steps, bound)
         profile["static_bound"] = bound
         profile["bound_ratio"] = (
             round(ratio, 6) if ratio is not None else None
         )
+        profile["tightening_ratio"] = tightening
         if ratio is not None:
             self._metrics["bound_ratio"].set(ratio, query=resolved.name)
         return profile
+
+    def _note_tightening(
+        self, resolved: _ResolvedQuery, stats: DatabaseStats
+    ) -> Optional[float]:
+        """When the effective profile is a tightened one, report how much
+        sharper it is (tightened/syntactic bound, in (0, 1]) on the
+        ``repro_cost_tightening_ratio`` gauge."""
+        if (
+            resolved.cost is None
+            or resolved.base_cost is None
+            or resolved.cost == resolved.base_cost
+        ):
+            return None
+        base = resolved.base_cost.bound(stats)
+        if base <= 0:
+            return None
+        ratio = resolved.cost.bound(stats) / base
+        self._metrics["tightening"].set(ratio, query=resolved.name)
+        return round(ratio, 6)
 
     @staticmethod
     def _fuel_for(

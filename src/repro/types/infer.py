@@ -16,7 +16,7 @@ annotations are consistent.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import OrderBoundError, TypeInferenceError

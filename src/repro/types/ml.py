@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import OrderBoundError, TypeInferenceError
 from repro.lam.terms import (
@@ -38,7 +38,6 @@ from repro.lam.terms import (
     Var,
     expand_lets,
 )
-from repro.types.infer import infer
 from repro.types.order import ground, order
 from repro.types.types import Arrow, Type, TypeVar, eq_type
 from repro.types.types import O as TYPE_O

@@ -16,7 +16,7 @@ from ``BaseO``/``BaseG`` and arrows only (see :func:`repro.types.order.ground`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Tuple
 
 
 class Type:
@@ -61,7 +61,7 @@ class Arrow(Type):
 
 # Shared singletons — the classes are value-equal anyway, these just avoid
 # allocation churn in hot paths.
-O = BaseO()
+O = BaseO()  # noqa: E741 — the paper's base type is literally named O
 G = BaseG()
 
 

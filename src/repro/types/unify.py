@@ -12,7 +12,7 @@ even when their tree size is exponential.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict
 
 from repro.errors import UnificationError
 from repro.types.types import Arrow, BaseG, BaseO, Type, TypeVar
