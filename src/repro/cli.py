@@ -22,7 +22,10 @@ Commands:
   registry (JSON or Prometheus text exposition);
 * ``trace`` — serve one request with tracing enabled and print its span
   tree (resolve → cache → fuel → evaluate → decode, with the reduction
-  profiler's beta/delta/let/quote breakdown on the evaluation span).
+  profiler's beta/delta/let/quote breakdown on the evaluation span);
+* ``serve`` — serve the catalog over HTTP: the asyncio edge with bearer
+  auth, per-client rate limiting, fuel-denominated admission control,
+  ``/health`` + ``/metrics``, and graceful drain on SIGTERM.
 
 The database JSON format maps relation names to tuple lists, e.g.::
 
@@ -573,8 +576,11 @@ def cmd_stats(args) -> int:
         print(service.registry.render_prometheus(), end="")
         return 0
     if args.json:
+        from repro.obs.info import runtime_info
+
         payload = service.registry.as_dict()
         payload["service"] = service.stats()
+        payload["runtime"] = runtime_info()
         print(json.dumps(payload, indent=2))
         return 0
     stats = service.stats()
@@ -814,6 +820,50 @@ def cmd_shard(args) -> int:
         return 0 if sharded.ok and match is not False else 1
     finally:
         service.close()
+
+
+def cmd_serve(args) -> int:
+    """Serve the catalog over HTTP: the asyncio edge with auth, rate
+    limiting, fuel-denominated admission control, and graceful drain."""
+    import asyncio
+
+    from repro.http import QueryEdge, ServerConfig, render_listen_line
+
+    config = ServerConfig.from_env()
+    for option in (
+        "host", "port", "rate_limit", "rate_burst", "max_inflight_fuel",
+        "max_queue_fuel", "queue_timeout_s", "uncertified_fuel",
+        "retry_after_s", "workers", "drain_timeout_s", "request_timeout_s",
+    ):
+        value = getattr(args, option, None)
+        if value is not None:
+            setattr(config, option, value)
+    if args.token:
+        config.tokens = tuple(args.token)
+    config.validate()
+
+    service = _build_service(args)
+    edge = QueryEdge(service, config)
+    if not edge.auth.enabled and config.host not in (
+        "127.0.0.1", "localhost", "::1"
+    ):
+        print(
+            "warning: serving without bearer auth on a non-loopback "
+            "address; pass --token or set REPRO_HTTP_TOKENS",
+            file=sys.stderr,
+        )
+
+    def on_ready(started: "QueryEdge") -> None:
+        print(render_listen_line(started), flush=True)
+
+    try:
+        asyncio.run(edge.run(on_ready=on_ready))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        pass
+    finally:
+        service.close()
+    print("repro-edge drained; shard pool closed", flush=True)
+    return 0
 
 
 def cmd_encode(args) -> int:
@@ -1104,6 +1154,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-tuples", action="store_true",
                    help="omit result tuples from the output")
     p.set_defaults(handler=cmd_shard)
+
+    p = commands.add_parser(
+        "serve",
+        help="serve the catalog over HTTP (asyncio edge with admission "
+             "control and graceful drain)",
+    )
+    add_service_options(p)
+    p.add_argument("--host", default=None,
+                   help="bind address (default 127.0.0.1; env "
+                        "REPRO_HTTP_HOST)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port; 0 picks an ephemeral port "
+                        "(default 8080; env REPRO_HTTP_PORT)")
+    p.add_argument("--token", action="append", metavar="TOKEN",
+                   help="accept this bearer token (repeatable; none = "
+                        "open edge; env REPRO_HTTP_TOKENS=a,b)")
+    p.add_argument("--rate-limit", type=float, default=None, metavar="RPS",
+                   help="per-client sustained requests/second "
+                        "(<= 0 disables; default 50)")
+    p.add_argument("--rate-burst", type=int, default=None,
+                   help="per-client token-bucket burst (default 100)")
+    p.add_argument("--max-inflight-fuel", type=int, default=None,
+                   metavar="FUEL",
+                   help="certified fuel units allowed to execute "
+                        "concurrently (admission capacity)")
+    p.add_argument("--max-queue-fuel", type=int, default=None,
+                   metavar="FUEL",
+                   help="certified fuel units allowed to wait for "
+                        "capacity")
+    p.add_argument("--queue-timeout-s", type=float, default=None,
+                   help="max seconds a request may wait for admission")
+    p.add_argument("--uncertified-fuel", type=int, default=None,
+                   metavar="FUEL",
+                   help="fuel charged for plans without a cost "
+                        "certificate")
+    p.add_argument("--retry-after-s", type=int, default=None,
+                   help="Retry-After hint on 429/503 responses")
+    p.add_argument("--workers", type=int, default=None,
+                   help="service-execution thread pool size (default 8)")
+    p.add_argument("--drain-timeout-s", type=float, default=None,
+                   help="max seconds SIGTERM waits for in-flight "
+                        "requests")
+    p.add_argument("--request-timeout-s", type=float, default=None,
+                   help="default per-request deadline passed to the "
+                        "service")
+    p.set_defaults(handler=cmd_serve)
 
     p = commands.add_parser("encode", help="encode database relations")
     p.add_argument("--db", required=True)

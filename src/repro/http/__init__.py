@@ -1,0 +1,51 @@
+"""The network edge: certified TLI queries served over HTTP/1.1.
+
+A stdlib-asyncio front-end over the in-process
+:class:`~repro.service.runtime.QueryService` (PRs 2-6 built the stack;
+this package is what finally serves traffic).  What makes the edge more
+than a router is *certificate-aware admission control*: every registered
+plan carries a Theorem 5.1-style cost certificate, so capacity is
+accounted in certified fuel units and overload is rejected at the door
+(fast 429/503 + ``Retry-After``) instead of discovered by timeout.
+
+Public API::
+
+    from repro.http import QueryEdge, ServerConfig
+
+    edge = QueryEdge(service, ServerConfig(port=8080, tokens=("s3cret",)))
+    asyncio.run(edge.run())        # serves until SIGTERM, drains, returns
+
+or from the command line::
+
+    repro serve --db main=db.json --fixpoint tc=tc --port 8080
+
+See ``docs/http.md`` for endpoints, schemas, and semantics.
+"""
+
+from repro.http.admission import AdmissionController, AdmissionTicket
+from repro.http.auth import Authenticator
+from repro.http.config import ServerConfig
+from repro.http.ratelimit import RateLimiter
+from repro.http.schemas import (
+    ApiError,
+    HttpResponse,
+    QuerySpec,
+    parse_batch_body,
+    parse_query_body,
+)
+from repro.http.server import QueryEdge, render_listen_line
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionTicket",
+    "ApiError",
+    "Authenticator",
+    "HttpResponse",
+    "QueryEdge",
+    "QuerySpec",
+    "RateLimiter",
+    "ServerConfig",
+    "parse_batch_body",
+    "parse_query_body",
+    "render_listen_line",
+]

@@ -1,0 +1,202 @@
+"""Certificate-aware admission control: capacity accounted in fuel units.
+
+The classical edge problem — how much concurrent work to accept — is
+usually solved by guessing (max connections, max requests) and
+discovering overload by timeout.  This stack can do better: every
+registered plan carries a Theorem 5.1-style cost certificate (tightened
+by the abstract interpreter), so *before* a request runs we know an
+upper bound on the reduction steps it can consume against its target
+database.  Admission therefore prices requests in **certified fuel
+units** and keeps two budgets:
+
+* ``capacity`` — fuel that may be *executing* concurrently;
+* ``queue_capacity`` — fuel that may be *waiting* for capacity.
+
+A request whose certified fuel fits the free capacity is admitted
+immediately.  Otherwise it queues (FIFO) up to ``timeout_s``; a full
+queue or an expired wait is a fast, cheap rejection (429/503 with
+``Retry-After``) — overload is refused at the door in microseconds, not
+discovered by watching a deadline blow N seconds later.  A plan whose
+certified fuel exceeds the whole capacity can never run and is rejected
+outright.
+
+The controller is asyncio-native (one event loop); fairness is strict
+arrival order — a large request at the head of the queue blocks smaller
+later ones rather than being starved by them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.http.schemas import ApiError
+
+__all__ = ["AdmissionController", "AdmissionTicket"]
+
+#: Rejection reasons (the ``reason`` label of
+#: ``repro_http_rejected_fuel_total``).
+REASON_OVERSIZE = "oversize"
+REASON_QUEUE_FULL = "queue_full"
+REASON_TIMEOUT = "admission_timeout"
+REASON_DRAINING = "draining"
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission for one request; release exactly once."""
+
+    fuel: int
+    queued_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "certified_fuel": self.fuel,
+            "queued_ms": round(self.queued_ms, 3),
+        }
+
+
+class _Waiter:
+    __slots__ = ("fuel", "event")
+
+    def __init__(self, fuel: int) -> None:
+        self.fuel = fuel
+        self.event = asyncio.Event()
+
+
+class AdmissionController:
+    """Fuel-denominated admission with a bounded FIFO wait queue."""
+
+    def __init__(
+        self,
+        capacity: int,
+        queue_capacity: int,
+        timeout_s: float,
+        *,
+        retry_after_s: int = 1,
+    ) -> None:
+        self._capacity = capacity
+        self._queue_capacity = queue_capacity
+        self._timeout_s = timeout_s
+        self._retry_after_s = retry_after_s
+        self._inflight_fuel = 0
+        self._queue_fuel = 0
+        self._waiters: "OrderedDict[int, _Waiter]" = OrderedDict()
+        self._next_id = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def inflight_fuel(self) -> int:
+        return self._inflight_fuel
+
+    @property
+    def queue_fuel(self) -> int:
+        return self._queue_fuel
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "capacity_fuel": self._capacity,
+            "inflight_fuel": self._inflight_fuel,
+            "queue_fuel": self._queue_fuel,
+            "queue_depth": len(self._waiters),
+        }
+
+    # -- admission -----------------------------------------------------------
+
+    async def admit(self, fuel: int) -> AdmissionTicket:
+        """Admit ``fuel`` units or raise a retryable :class:`ApiError`.
+
+        Raises 429 ``over_capacity`` when the plan can never fit or the
+        queue is full, 503 ``admission_timeout`` when capacity did not
+        free up within the configured wait.
+        """
+        fuel = max(1, int(fuel))
+        if fuel > self._capacity:
+            raise ApiError(
+                429, "over_capacity",
+                f"certified cost {fuel} exceeds the edge's fuel capacity "
+                f"{self._capacity}; this plan cannot be admitted",
+                retry_after_s=None,
+            )
+        if self._admit_now(fuel):
+            return AdmissionTicket(fuel=fuel, queued_ms=0.0)
+        if self._queue_fuel + fuel > self._queue_capacity:
+            raise ApiError(
+                429, "over_capacity",
+                f"admission queue is full "
+                f"({self._queue_fuel}/{self._queue_capacity} fuel queued)",
+                retry_after_s=self._retry_after_s,
+            )
+        waiter = _Waiter(fuel)
+        token = self._next_id
+        self._next_id += 1
+        self._waiters[token] = waiter
+        self._queue_fuel += fuel
+        start = time.monotonic()
+        try:
+            await asyncio.wait_for(waiter.event.wait(), self._timeout_s)
+            admitted = True
+        except asyncio.TimeoutError:
+            # The event may have been set between _drain_queue admitting
+            # us and the timeout callback firing — that admission holds.
+            admitted = waiter.event.is_set()
+        except asyncio.CancelledError:
+            # Client went away mid-wait.  If _drain_queue admitted us
+            # concurrently the fuel is already in flight: hand it back.
+            if waiter.event.is_set():
+                self._inflight_fuel = max(0, self._inflight_fuel - fuel)
+                self._drain_queue()
+            raise
+        finally:
+            # Admitted waiters were already dequeued by _drain_queue;
+            # timed-out (or cancelled) ones still hold their queue slot.
+            if token in self._waiters:
+                del self._waiters[token]
+                self._queue_fuel -= fuel
+                self._drain_queue()
+        if not admitted:
+            raise ApiError(
+                503, REASON_TIMEOUT,
+                f"no capacity freed within {self._timeout_s}s "
+                f"(certified cost {fuel})",
+                retry_after_s=self._retry_after_s,
+            )
+        return AdmissionTicket(
+            fuel=fuel, queued_ms=(time.monotonic() - start) * 1000.0
+        )
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return a ticket's fuel to the capacity pool and wake queued
+        requests that now fit (in arrival order)."""
+        self._inflight_fuel = max(0, self._inflight_fuel - ticket.fuel)
+        self._drain_queue()
+
+    # -- internals -----------------------------------------------------------
+
+    def _admit_now(self, fuel: int) -> bool:
+        # Strict FIFO: never admit around a non-empty queue, or a stream
+        # of small requests starves the large one at the head.
+        if self._waiters:
+            return False
+        if self._inflight_fuel + fuel > self._capacity:
+            return False
+        self._inflight_fuel += fuel
+        return True
+
+    def _drain_queue(self) -> None:
+        while self._waiters:
+            token, waiter = next(iter(self._waiters.items()))
+            if self._inflight_fuel + waiter.fuel > self._capacity:
+                break
+            del self._waiters[token]
+            self._queue_fuel -= waiter.fuel
+            self._inflight_fuel += waiter.fuel
+            waiter.event.set()

@@ -1,0 +1,68 @@
+"""Static bearer-token authentication.
+
+The edge accepts a fixed set of tokens (``ServerConfig.tokens``) on
+``Authorization: Bearer <token>``.  Comparison is constant-time
+(:func:`hmac.compare_digest` against every configured token) so token
+length/prefix cannot be probed through timing.  An empty token set turns
+auth off — the open-edge development mode; ``repro serve`` warns when it
+binds a non-loopback address that way.
+
+The authenticated principal doubles as the rate-limit key (fall back to
+the peer address when auth is off), so one misbehaving client throttles
+itself, not the fleet.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Dict, Optional, Tuple
+
+from repro.http.schemas import ApiError
+
+__all__ = ["Authenticator"]
+
+
+class Authenticator:
+    """Checks ``Authorization`` headers against the static token set."""
+
+    def __init__(self, tokens: Tuple[str, ...]) -> None:
+        self._tokens = tuple(tokens)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._tokens)
+
+    def principal(
+        self, headers: Dict[str, str], peer: str
+    ) -> str:
+        """The authenticated principal for this request.
+
+        Returns a stable identity string (used as the rate-limit key) or
+        raises :class:`ApiError` 401.  With auth disabled the peer
+        address is the principal.
+        """
+        if not self._tokens:
+            return f"peer:{peer}"
+        header = headers.get("authorization")
+        if header is None:
+            raise ApiError(
+                401, "unauthorized", "missing Authorization header"
+            )
+        scheme, _, token = header.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise ApiError(
+                401, "unauthorized",
+                "Authorization must be 'Bearer <token>'",
+            )
+        candidate = token.strip()
+        matched: Optional[str] = None
+        # Compare against every token (no early exit) so timing reveals
+        # neither which token matched nor how far a prefix got.
+        for configured in self._tokens:
+            if hmac.compare_digest(candidate, configured):
+                matched = configured
+        if matched is None:
+            raise ApiError(401, "unauthorized", "unknown bearer token")
+        # Principals are token identities, not token values: never echo
+        # secrets into metrics labels or logs.
+        return f"token:{self._tokens.index(matched)}"

@@ -1,0 +1,144 @@
+"""Edge configuration: flags over environment over defaults.
+
+Every knob has a ``REPRO_HTTP_*`` environment variable so containerized
+deployments configure the edge without wrapper scripts, and a matching
+``repro serve`` flag that wins when given.  :func:`ServerConfig.from_env`
+builds the env-resolved default; the CLI then overlays explicit flags.
+
+Capacity knobs are denominated in **certified fuel units** (the
+Theorem 5.1 cost-certificate bound of a plan instantiated at the target
+database's size statistics), not request counts — see
+:mod:`repro.http.admission`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["ServerConfig"]
+
+_ENV_PREFIX = "REPRO_HTTP_"
+
+
+def _env_name(option: str) -> str:
+    return _ENV_PREFIX + option.upper()
+
+
+@dataclass
+class ServerConfig:
+    """All knobs of one :class:`repro.http.server.QueryEdge`."""
+
+    #: Bind address.  Port 0 asks the kernel for an ephemeral port; the
+    #: bound port is reported by ``QueryEdge.port`` after start.
+    host: str = "127.0.0.1"
+    port: int = 8080
+
+    #: Static bearer tokens accepted on ``Authorization: Bearer <token>``.
+    #: Empty means *no auth* (open edge) — fine for localhost development,
+    #: loudly documented as such.
+    tokens: Tuple[str, ...] = ()
+
+    #: Per-client token bucket: sustained requests/second and burst size.
+    #: ``rate_limit <= 0`` disables rate limiting.
+    rate_limit: float = 50.0
+    rate_burst: int = 100
+
+    #: Admission control, in certified fuel units: ``max_inflight_fuel``
+    #: bounds what may execute concurrently, ``max_queue_fuel`` bounds
+    #: what may wait, ``queue_timeout_s`` bounds how long it may wait.
+    #: ``0`` (the default) auto-sizes from the catalog at startup:
+    #: capacity admits ``auto_capacity_requests`` instances of the
+    #: priciest registered certified plan (cost certificates span many
+    #: orders of magnitude between term and fixpoint plans, so a fixed
+    #: absolute default would be wrong for one family or the other);
+    #: ``max_queue_fuel = 0`` means twice the resolved capacity.
+    max_inflight_fuel: int = 0
+    max_queue_fuel: int = 0
+    queue_timeout_s: float = 5.0
+
+    #: How many copies of the priciest certified plan auto-sized
+    #: capacity admits concurrently.
+    auto_capacity_requests: int = 8
+
+    #: Fuel charged for a plan without a cost certificate (admission must
+    #: charge something; uncertified plans are charged pessimistically).
+    uncertified_fuel: int = 10_000_000
+
+    #: Hint clients wait this long before retrying a 429/503.
+    retry_after_s: int = 1
+
+    #: Sync-service bridge: size of the thread pool ``QueryService``
+    #: executions run on (``loop.run_in_executor``).
+    workers: int = 8
+
+    #: Per-request body cap (bytes) and header-line cap for the reader.
+    max_body_bytes: int = 4 * 1024 * 1024
+    max_line_bytes: int = 16 * 1024
+
+    #: Graceful drain: how long SIGTERM waits for in-flight requests
+    #: before force-closing what remains.
+    drain_timeout_s: float = 30.0
+
+    #: Test hook (env only): sleep this long inside the worker thread
+    #: before evaluating, to make "in flight" deterministic for drain and
+    #: overload tests.  Never set in production.
+    debug_delay_ms: float = 0.0
+
+    #: Per-request default budgets passed through to the service.
+    request_timeout_s: Optional[float] = None
+
+    extra_env: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ServerConfig":
+        """Resolve a config from ``REPRO_HTTP_*`` environment variables
+        (unset variables keep the dataclass defaults)."""
+        environ = os.environ if environ is None else environ
+        kwargs = {}
+        for f in fields(cls):
+            if f.name == "extra_env":
+                continue
+            raw = environ.get(_env_name(f.name))
+            if raw is None:
+                continue
+            kwargs[f.name] = _parse_field(f.name, raw)
+        return cls(**kwargs)
+
+    def validate(self) -> "ServerConfig":
+        if self.max_inflight_fuel < 0:
+            raise ReproError("max_inflight_fuel must be >= 0 (0 = auto)")
+        if self.max_queue_fuel < 0:
+            raise ReproError("max_queue_fuel must be >= 0 (0 = auto)")
+        if self.auto_capacity_requests < 1:
+            raise ReproError("auto_capacity_requests must be >= 1")
+        if self.workers < 1:
+            raise ReproError("workers must be >= 1")
+        if self.uncertified_fuel <= 0:
+            raise ReproError("uncertified_fuel must be positive")
+        return self
+
+
+def _parse_field(name: str, raw: str):
+    """Parse one env value into the field's type."""
+    if name == "tokens":
+        return tuple(t for t in (s.strip() for s in raw.split(",")) if t)
+    if name == "host":
+        return raw
+    if name in ("rate_limit", "queue_timeout_s", "drain_timeout_s",
+                "debug_delay_ms", "request_timeout_s"):
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ReproError(
+                f"{_env_name(name)} must be a number, got {raw!r}"
+            ) from exc
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ReproError(
+            f"{_env_name(name)} must be an integer, got {raw!r}"
+        ) from exc

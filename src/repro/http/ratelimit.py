@@ -1,0 +1,74 @@
+"""Per-client token-bucket rate limiting.
+
+One bucket per principal (bearer-token identity, or peer address on an
+open edge): ``rate`` tokens/second refill up to ``burst``.  A request
+costs one token; an empty bucket is a 429 with a ``Retry-After`` derived
+from the actual deficit, so well-behaved clients back off exactly as
+long as needed.
+
+Buckets live in a small LRU (an open edge sees arbitrarily many peer
+addresses; the map must not grow without bound).  Evicting a cold bucket
+forgets at most ``burst`` tokens of credit — safe, never unfair to hot
+clients.  All state is guarded by one lock; the edge calls this from a
+single event loop, but the lock keeps the class safe for threaded tests
+and future multi-loop setups.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+__all__ = ["RateLimiter"]
+
+#: Bound on distinct principals tracked at once.
+MAX_BUCKETS = 4096
+
+
+class RateLimiter:
+    """Token buckets keyed by principal.  ``rate <= 0`` disables."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        *,
+        max_buckets: int = MAX_BUCKETS,
+        clock=time.monotonic,
+    ) -> None:
+        self._rate = float(rate)
+        self._burst = float(max(1, burst))
+        self._max_buckets = max_buckets
+        self._clock = clock
+        # principal -> (tokens, last refill timestamp)
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate > 0
+
+    def allow(self, principal: str) -> Tuple[bool, Optional[float]]:
+        """Spend one token.  Returns ``(allowed, retry_after_s)`` —
+        ``retry_after_s`` is how long until one token exists again."""
+        if not self.enabled:
+            return True, None
+        now = self._clock()
+        with self._lock:
+            tokens, last = self._buckets.get(principal, (self._burst, now))
+            tokens = min(self._burst, tokens + (now - last) * self._rate)
+            if tokens >= 1.0:
+                self._buckets[principal] = (tokens - 1.0, now)
+                self._buckets.move_to_end(principal)
+                self._evict()
+                return True, None
+            self._buckets[principal] = (tokens, now)
+            self._buckets.move_to_end(principal)
+            self._evict()
+            return False, (1.0 - tokens) / self._rate
+
+    def _evict(self) -> None:
+        while len(self._buckets) > self._max_buckets:
+            self._buckets.popitem(last=False)

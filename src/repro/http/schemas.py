@@ -1,0 +1,252 @@
+"""Wire schemas: JSON request/response shapes and the error envelope.
+
+Every non-2xx response carries one envelope shape::
+
+    {"error": {"code": "<stable-slug>", "message": "...", "status": 429,
+               "retry_after_s": 1}}        # retry_after_s when retryable
+
+and every query response is the service's
+:meth:`~repro.service.runtime.QueryResponse.as_dict` plus an
+``admission`` block (certified fuel charged, queue wait).  The
+library's exception taxonomy maps onto status codes here, in one place,
+so handlers never invent codes ad hoc:
+
+===============================  ======  =====================
+exception / service status       status  error code
+===============================  ======  =====================
+bad JSON, schema violations      400     ``bad_request``
+``ParseError``                   400     ``bad_query``
+``TypeInferenceError``           400     ``bad_query``
+``QueryTermError``               400     ``bad_query``
+unknown query / database name    404     ``unknown_query`` /
+                                         ``unknown_database``
+missing/wrong bearer token       401     ``unauthorized``
+token bucket empty               429     ``rate_limited``
+admission queue full             429     ``over_capacity``
+admission wait timed out         503     ``admission_timeout``
+draining (SIGTERM received)      503     ``draining``
+response ``fuel_exhausted``      422     — (body is the response)
+response ``timeout``             504     — (body is the response)
+response ``error``               400     — (body is the response)
+anything unexpected              500     ``internal``
+===============================  ======  =====================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    ParseError,
+    QueryTermError,
+    ReproError,
+    TypeInferenceError,
+)
+from repro.service.runtime import (
+    STATUS_ERROR,
+    STATUS_FUEL,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    QueryResponse,
+)
+
+__all__ = [
+    "ApiError",
+    "HttpResponse",
+    "QuerySpec",
+    "error_response",
+    "json_response",
+    "parse_batch_body",
+    "parse_query_body",
+    "query_http_status",
+    "render_query_response",
+]
+
+#: Service response status -> HTTP status code.
+_STATUS_CODES = {
+    STATUS_OK: 200,
+    STATUS_FUEL: 422,
+    STATUS_TIMEOUT: 504,
+    STATUS_ERROR: 400,
+}
+
+
+class ApiError(ReproError):
+    """An error that already knows its HTTP shape."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        retry_after_s: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after_s = retry_after_s
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ApiError":
+        """Fold a library exception into the envelope taxonomy."""
+        if isinstance(exc, ApiError):
+            return exc
+        if isinstance(exc, (ParseError, QueryTermError, TypeInferenceError)):
+            return cls(400, "bad_query", str(exc))
+        if isinstance(exc, ReproError):
+            return cls(400, "bad_request", str(exc))
+        return cls(500, "internal", f"{type(exc).__name__}: {exc}")
+
+
+@dataclass
+class HttpResponse:
+    """One response, ready for the wire."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    status: int, payload: dict, *, headers: Optional[Dict[str, str]] = None
+) -> HttpResponse:
+    body = (json.dumps(payload, indent=None, separators=(",", ":"))
+            .encode("utf-8"))
+    return HttpResponse(status=status, body=body, headers=dict(headers or {}))
+
+
+def error_response(error: ApiError) -> HttpResponse:
+    envelope: dict = {
+        "error": {
+            "code": error.code,
+            "message": str(error),
+            "status": error.status,
+        }
+    }
+    headers: Dict[str, str] = {}
+    if error.retry_after_s is not None:
+        envelope["error"]["retry_after_s"] = error.retry_after_s
+        headers["Retry-After"] = str(error.retry_after_s)
+    return json_response(error.status, envelope, headers=headers)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One validated ``/v1/query`` body (also one batch element).
+
+    The edge serves *registered* plans only: admission control prices a
+    request by its plan's cost certificate, and only catalog registration
+    certifies plans — an unregistered term has no certificate to admit
+    against.
+    """
+
+    query: str
+    database: Optional[str] = None
+    engine: Optional[str] = None
+    arity: Optional[int] = None
+    fuel: Optional[int] = None
+    timeout_s: Optional[float] = None
+    shards: Optional[int] = None
+    tag: Optional[str] = None
+    include_tuples: bool = True
+
+
+_SPEC_FIELDS = {
+    "query": str,
+    "database": str,
+    "engine": str,
+    "arity": int,
+    "fuel": int,
+    "timeout_s": (int, float),
+    "shards": int,
+    "tag": str,
+    "include_tuples": bool,
+}
+
+
+def _parse_spec(item: object, where: str) -> QuerySpec:
+    if not isinstance(item, dict):
+        raise ApiError(400, "bad_request", f"{where} must be a JSON object")
+    unknown = sorted(set(item) - set(_SPEC_FIELDS))
+    if unknown:
+        raise ApiError(
+            400, "bad_request",
+            f"{where} has unknown field(s): {', '.join(unknown)}",
+        )
+    if "query" not in item:
+        raise ApiError(400, "bad_request", f"{where} needs a 'query' name")
+    kwargs = {}
+    for name, expected in _SPEC_FIELDS.items():
+        value = item.get(name)
+        if value is None:
+            continue
+        ok = isinstance(value, expected)
+        if expected is not bool and isinstance(value, bool):
+            ok = False  # bool is an int subclass; don't let it pose as one
+        if not ok:
+            raise ApiError(
+                400, "bad_request",
+                f"{where}: field {name!r} has the wrong type",
+            )
+        kwargs[name] = value
+    return QuerySpec(**kwargs)
+
+
+def _load_json(body: bytes) -> object:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ApiError(
+            400, "bad_request", f"request body is not valid JSON: {exc}"
+        ) from exc
+
+
+def parse_query_body(body: bytes) -> QuerySpec:
+    """Validate a ``POST /v1/query`` body."""
+    return _parse_spec(_load_json(body), "request body")
+
+
+def parse_batch_body(body: bytes, *, max_requests: int = 1024
+                     ) -> Tuple[QuerySpec, ...]:
+    """Validate a ``POST /v1/batch`` body: ``{"requests": [...]}`` or a
+    bare list."""
+    raw = _load_json(body)
+    if isinstance(raw, dict):
+        raw = raw.get("requests")
+    if not isinstance(raw, list) or not raw:
+        raise ApiError(
+            400, "bad_request",
+            "batch body must be a non-empty list or {\"requests\": [...]}",
+        )
+    if len(raw) > max_requests:
+        raise ApiError(
+            400, "bad_request",
+            f"batch of {len(raw)} exceeds the {max_requests}-request cap",
+        )
+    return tuple(
+        _parse_spec(item, f"batch request #{index}")
+        for index, item in enumerate(raw)
+    )
+
+
+def query_http_status(response: QueryResponse) -> int:
+    """The HTTP status a single query response maps to."""
+    return _STATUS_CODES.get(response.status, 500)
+
+
+def render_query_response(
+    response: QueryResponse,
+    *,
+    include_tuples: bool = True,
+    admission: Optional[dict] = None,
+) -> dict:
+    """The wire shape of one query response: the service dict plus the
+    edge's admission block."""
+    payload = response.as_dict(include_tuples=include_tuples)
+    if admission is not None:
+        payload["admission"] = admission
+    return payload

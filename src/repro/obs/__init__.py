@@ -14,15 +14,18 @@ Metric names, span names, and logger namespaces are documented in
 ``docs/observability.md``.
 """
 
+from repro.obs.info import build_info, runtime_info, uptime_s
 from repro.obs.metrics import (
     CORE_METRIC_NAMES,
     Counter,
     Gauge,
+    HTTP_METRIC_NAMES,
     Histogram,
     LATENCY_BUCKETS_MS,
     MetricsRegistry,
     get_registry,
     install_core_metrics,
+    install_http_metrics,
     quantile,
     set_registry,
 )
@@ -42,6 +45,7 @@ __all__ = [
     "CORE_METRIC_NAMES",
     "Counter",
     "Gauge",
+    "HTTP_METRIC_NAMES",
     "Histogram",
     "JsonlExporter",
     "LATENCY_BUCKETS_MS",
@@ -52,12 +56,16 @@ __all__ = [
     "Span",
     "Tracer",
     "bound_ratio",
+    "build_info",
     "current_span",
     "get_registry",
     "get_tracer",
     "install_core_metrics",
+    "install_http_metrics",
     "quantile",
     "render_span_tree",
+    "runtime_info",
     "set_registry",
     "set_tracer",
+    "uptime_s",
 ]

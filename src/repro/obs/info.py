@@ -1,0 +1,65 @@
+"""Process runtime info: build/version identity and monotonic uptime.
+
+Serving infrastructure needs two distinct questions answered cheaply:
+
+* **liveness** — "is the process up?" — which only needs a truthful
+  uptime, so the clock must be the *monotonic* one (wall clocks jump
+  under NTP corrections and make liveness windows lie);
+* **identity** — "which build is this?" — version, Python, platform and
+  pid, so a fleet's ``/health`` responses and metric snapshots can be
+  correlated with what was actually deployed.
+
+The module records its import time (process start, for all practical
+purposes: :mod:`repro` imports are the first thing any entry point does)
+on both clocks and exposes one JSON-ready block via :func:`runtime_info`.
+The HTTP edge serves it at ``GET /health``; ``repro stats --json``
+attaches it to the registry snapshot.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+
+__all__ = ["build_info", "runtime_info", "uptime_s"]
+
+#: Monotonic and wall-clock timestamps taken at first import.  The
+#: monotonic one is authoritative for uptime; the wall one is
+#: informational (start time as an epoch second).
+_START_MONOTONIC = time.monotonic()
+_START_WALL = time.time()
+
+
+def uptime_s() -> float:
+    """Seconds since process start on the monotonic clock (never
+    negative, immune to wall-clock steps)."""
+    return time.monotonic() - _START_MONOTONIC
+
+
+def build_info() -> dict:
+    """The static identity block: package version and interpreter/platform
+    coordinates."""
+    from repro import __version__
+
+    return {
+        "version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "pid": os.getpid(),
+    }
+
+
+def runtime_info() -> dict:
+    """The full runtime block: build identity plus uptime.
+
+    ``uptime_s`` is monotonic-clock truth; ``started_unix`` is the wall
+    clock at import, rounded to milliseconds, for log correlation only.
+    """
+    return {
+        "build": build_info(),
+        "uptime_s": round(uptime_s(), 3),
+        "started_unix": round(_START_WALL, 3),
+    }

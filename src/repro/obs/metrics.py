@@ -30,12 +30,14 @@ __all__ = [
     "CORE_METRIC_NAMES",
     "Counter",
     "Gauge",
+    "HTTP_METRIC_NAMES",
     "Histogram",
     "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "SHARD_METRIC_NAMES",
     "get_registry",
     "install_core_metrics",
+    "install_http_metrics",
     "install_shard_metrics",
     "quantile",
     "set_registry",
@@ -529,6 +531,78 @@ def install_shard_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
         "shard_workers": registry.gauge(
             "repro_shard_workers",
             "Live worker processes in the shard pool",
+        ),
+    }
+
+
+#: Names the HTTP edge exports (``repro serve`` /
+#: :class:`repro.http.server.QueryEdge`).
+HTTP_METRIC_NAMES = (
+    "repro_http_connections_total",
+    "repro_http_connections_active",
+    "repro_http_requests_total",
+    "repro_http_request_latency_ms",
+    "repro_http_inflight_fuel",
+    "repro_http_queue_fuel",
+    "repro_http_admitted_fuel_total",
+    "repro_http_rejected_fuel_total",
+    "repro_http_rate_limited_total",
+    "repro_http_draining",
+)
+
+
+def install_http_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
+    """Pre-register the HTTP-edge metric family on ``registry``.
+
+    Idempotent (same contract as :func:`install_core_metrics`).  Fuel
+    gauges/counters are denominated in *certified fuel units* — the
+    admission controller accounts capacity in the Theorem 5.1 cost
+    certificates of the admitted plans, not in request counts.
+    """
+    return {
+        "connections": registry.counter(
+            "repro_http_connections_total",
+            "TCP connections accepted by the HTTP edge",
+        ),
+        "connections_active": registry.gauge(
+            "repro_http_connections_active",
+            "Currently open HTTP connections",
+        ),
+        "http_requests": registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route and status code",
+            labels=("route", "code"),
+        ),
+        "http_latency": registry.histogram(
+            "repro_http_request_latency_ms",
+            "HTTP request wall time (milliseconds), by route",
+            labels=("route",),
+            buckets=LATENCY_BUCKETS_MS,
+        ),
+        "inflight_fuel": registry.gauge(
+            "repro_http_inflight_fuel",
+            "Certified fuel units currently admitted and executing",
+        ),
+        "queue_fuel": registry.gauge(
+            "repro_http_queue_fuel",
+            "Certified fuel units waiting in the admission queue",
+        ),
+        "admitted_fuel": registry.counter(
+            "repro_http_admitted_fuel_total",
+            "Certified fuel units admitted past admission control",
+        ),
+        "rejected_fuel": registry.counter(
+            "repro_http_rejected_fuel_total",
+            "Certified fuel units rejected by admission control, by reason",
+            labels=("reason",),
+        ),
+        "rate_limited": registry.counter(
+            "repro_http_rate_limited_total",
+            "Requests rejected by the per-client token bucket",
+        ),
+        "draining": registry.gauge(
+            "repro_http_draining",
+            "1 while the edge is draining (SIGTERM received), else 0",
         ),
     }
 

@@ -42,7 +42,11 @@ import logging
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures import (
+    CancelledError,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -287,6 +291,11 @@ class QueryService:
         self._max_workers = max_workers
         self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
         self._inflight_guard = threading.Lock()
+        # close() latch: set exactly once, checked by the lazy executor
+        # factories so a request racing a close() can never resurrect a
+        # pool the close already tore down (that pool would leak).
+        self._closed = False
+        self._close_lock = threading.Lock()
         # Long-lived executors, created lazily and released by close():
         # the deadline-watch thread pool (one per service, not one per
         # timed request) and the shard worker pool.
@@ -311,7 +320,14 @@ class QueryService:
         """
         if request.timeout_s is None:
             return self._serve(request)
-        future = self._timeout_executor().submit(self._serve, request)
+        start = time.perf_counter()
+        try:
+            future = self._timeout_executor().submit(self._serve, request)
+        except (ReproError, RuntimeError) as exc:
+            # The service closed between the caller's check and the
+            # submit (RuntimeError: "cannot schedule new futures after
+            # shutdown").  A closed service answers, it does not raise.
+            return self._closed_response(request, start, exc)
         try:
             return future.result(timeout=request.timeout_s)
         except FutureTimeout:
@@ -321,11 +337,17 @@ class QueryService:
             # yet, so sustained timeouts cannot queue useless work.
             future.cancel()
             return self._timed_out(request, request.timeout_s * 1000.0)
+        except CancelledError as exc:
+            # close() cancelled the queued future before a worker picked
+            # it up.
+            return self._closed_response(request, start, exc)
 
     def _timeout_executor(self) -> ThreadPoolExecutor:
         """The shared deadline-watch pool (created on first timed request,
-        released by :meth:`close`)."""
+        released by :meth:`close`; never recreated after close)."""
         with self._timeout_pool_lock:
+            if self._closed:
+                raise ReproError("service is closed")
             if self._timeout_pool is None:
                 self._timeout_pool = ThreadPoolExecutor(
                     max_workers=TIMEOUT_POOL_WORKERS,
@@ -333,12 +355,29 @@ class QueryService:
                 )
             return self._timeout_pool
 
-    def close(self) -> None:
-        """Release the service's long-lived executors (idempotent).
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
+    def close(self) -> None:
+        """Release the service's long-lived executors.
+
+        Idempotent and safe to call while requests are in flight: the
+        first call wins (later calls return immediately), the closed
+        latch is set *before* the teardown so a racing request cannot
+        lazily recreate a pool after it was released, and in-flight
+        requests finish with a response — evaluations already running
+        complete normally; queued timed requests and post-close shard
+        requests come back as ``error`` responses rather than exceptions.
         Abandoned timed-out evaluations are not waited for — same
         semantics as serving time: their budgets bound them.
         """
+        with self._close_lock:
+            if self._closed:
+                return
+            # Latch first: from here on no lazy factory hands out a pool.
+            self._closed = True
         with self._timeout_pool_lock:
             pool, self._timeout_pool = self._timeout_pool, None
         if pool is not None:
@@ -347,6 +386,22 @@ class QueryService:
             shard_pool, self._shard_pool = self._shard_pool, None
         if shard_pool is not None:
             shard_pool.close()
+
+    def _closed_response(
+        self, request: QueryRequest, start: float, exc: BaseException
+    ) -> QueryResponse:
+        response = QueryResponse(
+            status=STATUS_ERROR,
+            query=self._query_label(request),
+            database=self._database_label(request),
+            database_version=0,
+            engine=request.engine or "?",
+            error=f"service closed before the request could run ({exc})",
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+            tag=request.tag,
+        )
+        self._observe(response)
+        return response
 
     def __enter__(self) -> "QueryService":
         return self
@@ -778,6 +833,8 @@ class QueryService:
         if self._shard_workers is not None:
             wanted = min(wanted, self._shard_workers)
         with self._shard_pool_lock:
+            if self._closed:
+                raise ReproError("service is closed")
             if self._shard_pool is None:
                 self._shard_pool = ShardWorkerPool(
                     wanted, observer=self._shard_event

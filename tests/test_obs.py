@@ -374,3 +374,66 @@ class TestEngineObservers:
         # Partial counts are reported (the overflowing step included).
         assert collector.profile.steps >= 5
         assert collector.profile.events == 1
+
+
+# ---------------------------------------------------------------------------
+# Runtime info and the HTTP metric family (served at /health and /metrics)
+# ---------------------------------------------------------------------------
+
+class TestRuntimeInfo:
+    def test_uptime_is_monotonic_and_positive(self):
+        import time
+
+        from repro.obs import uptime_s
+
+        first = uptime_s()
+        time.sleep(0.01)
+        second = uptime_s()
+        assert 0 <= first < second
+
+    def test_build_info_identifies_the_process(self):
+        import os
+
+        from repro import __version__
+        from repro.obs import build_info
+
+        info = build_info()
+        assert info["version"] == __version__
+        assert info["python"].count(".") >= 2
+        assert info["pid"] == os.getpid()
+        assert info["implementation"] and info["platform"]
+
+    def test_runtime_info_shape(self):
+        from repro.obs import runtime_info
+
+        info = runtime_info()
+        assert set(info) == {"build", "uptime_s", "started_unix"}
+        assert info["uptime_s"] >= 0
+        assert info["started_unix"] > 0
+
+
+class TestHttpMetricFamily:
+    def test_names_are_stable_and_prefixed(self):
+        from repro.obs import HTTP_METRIC_NAMES
+
+        assert all(n.startswith("repro_http_") for n in HTTP_METRIC_NAMES)
+        assert len(set(HTTP_METRIC_NAMES)) == len(HTTP_METRIC_NAMES)
+
+    def test_install_is_idempotent_and_renders_every_name(self):
+        from repro.obs import HTTP_METRIC_NAMES, install_http_metrics
+
+        registry = MetricsRegistry()
+        handles = install_http_metrics(registry)
+        again = install_http_metrics(registry)
+        assert handles.keys() == again.keys()
+        for key in handles:
+            assert handles[key] is again[key]
+        text = registry.render_prometheus()
+        for name in HTTP_METRIC_NAMES:
+            assert name in text
+
+    def test_handles_cover_the_documented_family(self):
+        from repro.obs import HTTP_METRIC_NAMES, install_http_metrics
+
+        handles = install_http_metrics(MetricsRegistry())
+        assert {m.name for m in handles.values()} == set(HTTP_METRIC_NAMES)

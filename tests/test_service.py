@@ -588,3 +588,73 @@ class TestDerivedFuel:
         )
         assert response.ok
         assert response.fuel_budget == DEFAULT_FUEL
+
+
+class TestServiceClose:
+    """Lifecycle regressions: close() must be idempotent, safe while
+    requests are in flight, and must not let lazy pools resurrect."""
+
+    def test_close_is_idempotent(self, service):
+        assert not service.closed
+        service.close()
+        assert service.closed
+        service.close()  # second close is a no-op, not an error
+        assert service.closed
+
+    def test_timed_request_after_close_is_an_error_response(self, service):
+        service.close()
+        response = service.execute(
+            QueryRequest(query="swap", database="main", timeout_s=5.0)
+        )
+        assert response.status == "error"
+        assert "closed" in response.error
+        # The lazy timeout pool must not be resurrected by the request.
+        assert service._timeout_pool is None
+
+    def test_sharded_request_after_close_is_an_error_response(self, service):
+        service.close()
+        response = service.execute(
+            QueryRequest(query="swap", database="main", shards=2)
+        )
+        assert response.status == "error"
+        assert "closed" in response.error
+
+    def test_close_with_inflight_requests(self, service):
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        original = service._serve
+
+        def blocking_serve(request):
+            started.set()
+            assert release.wait(5.0)
+            return original(request)
+
+        service._serve = blocking_serve
+        results = []
+
+        def call():
+            results.append(service.execute(
+                QueryRequest(query="swap", database="main", timeout_s=10.0)
+            ))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        assert started.wait(5.0)
+        service.close()  # concurrent with the blocked evaluations
+        release.set()
+        for thread in threads:
+            thread.join(10.0)
+        # Every caller got a response object back, nothing raised
+        # through execute().  Evaluations already running complete
+        # normally; ones still queued when close() cancelled them are
+        # folded into error responses.
+        assert len(results) == 3
+        assert all(r.status in ("ok", "error") for r in results)
+        assert any(r.status == "ok" for r in results)
+        assert all(
+            "closed" in r.error for r in results if r.status == "error"
+        )
+        assert service.closed
