@@ -1,0 +1,234 @@
+"""The update-heavy service benchmark: provenance-keyed caching vs
+whole-version invalidation.
+
+Workload: a two-relation database where one relation (``R2``) is bumped
+every round while the served plans read mostly ``R1``.  Two identical
+services run the same request/update trace:
+
+* **provenance** — plans registered with their arity signatures, so each
+  carries a read-set certificate (TLI023) and the cache keys on the
+  per-relation version sub-vector;
+* **legacy** — the same plans registered with ``check=False`` (no
+  certificate), so the cache keys on the global database version and
+  every update invalidates everything.
+
+Gates (asserted unconditionally, smoke and full):
+
+* the provenance service's hit rate strictly beats the legacy service's;
+* every update round that touches only the unscanned relation serves the
+  ``R1``-only plan from cache (``provenance_saves`` counts each one);
+* both services return identical relations for every request;
+* no evaluation reports an observed/bound ratio > 1 (Theorem 5.1).
+
+The results merge into ``BENCH_service.json`` under ``update_heavy``.
+
+    python benchmarks/bench_service.py --smoke --out /tmp/BENCH_service.json
+    python benchmarks/bench_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+SWAP = r"\R1. \R2. \c. \n. R1 (\x y T. c y x T) n"  # reads R1 only
+INTERSECT = (
+    r"\R1. \R2. \c. \n. R1 (\x y T. "
+    r"R2 (\u v A. Eq x u (Eq y v (c x y T) A) A) T) n"
+)
+
+
+def build_service(database, *, certified: bool):
+    from repro.lam.parser import parse
+    from repro.queries.language import QueryArity
+    from repro.service import QueryService
+
+    signature = QueryArity((2, 2), 2)
+    service = QueryService()
+    service.catalog.register_database("main", database)
+    if certified:
+        service.catalog.register_query(
+            "swap", parse(SWAP), signature=signature
+        )
+        service.catalog.register_query(
+            "both", parse(INTERSECT), signature=signature
+        )
+    else:
+        service.catalog.register_query("swap", parse(SWAP), check=False)
+        service.catalog.register_query(
+            "both", parse(INTERSECT), check=False
+        )
+    return service
+
+
+def run_trace(service, updates, *, queries, repeats, arity):
+    """Drive ``rounds`` of (query burst, bump R2); returns the stats."""
+    from repro.db.relations import Relation
+    from repro.service import QueryRequest
+
+    results = []
+    ratios = []
+    start = time.perf_counter()
+    for round_index in range(updates + 1):
+        for _ in range(repeats):
+            for query in queries:
+                response = service.execute(
+                    QueryRequest(
+                        query=query, database="main", arity=arity
+                    )
+                )
+                assert response.ok, response.error
+                results.append(
+                    (query, round_index, response.relation.as_set())
+                )
+                profile = response.profile or {}
+                ratio = profile.get("bound_ratio")
+                if ratio is not None:
+                    ratios.append(ratio)
+        if round_index < updates:
+            # The update-heavy part: only the relation the swap plan
+            # never scans changes.
+            service.apply_update(
+                "main",
+                {
+                    "R2": Relation.from_tuples(
+                        2, [(f"u{round_index}", f"v{round_index}")]
+                    )
+                },
+            )
+    wall_s = time.perf_counter() - start
+    cache = service.cache.stats()
+    return {
+        "wall_s": round(wall_s, 4),
+        "cache": cache.as_dict(),
+        "results": results,
+        "bound_ratios": ratios,
+    }
+
+
+def run(smoke: bool, out: str | None) -> None:
+    from repro.db.generators import random_database
+
+    updates = 4 if smoke else 24
+    repeats = 2 if smoke else 8
+    tuples = 8 if smoke else 40
+    database = random_database(
+        [2, 2], [tuples, tuples // 2], universe_size=8, seed=29
+    )
+    queries = ("swap", "both")
+
+    traces = {}
+    for label, certified in (("provenance", True), ("legacy", False)):
+        service = build_service(database, certified=certified)
+        with service:
+            traces[label] = run_trace(
+                service,
+                updates,
+                queries=queries,
+                repeats=repeats,
+                arity=2,
+            )
+
+    # Both services must serve identical relations for the whole trace.
+    assert (
+        traces["provenance"]["results"] == traces["legacy"]["results"]
+    ), "provenance-keyed caching changed a served result"
+
+    prov_cache = traces["provenance"]["cache"]
+    legacy_cache = traces["legacy"]["cache"]
+    # Every post-update round serves the R1-only plan from cache in the
+    # provenance service; legacy recomputes both plans every round.
+    assert prov_cache["hit_rate"] > legacy_cache["hit_rate"], (
+        prov_cache,
+        legacy_cache,
+    )
+    assert prov_cache["provenance_saves"] >= updates, prov_cache
+    assert legacy_cache["provenance_saves"] == 0, legacy_cache
+    for label, trace in traces.items():
+        for ratio in trace["bound_ratios"]:
+            assert ratio <= 1.0, (label, ratio)
+
+    payload = {
+        "smoke": smoke,
+        "workload": {
+            "updates": updates,
+            "repeats_per_round": repeats,
+            "queries": list(queries),
+            "db_tuples": {
+                name: len(relation) for name, relation in database
+            },
+        },
+        "provenance": {
+            "wall_s": traces["provenance"]["wall_s"],
+            "cache": prov_cache,
+        },
+        "legacy": {
+            "wall_s": traces["legacy"]["wall_s"],
+            "cache": legacy_cache,
+        },
+        "hit_rate_gain": round(
+            prov_cache["hit_rate"] - legacy_cache["hit_rate"], 4
+        ),
+        "bound_ratio_max": max(
+            (
+                ratio
+                for trace in traces.values()
+                for ratio in trace["bound_ratios"]
+            ),
+            default=None,
+        ),
+    }
+
+    out_path = os.path.abspath(
+        out
+        or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_service.json",
+        )
+    )
+    merged = {}
+    if os.path.exists(out_path):
+        with open(out_path, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    merged["update_heavy"] = payload
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"update-heavy: provenance hit_rate={prov_cache['hit_rate']} "
+        f"(saves={prov_cache['provenance_saves']}) vs "
+        f"legacy hit_rate={legacy_cache['hit_rate']}"
+    )
+    print(f"wrote {out_path}")
+
+
+def main(argv) -> None:
+    args = list(argv[1:])
+    smoke = False
+    out = None
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--smoke":
+            smoke = True
+        elif arg == "--out":
+            index += 1
+            out = args[index]
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+        index += 1
+    run(smoke, out)
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+        ),
+    )
+    main(sys.argv)

@@ -54,6 +54,18 @@ from repro.analysis.corpus import (
     load_lam_source,
     operator_library_targets,
 )
+from repro.analysis.provenance import (
+    ProvenanceFacts,
+    RelationRead,
+    check_schema_contract,
+    database_schema,
+    fixpoint_provenance,
+    read_set_stats,
+    restrict_database,
+    scanned_relation_names,
+    term_provenance,
+    version_subvector,
+)
 
 __all__ = [
     "AbstractFacts",
@@ -68,6 +80,8 @@ __all__ = [
     "FIXPOINT_TOWER_ORDER",
     "Interval",
     "LintTarget",
+    "ProvenanceFacts",
+    "RelationRead",
     "ScanSite",
     "Severity",
     "SimplificationOutcome",
@@ -76,17 +90,25 @@ __all__ = [
     "analyze",
     "analyze_fixpoint",
     "analyze_term",
+    "check_schema_contract",
     "collect_lam_files",
+    "database_schema",
     "demanded_occurrences",
     "fixpoint_cost_profile",
+    "fixpoint_provenance",
     "fuel_budget",
     "let_liveness",
     "load_lam_file",
     "load_lam_source",
     "operator_library_targets",
+    "read_set_stats",
     "render_reports_json",
+    "restrict_database",
+    "scanned_relation_names",
     "simplify_term",
     "term_cost_profile",
+    "term_provenance",
     "tighten_fixpoint_profile",
     "tighten_term_profile",
+    "version_subvector",
 ]

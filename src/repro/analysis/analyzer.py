@@ -10,7 +10,7 @@ it to the registered entry, and ``repro lint`` renders it.
 
 from __future__ import annotations
 
-from typing import Optional, Set, Union
+from typing import Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.cost import (
     CostProfile,
@@ -44,6 +44,7 @@ def analyze_term(
     known_constants: Optional[Set[str]] = None,
     stats: Optional[DatabaseStats] = None,
     default_fuel: Optional[int] = None,
+    target_schema: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> AnalysisReport:
     """Run every term-level pass over ``term`` and return the report.
 
@@ -51,6 +52,8 @@ def analyze_term(
     (Lemma 3.9) and pins the TLI= fragment; without one the term is typed
     standalone.  ``known_constants`` enables the unknown-constant check;
     ``stats``/``default_fuel`` enable the TLI011 fuel-headroom check.
+    ``target_schema`` — an ordered ``(name, arity)`` database schema —
+    enables the schema-contract checks (TLI024/TLI025).
     """
     report = AnalysisReport(name=name, kind="term")
     structural_pass(term, report, known_constants=known_constants)
@@ -76,7 +79,11 @@ def analyze_term(
             report.add("TLI022", message)
 
         effective = _simplify_pass(term, report)
-        _absint_pass(effective, report, input_count=input_count)
+        facts = _absint_pass(effective, report, input_count=input_count)
+        if signature is not None:
+            _provenance_pass(
+                report, signature, facts, target_schema=target_schema
+            )
         _certify_cost(report, stats=stats, default_fuel=default_fuel)
         if signature is not None:
             _distribution_pass(report, effective, signature)
@@ -110,12 +117,16 @@ def _absint_pass(
     report: AnalysisReport,
     *,
     input_count: Optional[int],
-) -> None:
-    """Run the abstract interpreter; adopt a tightened profile (TLI020)."""
+) -> Optional["AbstractFacts"]:  # noqa: F821 - see analysis.absint
+    """Run the abstract interpreter; adopt a tightened profile (TLI020).
+
+    Returns the abstract facts so the provenance pass can reuse the scan
+    counts without re-walking the normal form.
+    """
     from repro.analysis.absint import tighten_term_profile
 
     if report.cost is None:
-        return
+        return None
     tightened, facts = tighten_term_profile(
         term, base=report.cost, input_count=input_count
     )
@@ -129,6 +140,47 @@ def _absint_pass(
             f"({len(facts.scan_sites)} scan site(s), loop-entry degree "
             f"{facts.scan_degree})",
         )
+    return facts
+
+
+def _provenance_pass(
+    report: AnalysisReport,
+    signature: "QueryArity",
+    facts: Optional["AbstractFacts"],  # noqa: F821 - see analysis.absint
+    *,
+    target_schema: Optional[Sequence[Tuple[str, int]]],
+) -> None:
+    """Derive the read-set certificate (TLI023/TLI027) and, when a target
+    schema is known, check the plan's schema contract (TLI024/TLI025)."""
+    from repro.analysis.absint import AbstractFacts
+    from repro.analysis.provenance import (
+        check_schema_contract,
+        term_provenance,
+    )
+
+    if facts is None:
+        facts = AbstractFacts(
+            kind="term", fallback="no abstract facts available"
+        )
+    provenance = term_provenance(signature, facts)
+    report.provenance = provenance
+    if provenance.exact:
+        report.add("TLI023", f"read-set: {provenance.describe()}")
+    else:
+        report.add(
+            "TLI027",
+            f"read-set analysis fell back to the conservative top "
+            f"({provenance.fallback}); every input is treated as "
+            f"scanned with unbounded multiplicity",
+        )
+    if target_schema is not None:
+        mismatches, unused = check_schema_contract(
+            provenance, target_schema
+        )
+        for message in mismatches:
+            report.add("TLI024", message)
+        for message in unused:
+            report.add("TLI025", message)
 
 
 def _distribution_pass(
@@ -136,13 +188,33 @@ def _distribution_pass(
     term: Term,
     signature: "QueryArity",
 ) -> None:
-    """Classify the plan for sharded execution (TLI017/TLI018) and note
-    when the per-shard fuel split rides the tightened certificate
-    (TLI021)."""
+    """Classify the plan for sharded execution (TLI017/TLI018), refine it
+    by the read-set (TLI026), and note when the per-shard fuel split
+    rides the tightened certificate (TLI021)."""
     # Imported lazily: the shard planner imports this module.
-    from repro.shard.planner import plan_term_distribution
+    from repro.shard.planner import (
+        plan_term_distribution,
+        refine_distribution,
+    )
 
-    plan = plan_term_distribution(term, signature)
+    provenance = report.provenance
+    input_names: Optional[Tuple[str, ...]] = None
+    if provenance is not None and provenance.exact:
+        names = tuple(read.name for read in provenance.reads)
+        if len(set(names)) == len(names):
+            input_names = names
+    plan = plan_term_distribution(term, signature, input_names=input_names)
+    if provenance is not None and provenance.exact:
+        scanned = {read.name for read in provenance.scanned_reads()}
+        plan, dropped = refine_distribution(plan, scanned)
+        if dropped:
+            report.add(
+                "TLI026",
+                f"distribution plan refined by the read-set: unscanned "
+                f"input(s) {', '.join(dropped)} dropped from the "
+                f"partition candidates; shard fuel is priced against "
+                f"read-set-restricted statistics",
+            )
     report.add(plan.code, f"[{plan.mode}] {plan.reason}")
     if plan.distributable and report.tightened_cost is not None:
         report.add(
@@ -162,10 +234,12 @@ def analyze_fixpoint(
     max_order: Optional[int] = None,
     stats: Optional[DatabaseStats] = None,
     default_fuel: Optional[int] = None,
+    target_schema: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> AnalysisReport:
     """Run the spec-level passes over a fixpoint query and return the
     report.  ``compiled`` (the Theorem 4.2 tower) is built on demand when
-    not supplied; it only sizes the cost profile."""
+    not supplied; it only sizes the cost profile.  ``target_schema``
+    enables the schema-contract checks (TLI024/TLI025)."""
     report = AnalysisReport(name=name, kind="fixpoint")
     fixpoint_pass(query, report)
     if not report.ok:
@@ -195,6 +269,23 @@ def analyze_fixpoint(
     )
 
     report.facts = abstract_fixpoint_facts(query).as_dict()
+
+    from repro.analysis.provenance import (
+        check_schema_contract,
+        fixpoint_provenance,
+    )
+
+    report.provenance = fixpoint_provenance(query)
+    report.add("TLI023", f"read-set: {report.provenance.describe()}")
+    if target_schema is not None:
+        mismatches, unused = check_schema_contract(
+            report.provenance, target_schema
+        )
+        for message in mismatches:
+            report.add("TLI024", message)
+        for message in unused:
+            report.add("TLI025", message)
+
     report.tightened_cost = tighten_fixpoint_profile(report.cost)
     report.add(
         "TLI020",
@@ -230,6 +321,7 @@ def analyze(
     known_constants: Optional[Set[str]] = None,
     stats: Optional[DatabaseStats] = None,
     default_fuel: Optional[int] = None,
+    target_schema: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> AnalysisReport:
     """Dispatch on the plan shape (``signature`` applies to terms only)."""
     if isinstance(plan, FixpointQuery):
@@ -239,6 +331,7 @@ def analyze(
             max_order=max_order,
             stats=stats,
             default_fuel=default_fuel,
+            target_schema=target_schema,
         )
     return analyze_term(
         plan,
@@ -248,6 +341,7 @@ def analyze(
         known_constants=known_constants,
         stats=stats,
         default_fuel=default_fuel,
+        target_schema=target_schema,
     )
 
 

@@ -14,12 +14,16 @@ Two sources:
       # output: 2
       # max-order: 4
       # constants: a b c
+      # database: E=2 S=1
       # expect: TLI001 TLI008
 
   ``inputs``/``output`` together declare the arity signature; ``expect``
   lists diagnostic codes the file is *supposed* to trigger (the seeded
   bad-query corpus under ``tests/fixtures`` uses it, and ``repro lint``
   treats an expected code as satisfied rather than failing).
+  ``database`` declares a target schema — an ordered ``name=arity`` list —
+  that the plan's provenance certificate (TLI023) is cross-checked
+  against, firing TLI024/TLI025 on contract violations.
 """
 
 from __future__ import annotations
@@ -53,6 +57,9 @@ class LintTarget:
     known_constants: Optional[Set[str]] = None
     #: Codes this target is *expected* to raise (seeded-corpus fixtures).
     expect: Set[str] = field(default_factory=set)
+    #: Ordered ``(relation_name, arity)`` schema the plan's provenance is
+    #: checked against (the ``database:`` directive); None skips the check.
+    target_schema: Optional[Tuple[Tuple[str, int], ...]] = None
     source: str = "<builtin>"
 
 
@@ -101,7 +108,8 @@ def operator_library_targets() -> List[LintTarget]:
 
 
 _DIRECTIVES = (
-    "name", "inputs", "output", "max-order", "constants", "expect"
+    "name", "inputs", "output", "max-order", "constants", "expect",
+    "database",
 )
 
 
@@ -129,6 +137,16 @@ def _parse_directives(lines: List[str], where: str) -> dict:
                 values[key] = int(value)
             elif key in ("constants", "expect"):
                 values[key] = set(value.replace(",", " ").split())
+            elif key == "database":
+                schema = []
+                for piece in value.replace(",", " ").split():
+                    rel, eq, arity = piece.partition("=")
+                    if not eq or not rel:
+                        raise ValueError(
+                            f"expected 'name=arity', got {piece!r}"
+                        )
+                    schema.append((rel, int(arity)))
+                values[key] = tuple(schema)
             else:
                 values[key] = value
         except ValueError as exc:
@@ -172,6 +190,7 @@ def load_lam_source(
         max_order=directives.get("max-order"),
         known_constants=constants or None,
         expect=directives.get("expect", set()),
+        target_schema=directives.get("database"),
         source=where,
     )
 

@@ -226,6 +226,52 @@ CODES: Dict[str, CodeInfo] = {
             "the occurrence count came from the liveness dataflow "
             "instead of the materialized expansion.",
         ),
+        CodeInfo(
+            "TLI023",
+            "read-set certificate",
+            Severity.INFO,
+            "The static read-set of the plan: which input relations it "
+            "scans, with per-relation scan multiplicities from the "
+            "abstract scan-count domain.  Unscanned relations cannot "
+            "influence the result, so cached results survive their "
+            "updates (relation-granular invalidation).",
+        ),
+        CodeInfo(
+            "TLI024",
+            "schema contract violation",
+            Severity.ERROR,
+            "The plan's schema contract does not fit the target "
+            "database: wrong relation count for a positional term "
+            "plan, wrong arity, or a missing named fixpoint input.  "
+            "Running anyway produces a stuck encoding that fails only "
+            "at decode time.",
+        ),
+        CodeInfo(
+            "TLI025",
+            "unused relation in target database",
+            Severity.INFO,
+            "The target database supplies a relation the plan never "
+            "scans; harmless, but updates to it will never invalidate "
+            "this plan's cached results.",
+        ),
+        CodeInfo(
+            "TLI026",
+            "read-set-refined shard plan",
+            Severity.INFO,
+            "The distribution plan was derived over the plan's read-set "
+            "only: relations never scanned were dropped from the "
+            "partition candidates and shard fuel is priced against "
+            "read-set-restricted database statistics.",
+        ),
+        CodeInfo(
+            "TLI027",
+            "provenance fallback on conservative top",
+            Severity.INFO,
+            "The read-set analysis fell back to the conservative top "
+            "(every input potentially scanned, unbounded multiplicity); "
+            "caching degrades to whole-version invalidation and "
+            "admission prices against the full database statistics.",
+        ),
     )
 }
 
@@ -316,6 +362,9 @@ class AnalysisReport:
     simplified: Optional[Term] = None
     #: Abstract facts (``AbstractFacts.as_dict()``) for ``lint --analyze``.
     facts: Optional[dict] = None
+    #: The read-set / schema-contract certificate (TLI023/TLI027); the
+    #: runtime keys caches and prices admission from it.
+    provenance: Optional["ProvenanceFacts"] = None  # noqa: F821
 
     # -- accounting ----------------------------------------------------------
 
@@ -384,6 +433,11 @@ class AnalysisReport:
             ),
             "simplified": self.simplified is not None,
             "facts": self.facts,
+            "provenance": (
+                self.provenance.as_dict()
+                if self.provenance is not None
+                else None
+            ),
             "errors": len(self.errors()),
             "warnings": len(self.warnings()),
             "diagnostics": [d.as_dict() for d in self.diagnostics],

@@ -1,0 +1,426 @@
+"""Static read-set & schema provenance analysis (the certifier's pass 6).
+
+The cost passes answer *how much* a plan may cost; this pass answers
+*what it touches*.  Strong normalization of the query fragment makes the
+question decidable on the plan's data-independent normal form: the
+abstract interpreter (:mod:`repro.analysis.absint`) already records every
+occurrence of an input relation in head position of the normal form as a
+:class:`~repro.analysis.absint.ScanSite`, and an input with **no** scan
+site does not occur in the normal form at all — so the evaluation result
+cannot depend on it.  That observation turns the absint scan-count domain
+into three verified facts per plan:
+
+* **Read-set** — which inputs the plan scans, with per-input scan-count
+  intervals (:class:`RelationRead`).  Term plans bind inputs
+  *positionally* (the engines apply the plan to the database's relations
+  in schema order), fixpoint plans bind them *by name*; fixpoint plans
+  scan **every** schema input regardless of step mentions, because the
+  active-domain sweep and the Crank length range over all of them.
+
+* **Schema contract** — the arity/shape each target database must supply.
+  A term plan of signature ``(k_1, ..., k_l) -> k`` demands exactly ``l``
+  relations of those arities in order (applying it to more or fewer is
+  the multi-relation-encoding bug class: the spine gets stuck and fails
+  only at decode time); a fixpoint plan demands each named schema input
+  at its declared arity and tolerates (but never reads) extras.
+
+* **Determinism** — normalization is strongly normalizing and confluent
+  (Section 2.1), so the result is a pure function of (plan, read
+  relations); cached results may be reused across any update that leaves
+  the read-set's relations untouched.
+
+Diagnostic codes (registered in :mod:`repro.analysis.diagnostics`):
+``TLI023`` (read-set certificate), ``TLI024`` (schema contract
+violation), ``TLI025`` (unused relation in the target database),
+``TLI026`` (read-set-refined shard plan), ``TLI027`` (provenance
+fallback on the conservative top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.absint import (
+    AbstractFacts,
+    Interval,
+    abstract_fixpoint_facts,
+)
+from repro.analysis.cost import DatabaseStats
+from repro.db.relations import Database
+from repro.queries.fixpoint import FixpointQuery
+from repro.queries.language import QueryArity
+
+__all__ = [
+    "RelationRead",
+    "ProvenanceFacts",
+    "SchemaTuple",
+    "term_provenance",
+    "fixpoint_provenance",
+    "database_schema",
+    "check_schema_contract",
+    "scanned_relation_names",
+    "restrict_database",
+    "read_set_stats",
+    "version_subvector",
+]
+
+#: An ordered relation schema: ``((name, arity), ...)``.
+SchemaTuple = Tuple[Tuple[str, int], ...]
+
+#: The wildcard name in a cache version sub-vector: the entry depends on
+#: the whole database (no exact read-set), so any relation bump kills it.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class RelationRead:
+    """One input relation of a plan, with its static scan interval.
+
+    ``position`` is the binder slot for positional (term) plans and
+    ``None`` for named (fixpoint) inputs; ``arity`` is the arity the
+    schema contract demands (``None`` when the plan carries no
+    signature).  ``scans`` reuses the absint scan-count domain: an input
+    whose interval is ``[0, 0]`` is *bound but never scanned* — it cannot
+    influence the result.
+    """
+
+    name: str
+    arity: Optional[int]
+    scans: Interval
+    position: Optional[int] = None
+
+    @property
+    def scanned(self) -> bool:
+        return self.scans.hi is None or self.scans.hi > 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "arity": self.arity,
+            "position": self.position,
+            "scans": self.scans.as_dict(),
+            "scanned": self.scanned,
+        }
+
+
+@dataclass(frozen=True)
+class ProvenanceFacts:
+    """The read-set / schema-contract / determinism certificate of a plan.
+
+    ``positional`` is True for term plans (inputs are binder slots filled
+    from the database in schema order) and False for fixpoint plans
+    (inputs resolved by name).  ``exact=False`` means the analysis fell
+    back to the conservative top — every input potentially scanned with
+    unbounded multiplicity (``fallback`` carries the reason) — and
+    relation-granular cache reuse degrades to whole-version invalidation.
+    ``deterministic`` is always True for certified plans: strong
+    normalization plus confluence make the normal form a function of the
+    plan and the relations it reads, which is what justifies reusing a
+    cached result across updates that leave the read-set untouched.
+    """
+
+    kind: str  # "term" | "fixpoint"
+    reads: Tuple[RelationRead, ...]
+    exact: bool
+    positional: bool
+    fallback: Optional[str] = None
+    deterministic: bool = True
+
+    def scanned_reads(self) -> Tuple[RelationRead, ...]:
+        return tuple(read for read in self.reads if read.scanned)
+
+    def describe(self) -> str:
+        """A compact one-line rendering (catalog / lint output)."""
+        if not self.exact:
+            return "⊤ (every input, unbounded)"
+        parts = []
+        for read in self.reads:
+            if read.scanned:
+                parts.append(f"{read.name}{read.scans.render()}")
+        if not parts:
+            return "∅ (result is data-independent)"
+        return ", ".join(parts)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "exact": self.exact,
+            "positional": self.positional,
+            "deterministic": self.deterministic,
+            "fallback": self.fallback,
+            "reads": [read.as_dict() for read in self.reads],
+        }
+
+    def render(self) -> List[str]:
+        """Human-readable fact lines (the ``repro lint --analyze`` view)."""
+        lines: List[str] = []
+        if not self.exact:
+            lines.append(
+                f"provenance fell back to the conservative top: "
+                f"{self.fallback}"
+            )
+            return lines
+        lines.append(f"read-set: {self.describe()}")
+        unread = [read.name for read in self.reads if not read.scanned]
+        if unread:
+            lines.append(
+                f"bound but never scanned: {', '.join(unread)} "
+                f"(updates to these cannot invalidate cached results)"
+            )
+        return lines
+
+
+# ---------------------------------------------------------------------------
+# Building provenance from the abstract facts
+# ---------------------------------------------------------------------------
+
+def term_provenance(
+    signature: QueryArity, facts: AbstractFacts
+) -> ProvenanceFacts:
+    """Provenance of a term plan from its signature and abstract facts.
+
+    The positional reads carry the absint scan intervals; when the
+    abstract walk fell back (or its input accounting does not line up
+    with the signature) the provenance is the conservative top: every
+    input read with unbounded multiplicity.
+    """
+    count = len(signature.inputs)
+
+    def top(reason: str) -> ProvenanceFacts:
+        reads = tuple(
+            RelationRead(
+                name=f"input{index}",
+                arity=signature.inputs[index],
+                scans=Interval(lo=0, hi=None),
+                position=index,
+            )
+            for index in range(count)
+        )
+        return ProvenanceFacts(
+            kind="term",
+            reads=reads,
+            exact=False,
+            positional=True,
+            fallback=reason,
+        )
+
+    if facts.fallback is not None:
+        return top(facts.fallback)
+    labels = list(facts.input_scans)
+    if len(labels) != count or len(set(labels)) != count:
+        return top(
+            f"abstract facts cover {len(labels)} input(s), signature "
+            f"declares {count}"
+        )
+    reads = tuple(
+        RelationRead(
+            name=label,
+            arity=signature.inputs[index],
+            scans=facts.input_scans[label],
+            position=index,
+        )
+        for index, label in enumerate(labels)
+    )
+    return ProvenanceFacts(
+        kind="term", reads=reads, exact=True, positional=True
+    )
+
+
+def fixpoint_provenance(query: FixpointQuery) -> ProvenanceFacts:
+    """Provenance of a fixpoint plan: every schema input is read.
+
+    Even an input the step never mentions is scanned — the active-domain
+    list (swept by ``FuncToList`` at every stage) and the Crank length
+    ``|D|^k`` are computed over *all* inputs, so changing any input can
+    change the result.  The scan interval is therefore ``[1, inf)`` for
+    every input; the analysis is always exact.
+    """
+    facts = abstract_fixpoint_facts(query)
+    reads = tuple(
+        RelationRead(
+            name=name,
+            arity=arity,
+            scans=Interval(
+                lo=1 + facts.input_scans.get(name, Interval(0, 0)).lo,
+                hi=None,
+            ),
+            position=None,
+        )
+        for name, arity in query.input_schema
+    )
+    return ProvenanceFacts(
+        kind="fixpoint", reads=reads, exact=True, positional=False
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schema contracts
+# ---------------------------------------------------------------------------
+
+def database_schema(database: Database) -> SchemaTuple:
+    """The ordered ``((name, arity), ...)`` schema of a database."""
+    return tuple(
+        (name, relation.arity) for name, relation in database
+    )
+
+
+def check_schema_contract(
+    provenance: ProvenanceFacts, schema: Sequence[Tuple[str, int]]
+) -> Tuple[List[str], List[str]]:
+    """Check a plan's schema contract against a target database schema.
+
+    Returns ``(mismatches, unused)``: ``mismatches`` are TLI024 findings
+    (the plan cannot run against this schema — wrong relation count,
+    wrong arity, or a missing named input); ``unused`` are TLI025
+    findings (relations the database supplies that the plan never
+    scans).  Both lists are human-readable message fragments.
+    """
+    mismatches: List[str] = []
+    unused: List[str] = []
+    schema = tuple(schema)
+    if provenance.positional:
+        if len(schema) != len(provenance.reads):
+            mismatches.append(
+                f"plan binds {len(provenance.reads)} input relation(s), "
+                f"database supplies {len(schema)} — term plans consume "
+                f"the database positionally, so the counts must match "
+                f"exactly"
+            )
+            return mismatches, unused
+        for read, (db_name, db_arity) in zip(provenance.reads, schema):
+            if read.arity is not None and read.arity != db_arity:
+                mismatches.append(
+                    f"input {read.position} ({read.name}) expects arity "
+                    f"{read.arity}, database relation {db_name!r} has "
+                    f"arity {db_arity}"
+                )
+        if not mismatches and provenance.exact:
+            for read, (db_name, _) in zip(provenance.reads, schema):
+                if not read.scanned:
+                    unused.append(
+                        f"relation {db_name!r} (input {read.position}) "
+                        f"is bound but never scanned"
+                    )
+        return mismatches, unused
+    # Named (fixpoint) contract: each schema input present at its arity,
+    # extras tolerated but reported unused.
+    supplied: Dict[str, int] = dict(schema)
+    for read in provenance.reads:
+        if read.name not in supplied:
+            mismatches.append(
+                f"input relation {read.name!r} is missing from the "
+                f"database"
+            )
+        elif read.arity is not None and supplied[read.name] != read.arity:
+            mismatches.append(
+                f"input {read.name!r} expects arity {read.arity}, "
+                f"database has arity {supplied[read.name]}"
+            )
+    declared = {read.name for read in provenance.reads}
+    for db_name, _ in schema:
+        if db_name not in declared:
+            unused.append(
+                f"relation {db_name!r} is not in the plan's input schema "
+                f"and is never read"
+            )
+    return mismatches, unused
+
+
+# ---------------------------------------------------------------------------
+# Read-set projections against a concrete database
+# ---------------------------------------------------------------------------
+
+def scanned_relation_names(
+    provenance: Optional[ProvenanceFacts], database: Database
+) -> Optional[Tuple[str, ...]]:
+    """The *database* relation names the plan actually scans.
+
+    Resolves positional reads through the database's schema order.
+    Returns ``None`` when the read-set cannot be trusted (no provenance,
+    a non-exact one, or a database whose shape does not fit the
+    contract) — callers must then fall back to the whole database.
+    """
+    if provenance is None or not provenance.exact:
+        return None
+    names = database.names
+    if provenance.positional:
+        if len(names) != len(provenance.reads):
+            return None
+        return tuple(
+            names[read.position]
+            for read in provenance.reads
+            if read.scanned and read.position is not None
+        )
+    present = set(names)
+    resolved = tuple(
+        read.name
+        for read in provenance.reads
+        if read.scanned and read.name in present
+    )
+    if len(resolved) != len(provenance.scanned_reads()):
+        return None
+    return resolved
+
+
+def restrict_database(
+    database: Database, names: Sequence[str]
+) -> Database:
+    """The sub-database holding only ``names`` (schema order kept)."""
+    keep = set(names)
+    return Database(
+        tuple(
+            (name, relation)
+            for name, relation in database
+            if name in keep
+        )
+    )
+
+
+def read_set_stats(
+    provenance: Optional[ProvenanceFacts],
+    database: Database,
+    stats: Optional[DatabaseStats] = None,
+) -> DatabaseStats:
+    """Database statistics restricted to the plan's read-set.
+
+    Admission pricing and shard fuel splits instantiate cost polynomials
+    at these statistics: a plan that scans one small relation of a large
+    database is priced for what it reads, not for what happens to sit
+    next to it.  Falls back to the full statistics when the read-set is
+    not exact (or covers the whole database anyway).
+    """
+    names = scanned_relation_names(provenance, database)
+    if names is None or set(names) >= set(database.names):
+        if stats is not None:
+            return stats
+        return DatabaseStats.of(database)
+    return DatabaseStats.of(restrict_database(database, names))
+
+
+def version_subvector(
+    provenance: Optional[ProvenanceFacts],
+    database: Database,
+    versions: Sequence[Tuple[str, int]],
+    global_version: int,
+) -> Tuple[Tuple[str, int], ...]:
+    """The cache key's version component for one (plan, database) pair.
+
+    With an exact read-set this is the sorted ``(name, version)``
+    sub-vector of the scanned relations — updates that bump only other
+    relations leave the key (and the cached result) valid.  Without one
+    it is the wildcard vector ``((WILDCARD, global_version),)``, which
+    any relation bump invalidates: exactly the old whole-version
+    behavior.  An empty sub-vector (the plan scans nothing) is sound
+    too: a data-independent result survives every update.
+    """
+    names = scanned_relation_names(provenance, database)
+    if names is None:
+        return ((WILDCARD, global_version),)
+    version_of = dict(versions)
+    return tuple(
+        sorted(
+            (name, version_of.get(name, global_version))
+            for name in set(names)
+        )
+    )

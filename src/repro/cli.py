@@ -302,8 +302,11 @@ def cmd_catalog(args) -> int:
         print(json.dumps(summary, indent=2))
         return 0
     for entry in summary["databases"]:
+        versions = entry.get("relation_versions") or {}
         relations = ", ".join(
-            f"{name}[{count}]" for name, count in entry["relations"].items()
+            f"{name}[{count}]"
+            + (f"@v{versions[name]}" if name in versions else "")
+            for name, count in entry["relations"].items()
         )
         print(
             f"db {entry['name']} v{entry['version']} "
@@ -314,10 +317,11 @@ def cmd_catalog(args) -> int:
         order = f" order={entry['order']}" if entry["order"] else ""
         sig = f" sig={entry['signature']}" if entry["signature"] else ""
         cost = f" cost={entry['cost']}" if entry.get("cost") else ""
+        reads = f" reads={entry['reads']}" if entry.get("reads") else ""
         print(
             f"query {entry['name']} kind={entry['kind']} "
             f"engine={entry['engine']} digest={entry['digest']}"
-            f"{order}{sig}{cost}"
+            f"{order}{sig}{cost}{reads}"
         )
         for warning in entry.get("warnings", ()):
             print(f"  warning: {warning}")
@@ -380,6 +384,7 @@ def cmd_lint(args) -> int:
             signature=target.signature,
             max_order=max_order,
             known_constants=target.known_constants,
+            target_schema=getattr(target, "target_schema", None),
         )
         reports.append(report)
         # Expected codes (the seeded bad-query corpus) must fire and do
@@ -464,6 +469,8 @@ def _render_abstract_facts(report) -> list:
         )
     elif report.cost is not None:
         out.append(f"  cost {report.cost.describe()} (not tightened)")
+    if getattr(report, "provenance", None) is not None:
+        out.extend(f"  {line}" for line in report.provenance.render())
     return out
 
 

@@ -20,7 +20,7 @@ reduction produces — the test suite asserts this on small instances.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_relation
@@ -52,6 +52,7 @@ def run_ra_query_materialized(
     *,
     max_depth: int = 600_000,
     observer: Optional[Callable[[dict], None]] = None,
+    read_trace: Optional[Set[str]] = None,
 ) -> QueryRun:
     """Evaluate a compiled RA query over ``database`` with per-operator
     materialization.  The result (including tuple order and duplicates) is
@@ -61,6 +62,11 @@ def run_ra_query_materialized(
     normalization (the :mod:`repro.obs.profiler` contract); an
     accumulating observer such as
     :class:`~repro.obs.profiler.ProfileCollector` merges them.
+
+    ``read_trace`` (when supplied) collects the database relation names
+    the evaluation actually consumed: each ``Base`` leaf resolved, the
+    underlying relation of every ``precedes(X)``, and — for ``adom()`` —
+    every relation of the database (the active domain sweeps them all).
     """
     schema = {name: relation.arity for name, relation in database}
     full_schema = schema_with_derived(schema)
@@ -83,6 +89,8 @@ def run_ra_query_materialized(
         if isinstance(node, Base):
             if node.name == ADOM_NAME:
                 names = list(schema)
+                if read_trace is not None:
+                    read_trace.update(names)
                 term = lam(
                     names,
                     active_domain_expr_term(schema, Var),
@@ -94,12 +102,16 @@ def run_ra_query_materialized(
                 base_name = node.name[len(PRECEDES_PREFIX):]
                 if base_name not in schema:
                     raise SchemaError(f"unknown relation {base_name!r}")
+                if read_trace is not None:
+                    read_trace.add(base_name)
                 return normalize_app(
                     ops.precedes_relation_term(schema[base_name]),
                     encoded[base_name],
                 )
             if node.name not in encoded:
                 raise SchemaError(f"unknown relation {node.name!r}")
+            if read_trace is not None:
+                read_trace.add(node.name)
             return encoded[node.name]
         if isinstance(node, Union):
             arity = node.left.arity(full_schema)

@@ -49,12 +49,12 @@ duplicate pattern match ``FuncToList'``'s domain enumeration exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from repro.db.decode import DecodedRelation, decode_relation
 from repro.db.encode import encode_database, encode_relation
 from repro.db.relations import Database, Relation
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, SchemaError
 from repro.lam.nbe import nbe_normalize_counted
 from repro.lam.terms import Term, Var, app, lam
 from repro.queries.fixpoint import (
@@ -90,6 +90,7 @@ def run_fixpoint_query(
     stop_on_convergence: bool = True,
     max_depth: int = 1_000_000,
     observer: Optional[Callable[[dict], None]] = None,
+    read_trace: Optional[Set[str]] = None,
 ) -> FixpointRun:
     """Evaluate a fixpoint query over ``database`` in polynomial time.
 
@@ -104,6 +105,18 @@ def run_fixpoint_query(
     ``observer`` receives one step-breakdown dict per stage normalization
     (the :mod:`repro.obs.profiler` contract), so an accumulating observer
     sees the same total the returned ``nbe_steps`` reports.
+
+    ``read_trace`` (when supplied) collects the names of the database
+    relations the evaluation actually consumed — the instrumented trace
+    the provenance tests compare against the static read-set.
+
+    The evaluation is restricted to the query's *input schema*: the
+    compiled tower ``λR̄. ...`` binds exactly the schema relations, so a
+    database carrying extra relations must not be encoded wholesale (an
+    over-applied tower leaves a stuck application spine that only fails
+    at decode time).  A database *missing* a schema relation, or carrying
+    it at the wrong arity, is rejected up front with a TLI024-coded
+    :class:`~repro.errors.SchemaError`.
     """
     if style == "tli":
         from repro.queries.fixpoint import copy_gadget_term
@@ -123,7 +136,28 @@ def run_fixpoint_query(
     names = list(query.input_names())
     k = query.output_arity
 
-    encoded_inputs = encode_database(database)
+    problems = []
+    for name in names:
+        if name not in database:
+            problems.append(f"input relation {name!r} is missing")
+        elif database[name].arity != schema[name]:
+            problems.append(
+                f"input {name!r} expects arity {schema[name]}, database "
+                f"has arity {database[name].arity}"
+            )
+    if problems:
+        raise SchemaError(
+            "[TLI024] fixpoint query does not fit the database schema: "
+            + "; ".join(problems)
+        )
+
+    # Restrict to the schema relations, in schema order: the tower binds
+    # exactly these, and the Crank length / active domain range over them.
+    inputs_db = Database(tuple((name, database[name]) for name in names))
+    if read_trace is not None:
+        read_trace.update(names)
+
+    encoded_inputs = encode_database(inputs_db)
 
     # Materialize the active-domain list once (by Church-Rosser this is the
     # same reduction the whole-term evaluation performs lazily at every
@@ -166,7 +200,7 @@ def run_fixpoint_query(
         app(func_to_list, empty_characteristic_term(k)),
     )
 
-    crank_length = len(database.active_domain()) ** k
+    crank_length = len(inputs_db.active_domain()) ** k
 
     from repro.eval.materialize import run_ra_query_materialized
 
@@ -176,10 +210,10 @@ def run_fixpoint_query(
     converged_at: Optional[int] = None
     stages_run = 0
     for index in range(crank_length):
-        step_db = database.with_relation(FIX_NAME, stage_relation)
+        step_db = inputs_db.with_relation(FIX_NAME, stage_relation)
         step_run = run_ra_query_materialized(
             query.effective_step(), step_db, max_depth=max_depth,
-            observer=observer,
+            observer=observer, read_trace=read_trace,
         )
         # The step output is already deduplicated here (sound because
         # ListToFunc' only ever tests membership in its list argument —
@@ -209,6 +243,9 @@ def run_fixpoint_query(
         stage = next_stage
         stage_relation = next_relation
 
+    if read_trace is not None:
+        # The stage relation is evaluator-internal, not a database read.
+        read_trace.discard(FIX_NAME)
     decoded = decode_relation(stage, k)
     return FixpointRun(
         relation=decoded.relation,

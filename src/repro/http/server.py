@@ -40,6 +40,11 @@ from typing import Dict, Optional, Set, Tuple
 from repro import __version__
 from repro.analysis.analyzer import fuel_budget
 from repro.analysis.cost import DatabaseStats
+from repro.analysis.provenance import (
+    check_schema_contract,
+    database_schema,
+    read_set_stats,
+)
 from repro.errors import ReproError
 from repro.http.admission import AdmissionController, AdmissionTicket
 from repro.http.auth import Authenticator
@@ -162,8 +167,14 @@ class QueryEdge:
             if stats is None:
                 stats = DatabaseStats.of(db_entry.database)
             for query_entry in catalog.queries():
+                # Price each plan against its read-set's statistics
+                # (TLI023): relations the plan never scans cannot
+                # contribute to its Theorem 5.1 bound.
+                priced_stats = read_set_stats(
+                    query_entry.provenance, db_entry.database, stats
+                )
                 prices.append(fuel_budget(
-                    query_entry.effective_cost, stats,
+                    query_entry.effective_cost, priced_stats,
                     default=self.config.uncertified_fuel,
                 ))
         peak = max(prices, default=self.config.uncertified_fuel)
@@ -552,11 +563,25 @@ class QueryEdge:
             db_entry = catalog.get_database(database)
         except ReproError as exc:
             raise ApiError(404, "unknown_database", str(exc)) from exc
+        if entry.provenance is not None:
+            mismatches, _ = check_schema_contract(
+                entry.provenance, database_schema(db_entry.database)
+            )
+            if mismatches:
+                raise ApiError(
+                    400, "bad_query",
+                    f"[TLI024] query {spec.query!r} does not fit database "
+                    f"{database!r}: " + "; ".join(mismatches),
+                )
         if spec.fuel is not None:
             return database, max(1, spec.fuel)
         stats = db_entry.stats
         if stats is None:
             stats = DatabaseStats.of(db_entry.database)
+        # Admission prices against the read-set-restricted statistics
+        # (TLI023); the evaluation budget itself is set by the runtime
+        # from the full statistics, so this only tightens admission.
+        stats = read_set_stats(entry.provenance, db_entry.database, stats)
         fuel = fuel_budget(
             entry.effective_cost, stats,
             default=self.config.uncertified_fuel,

@@ -425,6 +425,7 @@ CORE_METRIC_NAMES = (
     "repro_cache_hits_total",
     "repro_cache_misses_total",
     "repro_cache_inflight_waits_total",
+    "repro_cache_provenance_saves_total",
     "repro_engine_steps_total",
     "repro_steps_bound_ratio",
     "repro_cost_tightening_ratio",
@@ -460,6 +461,11 @@ def install_core_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
         "inflight_waits": registry.counter(
             "repro_cache_inflight_waits_total",
             "Requests that waited behind an identical in-flight evaluation",
+        ),
+        "provenance_saves": registry.counter(
+            "repro_cache_provenance_saves_total",
+            "Cache hits served across a database version bump because the "
+            "read-set's version sub-vector survived (TLI023 keying)",
         ),
         "engine_steps": registry.counter(
             "repro_engine_steps_total",

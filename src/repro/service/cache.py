@@ -4,11 +4,22 @@ A query's normal form is a pure function of the query term and the encoded
 database (strong normalization + Church-Rosser, Properties 1-2 of
 Section 2.1), so caching is sound with a key of
 
-    (query digest, database name, database version, engine)
+    (query digest, database name, version key, engine)
 
 where the query digest is the alpha-invariant content digest of
-:func:`repro.lam.terms.digest` and the database version is bumped by the
-catalog on every update (which also drops the stale entries eagerly).
+:func:`repro.lam.terms.digest`.  The *version key* comes in two shapes:
+
+* a plain ``int`` — the database's global version (legacy whole-version
+  keying, still used for plans without a provenance certificate);
+* a tuple of ``(relation_name, relation_version)`` pairs — the plan's
+  read-set **sub-vector** of the catalog's per-relation version vector.
+  The result is a pure function of the relations the plan reads
+  (TLI023), so the key stays valid across updates that bump only other
+  relations — those hits are counted as ``provenance_saves``.  The
+  wildcard pair ``("*", global_version)`` marks a non-exact read-set
+  (TLI027): any relation bump invalidates it, i.e. exactly the legacy
+  behavior.
+
 Only *successful* evaluations are cached — a ``FuelExhausted`` under one
 budget says nothing about larger budgets — so fuel and depth budgets are
 deliberately not part of the key: any budget that reached the normal form
@@ -22,14 +33,22 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Iterable, Optional, Tuple, Union
 
 from repro.db.decode import DecodedRelation
 from repro.db.relations import Relation
 from repro.lam.terms import Term
 
-#: (query digest, database key, database version, engine)
-CacheKey = Tuple[str, str, int, str]
+#: Either the database's global version or the read-set's
+#: ``((relation_name, relation_version), ...)`` sub-vector (sorted;
+#: ``("*", v)`` is the conservative wildcard).
+VersionKey = Union[int, Tuple[Tuple[str, int], ...]]
+
+#: (query digest, database key, version key, engine)
+CacheKey = Tuple[str, str, VersionKey, str]
+
+#: The wildcard relation name in a sub-vector version key.
+WILDCARD = "*"
 
 
 @dataclass(frozen=True)
@@ -49,6 +68,10 @@ class CachedResult:
     #: The computing request's reduction profile (step breakdown plus the
     #: static-bound comparison); replayed verbatim on later hits.
     profile: Optional[dict] = None
+    #: The database's *global* version when the result was computed; a hit
+    #: at a higher global version is a provenance save (the read-set key
+    #: survived an update to relations the plan never scans).
+    database_version: Optional[int] = None
 
 
 @dataclass
@@ -66,6 +89,10 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     inflight_waits: int = 0
+    #: Hits served from a read-set-keyed entry *after* the database's
+    #: global version moved on — reuse the legacy whole-version
+    #: invalidation would have destroyed.
+    provenance_saves: int = 0
     size: int = 0
     capacity: int = 0
 
@@ -88,6 +115,7 @@ class CacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "inflight_waits": self.inflight_waits,
+            "provenance_saves": self.provenance_saves,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -109,6 +137,7 @@ class ResultCache:
         self._evictions = 0
         self._invalidations = 0
         self._inflight_waits = 0
+        self._provenance_saves = 0
 
     def get(self, key: CacheKey) -> Optional[CachedResult]:
         with self._lock:
@@ -139,11 +168,51 @@ class ResultCache:
             self._invalidations += len(stale)
             return len(stale)
 
+    def invalidate_relations(
+        self, database_key: str, names: Iterable[str]
+    ) -> int:
+        """Relation-granular invalidation: drop the entries for
+        ``database_key`` whose version key depends on a relation in
+        ``names``.
+
+        Three key shapes are affected: legacy ``int`` version keys (the
+        plan has no read-set — the global version moved, so they are
+        unreachable anyway; drop them eagerly), wildcard sub-vectors
+        (TLI027 conservative top — depends on everything), and
+        sub-vectors naming a touched relation.  Sub-vectors over disjoint
+        relations *survive*: the result provably cannot have changed.
+        Returns the number of entries dropped.
+        """
+        touched = set(names)
+        with self._lock:
+            stale = []
+            for key in self._data:
+                if key[1] != database_key:
+                    continue
+                version_key = key[2]
+                if isinstance(version_key, int):
+                    stale.append(key)
+                elif any(
+                    rel == WILDCARD or rel in touched
+                    for rel, _ in version_key
+                ):
+                    stale.append(key)
+            for key in stale:
+                del self._data[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
     def count_inflight_wait(self) -> None:
         """Record one request that waited behind an identical in-flight
         evaluation (called by the runtime's single-flight path)."""
         with self._lock:
             self._inflight_waits += 1
+
+    def count_provenance_save(self) -> None:
+        """Record one hit served across a global version bump thanks to
+        read-set keying (called by the runtime's hit path)."""
+        with self._lock:
+            self._provenance_saves += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -158,6 +227,7 @@ class ResultCache:
                 evictions=self._evictions,
                 invalidations=self._invalidations,
                 inflight_waits=self._inflight_waits,
+                provenance_saves=self._provenance_saves,
                 size=len(self._data),
                 capacity=self._capacity,
             )

@@ -26,13 +26,18 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.analyzer import analyze_fixpoint, analyze_term
 from repro.analysis.cost import CostProfile, DatabaseStats
-from repro.analysis.diagnostics import AnalysisReport
-from repro.db.encode import encode_database
-from repro.db.relations import Database
+from repro.analysis.diagnostics import AnalysisReport, Severity
+from repro.analysis.provenance import (
+    ProvenanceFacts,
+    check_schema_contract,
+    database_schema,
+)
+from repro.db.encode import encode_relation
+from repro.db.relations import Database, Relation
 from repro.errors import EvaluationError, SchemaError
 from repro.lam.terms import Term, digest, intern_term
 from repro.queries.fixpoint import FixpointQuery, build_fixpoint_query
@@ -81,10 +86,21 @@ class DatabaseEntry:
     #: Size statistics the static cost polynomials range over; computed at
     #: registration so per-request fuel derivation is O(1).
     stats: Optional[DatabaseStats] = None
+    #: Per-relation version vector, ``((relation_name, version), ...)`` in
+    #: schema order.  An update bumps only the relations it touched, so a
+    #: cache key built from a plan's read-set sub-vector survives updates
+    #: to relations the plan never scans.
+    versions: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def schema(self) -> Dict[str, int]:
         return {name: rel.arity for name, rel in self.database}
+
+    def relation_version(self, name: str) -> int:
+        for candidate, version in self.versions:
+            if candidate == name:
+                return version
+        return self.version
 
     def summary(self) -> dict:
         return {
@@ -94,6 +110,7 @@ class DatabaseEntry:
             "relations": {
                 name: len(rel) for name, rel in self.database
             },
+            "relation_versions": dict(self.versions),
             "active_domain": len(self.database.active_domain()),
         }
 
@@ -151,6 +168,11 @@ class QueryEntry:
         simplifier changed the plan)."""
         return self.simplified if self.simplified is not None else self.term
 
+    @property
+    def provenance(self) -> Optional[ProvenanceFacts]:
+        """The read-set / schema-contract certificate (TLI023)."""
+        return self.report.provenance if self.report is not None else None
+
     def summary(self) -> dict:
         report = self.report
         return {
@@ -173,6 +195,11 @@ class QueryEntry:
                 else None
             ),
             "simplified": self.simplified is not None,
+            "reads": (
+                self.provenance.describe()
+                if self.provenance is not None
+                else None
+            ),
             "warnings": (
                 [d.format() for d in report.warnings()] if report else []
             ),
@@ -194,19 +221,50 @@ class Catalog:
     ) -> DatabaseEntry:
         """Register (or replace) ``name``, encoding every relation once.
 
-        Returns the new entry; replacing bumps the version so cached
-        results for the old contents can never be served.
+        Returns the new entry; replacing bumps the global version so
+        cached results for the old contents can never be served.  The
+        per-relation version vector is diffed against the previous
+        contents: a relation that is structurally unchanged keeps its
+        version (and its encoded term), so read-set-keyed cache entries
+        that never scan the touched relations stay valid.
         """
         with self._lock:
             previous = self._databases.get(name)
             version = previous.version + 1 if previous else 1
+            prev_relations: Dict[str, Relation] = {}
+            prev_encoded: Dict[str, Term] = {}
+            prev_versions: Dict[str, int] = {}
+            if previous is not None:
+                prev_relations = dict(previous.database.relations)
+                prev_encoded = {
+                    rel_name: term
+                    for (rel_name, _), term in zip(
+                        previous.database, previous.encoded
+                    )
+                }
+                prev_versions = dict(previous.versions)
+            encoded: List[Term] = []
+            versions: List[Tuple[str, int]] = []
+            for rel_name, relation in database:
+                if (
+                    rel_name in prev_relations
+                    and prev_relations[rel_name] == relation
+                ):
+                    encoded.append(prev_encoded[rel_name])
+                    versions.append(
+                        (rel_name, prev_versions.get(rel_name, version))
+                    )
+                else:
+                    encoded.append(encode_relation(relation))
+                    versions.append((rel_name, version))
             entry = DatabaseEntry(
                 name=name,
                 database=database,
-                encoded=tuple(encode_database(database)),
+                encoded=tuple(encoded),
                 version=version,
                 digest=database_digest(database),
                 stats=DatabaseStats.of(database),
+                versions=tuple(versions),
             )
             self._databases[name] = entry
             return entry
@@ -217,6 +275,35 @@ class Catalog:
             if name not in self._databases:
                 raise SchemaError(f"database {name!r} is not registered")
             return self.register_database(name, database)
+
+    def apply(
+        self, name: str, updates: Mapping[str, Relation]
+    ) -> Tuple[DatabaseEntry, Tuple[str, ...]]:
+        """Apply a per-relation update to a registered database.
+
+        ``updates`` maps relation names to their new contents (existing
+        names are replaced, new names appended).  Only genuinely changed
+        relations get their version bumped; the returned tuple is
+        ``(new_entry, touched_names)`` where ``touched_names`` are the
+        relations whose contents actually changed — what the runtime
+        feeds to relation-granular cache invalidation.
+        """
+        with self._lock:
+            if name not in self._databases:
+                raise SchemaError(f"database {name!r} is not registered")
+            previous = self._databases[name]
+            merged = previous.database
+            touched: List[str] = []
+            for rel_name, relation in updates.items():
+                if (
+                    rel_name in previous.database
+                    and previous.database[rel_name] == relation
+                ):
+                    continue  # no-op update: keep the version
+                merged = merged.with_relation(rel_name, relation)
+                touched.append(rel_name)
+            entry = self.register_database(name, merged)
+            return entry, tuple(touched)
 
     def get_database(self, name: str) -> DatabaseEntry:
         with self._lock:
@@ -270,9 +357,37 @@ class Catalog:
                 f"query {name!r} must be a Term or FixpointQuery, "
                 f"got {type(query).__name__}"
             )
+        self._cross_check_contract(entry)
         with self._lock:
             self._queries[name] = entry
         return entry
+
+    def _cross_check_contract(self, entry: QueryEntry) -> None:
+        """Check the plan's schema contract against every registered
+        database (TLI024/TLI025 appended to the report).
+
+        A mismatch is a *warning* here, not an error: a catalog may hold
+        databases the plan never targets.  Admission rejects the pair
+        hard when a request actually combines them.
+        """
+        provenance = entry.provenance
+        if entry.report is None or provenance is None:
+            return
+        for db_entry in self.databases():
+            mismatches, unused = check_schema_contract(
+                provenance, database_schema(db_entry.database)
+            )
+            for message in mismatches:
+                entry.report.add(
+                    "TLI024",
+                    f"against database {db_entry.name!r}: {message}",
+                    severity=Severity.WARNING,
+                )
+            for message in unused:
+                entry.report.add(
+                    "TLI025",
+                    f"against database {db_entry.name!r}: {message}",
+                )
 
     def _register_term(
         self,

@@ -52,10 +52,17 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.analyzer import fuel_budget
 from repro.analysis.cost import CostProfile, DatabaseStats
+from repro.analysis.provenance import (
+    ProvenanceFacts,
+    check_schema_contract,
+    database_schema,
+    scanned_relation_names,
+    version_subvector,
+)
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
-from repro.errors import FuelExhausted, ReproError
+from repro.errors import FuelExhausted, ReproError, SchemaError
 from repro.lam.terms import Term, digest
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -257,6 +264,10 @@ class _ResolvedQuery:
     #: reported when the two differ.
     base_cost: Optional[CostProfile] = None
     signature: Optional[QueryArity] = None
+    #: The read-set / schema-contract certificate (TLI023): keys the
+    #: result cache on the read-set's version sub-vector and gates the
+    #: admission-time contract check.
+    provenance: Optional[ProvenanceFacts] = None
 
 
 class QueryService:
@@ -482,6 +493,7 @@ class QueryService:
                 cost=entry.effective_cost,
                 base_cost=entry.cost,
                 signature=entry.signature,
+                provenance=entry.provenance,
             )
         if isinstance(query, FixpointQuery):
             spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
@@ -574,6 +586,7 @@ class QueryService:
                 f"query {resolved.name!r} has no fixpoint spec; the "
                 f"'fixpoint' engine applies to FixpointQuery plans only"
             )
+        self._check_contract(resolved, db_entry)
         policy, shard_plan = self._shard_dispatch(request, resolved, db_entry)
         # Sharded results come back in canonical (merged) order, so they
         # must not share cache entries with in-process results: the shard
@@ -586,7 +599,7 @@ class QueryService:
         key: CacheKey = (
             resolved.digest,
             db_entry.name,
-            db_entry.version,
+            self._version_key(resolved, db_entry),
             engine_key,
         )
         arity = (
@@ -611,6 +624,15 @@ class QueryService:
                     span.set_attr("hit", cached is not None)
                 if cached is not None:
                     self._metrics["cache_hits"].inc()
+                    if (
+                        cached.database_version is not None
+                        and db_entry.version > cached.database_version
+                    ):
+                        # The global version moved on but the read-set's
+                        # sub-vector key survived: legacy whole-version
+                        # invalidation would have recomputed this.
+                        self.cache.count_provenance_save()
+                        self._metrics["provenance_saves"].inc()
                     return self._from_cache(
                         request, resolved, db_entry, cached, arity, start
                     )
@@ -662,6 +684,41 @@ class QueryService:
             compute_wall_ms=computed.compute_wall_ms,
             tag=request.tag,
             profile=computed.profile,
+        )
+
+    @staticmethod
+    def _check_contract(
+        resolved: _ResolvedQuery, db_entry: DatabaseEntry
+    ) -> None:
+        """Admission-time schema-contract check (TLI024): reject the
+        (plan, database) pair before any evaluation when the database
+        cannot satisfy the plan's read contract — the failure that used
+        to surface as a stuck encoding at decode time."""
+        if resolved.provenance is None:
+            return
+        mismatches, _ = check_schema_contract(
+            resolved.provenance, database_schema(db_entry.database)
+        )
+        if mismatches:
+            raise SchemaError(
+                f"[TLI024] query {resolved.name!r} does not fit database "
+                f"{db_entry.name!r}: " + "; ".join(mismatches)
+            )
+
+    @staticmethod
+    def _version_key(
+        resolved: _ResolvedQuery, db_entry: DatabaseEntry
+    ):
+        """The cache key's version component: the read-set's sub-vector
+        of the per-relation version vector when the plan carries a
+        provenance certificate, the global version otherwise."""
+        if resolved.provenance is None:
+            return db_entry.version
+        return version_subvector(
+            resolved.provenance,
+            db_entry.database,
+            db_entry.versions,
+            db_entry.version,
         )
 
     def _evaluate(
@@ -735,6 +792,7 @@ class QueryService:
             compute_wall_ms=compute_ms,
             fuel_budget=fuel,
             profile=self._finish_profile(collector, resolved, db_entry, steps),
+            database_version=db_entry.version,
         )
 
     # -- sharded evaluation --------------------------------------------------
@@ -758,6 +816,13 @@ class QueryService:
         if policy is None:
             return None, None
         plan = self._distribution_plan(resolved, db_entry)
+        scanned = scanned_relation_names(
+            resolved.provenance, db_entry.database
+        )
+        if scanned is not None:
+            from repro.shard.planner import refine_distribution
+
+            plan, _dropped = refine_distribution(plan, set(scanned))
         usable = False
         if plan.distributable:
             try:
@@ -872,6 +937,9 @@ class QueryService:
 
         compute_start = time.perf_counter()
         pool = self._shard_pool_for(policy)
+        scanned = scanned_relation_names(
+            resolved.provenance, db_entry.database
+        )
         if resolved.fixpoint is not None and (
             resolved.engine == FIXPOINT_ENGINE
         ):
@@ -901,6 +969,7 @@ class QueryService:
                 fuel_override=request.fuel,
                 default_fuel=DEFAULT_FUEL,
                 max_depth=request.max_depth,
+                scanned_names=scanned,
             )
         with self.tracer.span("decode"):
             decoded = decode_relation(outcome.normal_form, arity)
@@ -922,6 +991,7 @@ class QueryService:
             profile=self._shard_profile(
                 outcome, resolved, db_entry, policy, shard_plan
             ),
+            database_version=db_entry.version,
         )
 
     def _shard_profile(
@@ -1074,11 +1144,29 @@ class QueryService:
     # -- database updates ----------------------------------------------------
 
     def update_database(self, name: str, database: Database) -> DatabaseEntry:
-        """Replace a registered database and invalidate its cached results
-        (the version bump alone already makes them unreachable; this also
-        frees them eagerly)."""
+        """Replace a registered database and invalidate cached results
+        relation-granularly: only entries whose read-set intersects the
+        relations that actually changed (plus legacy whole-version and
+        wildcard-keyed entries) are dropped — results of plans that never
+        scan the touched relations survive with their keys still valid.
+        """
+        previous = self.catalog.get_database(name).database
         entry = self.catalog.update_database(name, database)
-        self.cache.invalidate_database(name)
+        touched = set(previous.names) ^ set(database.names)
+        for rel_name in set(previous.names) & set(database.names):
+            if previous[rel_name] != database[rel_name]:
+                touched.add(rel_name)
+        self.cache.invalidate_relations(name, touched)
+        return entry
+
+    def apply_update(
+        self, name: str, updates: "Dict[str, Relation]"
+    ) -> DatabaseEntry:
+        """Apply a per-relation update (the relation-granular fast path):
+        the catalog bumps only the touched relations' versions, and only
+        cache entries reading those relations are invalidated."""
+        entry, touched = self.catalog.apply(name, updates)
+        self.cache.invalidate_relations(name, touched)
         return entry
 
     # -- plumbing ------------------------------------------------------------

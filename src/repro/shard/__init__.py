@@ -39,6 +39,7 @@ from repro.shard.planner import (
     plan_distribution,
     plan_fixpoint_distribution,
     plan_term_distribution,
+    refine_distribution,
     shard_fuel,
 )
 from repro.shard.policy import ShardPolicy
@@ -60,6 +61,7 @@ __all__ = [
     "plan_distribution",
     "plan_fixpoint_distribution",
     "plan_term_distribution",
+    "refine_distribution",
     "shard_fuel",
     "shard_index",
 ]

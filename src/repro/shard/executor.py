@@ -138,15 +138,24 @@ def execute_sharded_term(
     fuel_override: Optional[int],
     default_fuel: int,
     max_depth: int,
+    scanned_names: Optional[Sequence[str]] = None,
 ) -> ShardOutcome:
-    """Partition, evaluate the term plan per shard, canonically merge."""
+    """Partition, evaluate the term plan per shard, canonically merge.
+
+    ``scanned_names`` (the plan's exact read-set, TLI026) restricts only
+    the *fuel pricing* to the relations the plan scans; the per-shard
+    bound rows keep the full shard statistics, so the reported
+    ``bound_ratio`` stays a Theorem 5.1 comparison.
+    """
     shards, partitioned, keys = _partition(
         database, db_digest, policy, plan, tracer
     )
     fuels = [
         fuel_override
         if fuel_override is not None
-        else shard_fuel(cost, shard, default=default_fuel)
+        else shard_fuel(
+            cost, shard, default=default_fuel, scanned_names=scanned_names
+        )
         for shard in shards
     ]
     tasks = [

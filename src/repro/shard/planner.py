@@ -49,8 +49,16 @@ the single-shard budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple, Union as TUnion
+from dataclasses import dataclass, replace
+from typing import (
+    AbstractSet,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union as TUnion,
+)
 
 from repro.analysis.analyzer import fuel_budget
 from repro.analysis.cost import CostProfile, DatabaseStats
@@ -531,6 +539,47 @@ def plan_term_distribution(
     )
 
 
+def refine_distribution(
+    plan: DistributionPlan,
+    scanned: AbstractSet[str],
+) -> Tuple[DistributionPlan, Tuple[str, ...]]:
+    """Drop unscanned relations from a plan's partition candidates.
+
+    The read-set certificate (TLI023) proves an unscanned input cannot
+    influence the result, so splitting it buys no parallelism — it only
+    adds partitioning work and skews the shard fuel split.  The refined
+    plan broadcasts those relations instead; dropping a subset of a valid
+    split set is always sound (both the chain-grammar and the RA
+    distributivity predicates are monotone under shrinking the split
+    set).  Returns ``(plan, dropped_names)``; the plan is unchanged when
+    nothing was dropped or dropping would empty the candidate set.
+    """
+    if not plan.distributable:
+        return plan, ()
+    dropped = tuple(
+        name for name in plan.partition_names if name not in scanned
+    )
+    if not dropped:
+        return plan, ()
+    kept = tuple(
+        name for name in plan.partition_names if name in scanned
+    )
+    if not kept:
+        # Every candidate is unscanned: the result is data-independent of
+        # all of them; keep the original plan rather than invent an empty
+        # split.
+        return plan, ()
+    refined = replace(
+        plan,
+        partition_names=kept,
+        broadcast_names=plan.broadcast_names
+        + tuple(n for n in dropped if n not in plan.broadcast_names),
+        reason=plan.reason
+        + f"; read-set refinement broadcasts unscanned {', '.join(dropped)}",
+    )
+    return refined, dropped
+
+
 def plan_distribution(
     plan: TUnion[Term, FixpointQuery],
     *,
@@ -558,14 +607,29 @@ def shard_fuel(
     shard_database: Database,
     *,
     default: int,
+    scanned_names: Optional[Sequence[str]] = None,
 ) -> int:
     """The fuel budget for one shard task.
 
     The Theorem 5.1 cost certificate is a polynomial in the database
     statistics; instantiated at the *shard's* statistics it bounds the
     shard evaluation, and since the polynomial is monotone the per-shard
-    budget never exceeds the single-shard budget.
+    budget never exceeds the single-shard budget.  With ``scanned_names``
+    (an exact read-set, TLI023) the statistics are restricted to the
+    relations the plan actually scans — unscanned relations inflate the
+    budget without ever being folded.
     """
+    stats_db = shard_database
+    if scanned_names is not None:
+        keep = set(scanned_names)
+        if keep < set(shard_database.names):
+            stats_db = Database(
+                tuple(
+                    (name, relation)
+                    for name, relation in shard_database
+                    if name in keep
+                )
+            )
     return fuel_budget(
-        cost, DatabaseStats.of(shard_database), default=default
+        cost, DatabaseStats.of(stats_db), default=default
     )

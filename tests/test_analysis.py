@@ -48,6 +48,7 @@ def run_target(target):
         signature=target.signature,
         max_order=target.max_order,
         known_constants=target.known_constants,
+        target_schema=target.target_schema,
     )
 
 

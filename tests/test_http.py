@@ -536,6 +536,51 @@ class TestEdgeEndToEnd:
 
         run_edge(scenario)
 
+    def test_fixpoint_on_multi_relation_database(self):
+        # make_service registers "main" with two relations (R1, R2) and
+        # "tc" reading only R1: the fixpoint engine must evaluate against
+        # the multi-relation database (the ROADMAP decode bug) and the
+        # edge must price admission from R1's statistics alone.
+        async def scenario(edge):
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "tc", "database": "main"},
+            )
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["arity"] == 2
+            assert payload["engine"] == "fixpoint"
+
+        run_edge(scenario)
+
+    def test_schema_contract_rejected_at_admission(self):
+        from repro.db.relations import Database, Relation
+        from repro.service import QueryService
+
+        svc = make_service()
+        # A second database with three relations: "swap" binds exactly
+        # two inputs positionally, so the contract (TLI024) fails before
+        # any fuel is admitted.
+        svc.catalog.register_database(
+            "wide",
+            Database.of({
+                "A": Relation.from_tuples(2, [("a", "b")]),
+                "B": Relation.from_tuples(2, [("b", "c")]),
+                "C": Relation.from_tuples(1, [("a",)]),
+            }),
+        )
+
+        async def scenario(edge):
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "wide"},
+            )
+            assert status == 400
+            assert payload["error"]["code"] == "bad_query"
+            assert "TLI024" in payload["error"]["message"]
+
+        run_edge(scenario, service=svc)
+
     def test_fuel_exhausted_maps_to_422(self):
         async def scenario(edge):
             status, _, payload = await request(
