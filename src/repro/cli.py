@@ -22,7 +22,16 @@ Commands:
   registry (JSON or Prometheus text exposition);
 * ``trace`` — serve one request with tracing enabled and print its span
   tree (resolve → cache → fuel → evaluate → decode, with the reduction
-  profiler's beta/delta/let/quote breakdown on the evaluation span);
+  profiler's beta/delta/let/quote breakdown on the evaluation span;
+  ``--shards k`` shows the merged tree with per-shard worker spans);
+* ``explain`` — EXPLAIN ANALYZE one request: the static side (order
+  certificate, cost polynomial before/after abstract-interpretation
+  tightening, read-set, distribution class) joined with the observed
+  side (engine, cache path, per-shard fuel vs. steps, bound ratio,
+  span timings), as JSON;
+* ``flight`` — serve an optional batch with the flight recorder on and
+  dump the retained records (slow/errored/bound-breaching/explained)
+  plus recorder stats;
 * ``serve`` — serve the catalog over HTTP: the asyncio edge with bearer
   auth, per-client rate limiting, fuel-denominated admission control,
   ``/health`` + ``/metrics``, and graceful drain on SIGTERM.
@@ -620,6 +629,78 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _resolve_target(service, args):
+    """Resolve the CLI's QUERY/--database pair against the catalog:
+    registered names pass through, anything else parses as an inline
+    term; a lone registered database is the default."""
+    query = args.query_ref
+    known_queries = {entry.name for entry in service.catalog.queries()}
+    if query not in known_queries:
+        query = read_term_argument(query, constants=args.constants or ())
+    database = args.database
+    if database is None:
+        db_names = [entry.name for entry in service.catalog.databases()]
+        if len(db_names) != 1:
+            raise ReproError(
+                f"--database required: {len(db_names)} databases are "
+                f"registered"
+            )
+        database = db_names[0]
+    return query, database
+
+
+def cmd_explain(args) -> int:
+    """EXPLAIN ANALYZE one request: run it with the flight recorder on
+    and print the report joining the static certificate side with the
+    observed execution side (JSON)."""
+    from repro.service import QueryRequest
+
+    service = _build_service(args)
+    service.enable_flight()
+    try:
+        query, database = _resolve_target(service, args)
+        response = service.execute(
+            QueryRequest(
+                query=query,
+                database=database,
+                engine=args.engine,
+                arity=args.arity,
+                fuel=args.fuel,
+                shards=args.shards,
+                explain=True,
+            )
+        )
+    finally:
+        service.close()
+    print(json.dumps(response.explain or {}, indent=2))
+    return 0 if response.ok else 1
+
+
+def cmd_flight(args) -> int:
+    """Serve an optional batch with the flight recorder on, then dump
+    the retained records and the recorder's stats (JSON)."""
+    service = _build_service(args)
+    flight = service.enable_flight()
+    try:
+        if args.requests:
+            requests = _load_batch_requests(
+                args.requests, service, args.constants or ()
+            )
+            if args.repeat > 1:
+                requests = [r for _ in range(args.repeat) for r in requests]
+            service.execute_batch(requests, max_workers=args.workers)
+        payload = {
+            "records": flight.records(
+                trace_id=args.trace_id, limit=args.limit
+            ),
+            "stats": flight.snapshot(),
+        }
+    finally:
+        service.close()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Serve one request with tracing on and print the span tree."""
     from repro.obs.tracing import (
@@ -639,21 +720,8 @@ def cmd_trace(args) -> int:
     tracer = Tracer(exporters=exporters, enabled=True)
     service = _build_service(args, tracer=tracer)
 
-    query = args.query_ref
-    known_queries = {entry.name for entry in service.catalog.queries()}
-    if query not in known_queries:
-        query = read_term_argument(query, constants=args.constants or ())
-    db_names = [entry.name for entry in service.catalog.databases()]
-    database = args.database
-    if database is None:
-        if len(db_names) != 1:
-            raise ReproError(
-                f"--database required: {len(db_names)} databases are "
-                f"registered"
-            )
-        database = db_names[0]
-
     try:
+        query, database = _resolve_target(service, args)
         for _ in range(max(1, args.repeat)):
             response = service.execute(
                 QueryRequest(
@@ -662,9 +730,11 @@ def cmd_trace(args) -> int:
                     engine=args.engine,
                     arity=args.arity,
                     fuel=args.fuel,
+                    shards=args.shards,
                 )
             )
     finally:
+        service.close()
         if jsonl is not None:
             jsonl.close()
 
@@ -1117,6 +1187,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fuel", type=int, default=None,
                    help="explicit fuel budget (default: derived from the "
                         "static cost certificate)")
+    p.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="evaluate on the sharded engine with K shards; "
+                        "the tree shows per-shard worker spans merged "
+                        "under the coordinator's trace")
     p.add_argument("--repeat", type=int, default=1,
                    help="serve the request this many times (later runs "
                         "show the cache-hit span shape)")
@@ -1125,6 +1199,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-tuples", action="store_true",
                    help="omit result tuples from the output")
     p.set_defaults(handler=cmd_trace)
+
+    p = commands.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE one request: the static certificate joined "
+             "with the observed execution, as JSON",
+    )
+    p.add_argument("query_ref", metavar="QUERY",
+                   help="a query registered via --query/--fixpoint, or an "
+                        "inline term / @file")
+    add_service_options(p)
+    p.add_argument("--database", default=None,
+                   help="which registered database to query (default: the "
+                        "only one)")
+    p.add_argument("--engine", default=None,
+                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   help="override the plan's engine")
+    p.add_argument("--arity", type=int, default=None,
+                   help="expected output arity")
+    p.add_argument("--fuel", type=int, default=None,
+                   help="explicit fuel budget (default: derived from the "
+                        "static cost certificate)")
+    p.add_argument("--shards", type=int, default=None, metavar="K",
+                   help="evaluate on the sharded engine with K shards "
+                        "(the report gains per-shard fuel/steps rows)")
+    p.set_defaults(handler=cmd_explain)
+
+    p = commands.add_parser(
+        "flight",
+        help="dump flight-recorder records (optionally after serving a "
+             "batch)",
+    )
+    add_service_options(p)
+    p.add_argument("--requests", default=None,
+                   help="serve this JSON batch first, so the recorder "
+                        "holds real traffic")
+    p.add_argument("--workers", type=int, default=None,
+                   help="thread-pool size for --requests")
+    p.add_argument("--repeat", type=int, default=1,
+                   help="serve the --requests list this many times")
+    p.add_argument("--trace-id", default=None, metavar="TRACE",
+                   help="return only this trace's record")
+    p.add_argument("--limit", type=int, default=None,
+                   help="cap the record listing (newest first)")
+    p.set_defaults(handler=cmd_flight)
 
     p = commands.add_parser(
         "shard",

@@ -88,6 +88,15 @@ class ServerConfig:
     #: overload tests.  Never set in production.
     debug_delay_ms: float = 0.0
 
+    #: Flight recorder: how many full EXPLAIN reports the edge retains
+    #: (``0`` disables the recorder and the ``/debug/flight`` route),
+    #: how many slowest-so-far requests always stay pinned, and the
+    #: observed-steps/static-bound ratio above which a request is
+    #: retained as bound-breaching.
+    flight_capacity: int = 256
+    flight_slowest: int = 32
+    flight_bound_ratio: float = 0.9
+
     #: Per-request default budgets passed through to the service.
     request_timeout_s: Optional[float] = None
 
@@ -119,6 +128,8 @@ class ServerConfig:
             raise ReproError("workers must be >= 1")
         if self.uncertified_fuel <= 0:
             raise ReproError("uncertified_fuel must be positive")
+        if self.flight_capacity < 0:
+            raise ReproError("flight_capacity must be >= 0 (0 = off)")
         return self
 
 
@@ -129,7 +140,8 @@ def _parse_field(name: str, raw: str):
     if name == "host":
         return raw
     if name in ("rate_limit", "queue_timeout_s", "drain_timeout_s",
-                "debug_delay_ms", "request_timeout_s"):
+                "debug_delay_ms", "request_timeout_s",
+                "flight_bound_ratio"):
         try:
             return float(raw)
         except ValueError as exc:

@@ -109,6 +109,9 @@ class HttpResponse:
     body: bytes
     content_type: str = "application/json"
     headers: Dict[str, str] = field(default_factory=dict)
+    #: Trace id to attach as a latency-histogram exemplar (set by query
+    #: routes; ``None`` leaves the histogram exemplar-free).
+    exemplar: Optional[str] = None
 
 
 def json_response(
@@ -153,6 +156,7 @@ class QuerySpec:
     shards: Optional[int] = None
     tag: Optional[str] = None
     include_tuples: bool = True
+    explain: bool = False
 
 
 _SPEC_FIELDS = {
@@ -165,6 +169,7 @@ _SPEC_FIELDS = {
     "shards": int,
     "tag": str,
     "include_tuples": bool,
+    "explain": bool,
 }
 
 

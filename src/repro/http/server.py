@@ -20,6 +20,14 @@ Routes::
     GET  /v1/catalog    the registered databases and plans     [auth]
     POST /v1/query      one query                              [auth]
     POST /v1/batch      a batch, admitted as one fuel unit     [auth]
+    POST /v1/explain    one query with EXPLAIN ANALYZE forced  [auth]
+    GET  /debug/flight  retained flight records (?trace_id=)   [auth]
+
+**Trace propagation.**  Query routes accept a W3C-shaped
+``traceparent`` request header and adopt its trace id (minting a fresh
+one otherwise), thread it through the service into the shard workers,
+and echo a ``traceparent`` response header — so a caller can later
+fetch the full flight record for its own request by trace id.
 
 **Graceful drain.**  SIGTERM (or SIGINT) stops the listener, answers new
 requests on kept-alive connections with 503 ``draining`` +
@@ -36,6 +44,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
+from urllib.parse import parse_qs
 
 from repro import __version__
 from repro.analysis.analyzer import fuel_budget
@@ -61,8 +70,14 @@ from repro.http.schemas import (
     query_http_status,
     render_query_response,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.info import runtime_info
 from repro.obs.metrics import install_http_metrics
+from repro.obs.tracing import (
+    format_traceparent,
+    make_trace_id,
+    parse_traceparent,
+)
 from repro.service import QueryRequest, QueryService
 
 __all__ = ["QueryEdge"]
@@ -114,6 +129,16 @@ class QueryEdge:
         self.config = (config or ServerConfig()).validate()
         self.registry = service.registry
         self.metrics = install_http_metrics(self.registry)
+        # The flight recorder: retain full EXPLAIN reports for slow,
+        # errored, bound-breaching, or explicitly-explained requests.
+        # Respect a recorder the service owner installed before us.
+        self.flight: Optional[FlightRecorder] = service.flight
+        if self.flight is None and self.config.flight_capacity > 0:
+            self.flight = service.enable_flight(FlightRecorder(
+                self.config.flight_capacity,
+                slowest=self.config.flight_slowest,
+                bound_ratio_threshold=self.config.flight_bound_ratio,
+            ))
         self.auth = Authenticator(self.config.tokens)
         self.ratelimit = RateLimiter(
             self.config.rate_limit, self.config.rate_burst
@@ -151,6 +176,10 @@ class QueryEdge:
             ("GET", "/v1/catalog"): (self._route_catalog, "/v1/catalog"),
             ("POST", "/v1/query"): (self._route_query, "/v1/query"),
             ("POST", "/v1/batch"): (self._route_batch, "/v1/batch"),
+            ("POST", "/v1/explain"): (self._route_explain, "/v1/explain"),
+            ("GET", "/debug/flight"): (
+                self._route_flight, "/debug/flight",
+            ),
         }
 
     def _auto_capacity(self) -> int:
@@ -435,7 +464,9 @@ class QueryEdge:
         self.metrics["http_requests"].inc(
             route=route, code=str(response.status)
         )
-        self.metrics["http_latency"].observe(wall_ms, route=route)
+        self.metrics["http_latency"].observe(
+            wall_ms, route=route, exemplar=response.exemplar
+        )
         return response, route
 
     def _no_route(self, request: _Request) -> HttpResponse:
@@ -484,12 +515,27 @@ class QueryEdge:
         return json_response(200, self.service.catalog.summary())
 
     async def _route_query(self, request: _Request) -> HttpResponse:
+        return await self._serve_query(request)
+
+    async def _route_explain(self, request: _Request) -> HttpResponse:
+        """``/v1/query`` with EXPLAIN ANALYZE forced on: the payload's
+        ``explain`` key joins the static certificate with the observed
+        execution (and the flight recorder retains the report)."""
+        return await self._serve_query(request, force_explain=True)
+
+    async def _serve_query(
+        self, request: _Request, *, force_explain: bool = False
+    ) -> HttpResponse:
         self._authenticate(request)
         spec = parse_query_body(request.body)
+        trace_id = self._trace_id(request)
+        explain = spec.explain or force_explain
         database, fuel = self._price(spec)
         ticket = await self._admit(fuel)
         try:
-            response = await self._run_sync(self._execute_one, spec, database)
+            response = await self._run_sync(
+                self._execute_one, spec, database, trace_id, explain
+            )
         finally:
             self._release(ticket)
         payload = render_query_response(
@@ -497,7 +543,54 @@ class QueryEdge:
             include_tuples=spec.include_tuples,
             admission=ticket.as_dict(),
         )
-        return json_response(query_http_status(response), payload)
+        out = json_response(query_http_status(response), payload)
+        echoed = response.trace_id or trace_id
+        out.headers["traceparent"] = format_traceparent(echoed)
+        if self.flight is not None and (
+            self.flight.lookup(echoed) is not None
+        ):
+            out.exemplar = echoed
+        return out
+
+    async def _route_flight(self, request: _Request) -> HttpResponse:
+        """Retained flight records: all (newest first), or one by
+        ``?trace_id=``; ``?limit=N`` caps the listing."""
+        self._authenticate(request)
+        flight = self.flight
+        if flight is None:
+            raise ApiError(
+                404, "flight_disabled",
+                "the flight recorder is disabled (flight_capacity=0)",
+            )
+        params = parse_qs(request.query_string)
+        trace_id = (params.get("trace_id") or [None])[0]
+        raw_limit = (params.get("limit") or [None])[0]
+        limit: Optional[int] = None
+        if raw_limit is not None:
+            try:
+                limit = int(raw_limit)
+            except ValueError as exc:
+                raise ApiError(
+                    400, "bad_request", "limit must be an integer"
+                ) from exc
+        if trace_id is not None:
+            record = flight.lookup(trace_id)
+            if record is None:
+                raise ApiError(
+                    404, "unknown_trace",
+                    f"no flight record retained for trace {trace_id!r}",
+                )
+            records = [record]
+        else:
+            records = flight.records(limit=limit)
+        return json_response(
+            200, {"records": records, "stats": flight.snapshot()}
+        )
+
+    def _trace_id(self, request: _Request) -> str:
+        """Adopt the caller's ``traceparent`` trace id, or mint one."""
+        parsed = parse_traceparent(request.headers.get("traceparent"))
+        return parsed if parsed is not None else make_trace_id()
 
     async def _route_batch(self, request: _Request) -> HttpResponse:
         self._authenticate(request)
@@ -611,19 +704,34 @@ class QueryEdge:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, fn, *args)
 
-    def _execute_one(self, spec: QuerySpec, database: str):
+    def _execute_one(
+        self,
+        spec: QuerySpec,
+        database: str,
+        trace_id: Optional[str] = None,
+        explain: bool = False,
+    ):
         self._debug_delay()
-        return self.service.execute(self._to_request(spec, database))
+        return self.service.execute(self._to_request(
+            spec, database, trace_id=trace_id, explain=explain
+        ))
 
     def _execute_batch(self, specs, priced):
         self._debug_delay()
         requests = [
-            self._to_request(spec, database)
+            self._to_request(spec, database, explain=spec.explain)
             for spec, (database, _) in zip(specs, priced)
         ]
         return self.service.execute_batch(requests)
 
-    def _to_request(self, spec: QuerySpec, database: str) -> QueryRequest:
+    def _to_request(
+        self,
+        spec: QuerySpec,
+        database: str,
+        *,
+        trace_id: Optional[str] = None,
+        explain: bool = False,
+    ) -> QueryRequest:
         timeout_s = spec.timeout_s
         if timeout_s is None:
             timeout_s = self.config.request_timeout_s
@@ -636,6 +744,8 @@ class QueryEdge:
             timeout_s=timeout_s,
             tag=spec.tag,
             shards=spec.shards,
+            trace_id=trace_id,
+            explain=explain,
         )
 
     def _debug_delay(self) -> None:

@@ -8,17 +8,22 @@ One instrumentation seam through the whole stack:
 * :mod:`repro.obs.tracing` — request-lifecycle spans (resolve → cache →
   fuel → evaluate → decode) with ring-buffer and JSONL exporters;
 * :mod:`repro.obs.profiler` — beta/delta/let/quote step breakdowns from
-  the engines, compared against the certifier's static cost bounds.
+  the engines, compared against the certifier's static cost bounds;
+* :mod:`repro.obs.flight` — the flight recorder: bounded retention of
+  full EXPLAIN reports (static certificate + observed execution) for
+  slow, errored, bound-breaching, or explicitly-explained requests.
 
 Metric names, span names, and logger namespaces are documented in
 ``docs/observability.md``.
 """
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.info import build_info, runtime_info, uptime_s
 from repro.obs.metrics import (
     CORE_METRIC_NAMES,
     Counter,
     Gauge,
+    HTTP_LATENCY_BUCKETS_MS,
     HTTP_METRIC_NAMES,
     Histogram,
     LATENCY_BUCKETS_MS,
@@ -34,9 +39,13 @@ from repro.obs.tracing import (
     JsonlExporter,
     RingBufferExporter,
     Span,
+    SpanRecorder,
     Tracer,
     current_span,
+    format_traceparent,
     get_tracer,
+    make_trace_id,
+    parse_traceparent,
     render_span_tree,
     set_tracer,
 )
@@ -44,7 +53,9 @@ from repro.obs.tracing import (
 __all__ = [
     "CORE_METRIC_NAMES",
     "Counter",
+    "FlightRecorder",
     "Gauge",
+    "HTTP_LATENCY_BUCKETS_MS",
     "HTTP_METRIC_NAMES",
     "Histogram",
     "JsonlExporter",
@@ -54,14 +65,18 @@ __all__ = [
     "ReductionProfile",
     "RingBufferExporter",
     "Span",
+    "SpanRecorder",
     "Tracer",
     "bound_ratio",
     "build_info",
     "current_span",
+    "format_traceparent",
     "get_registry",
     "get_tracer",
     "install_core_metrics",
     "install_http_metrics",
+    "make_trace_id",
+    "parse_traceparent",
     "quantile",
     "render_span_tree",
     "runtime_info",

@@ -24,12 +24,14 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "CORE_METRIC_NAMES",
     "Counter",
     "Gauge",
+    "HTTP_LATENCY_BUCKETS_MS",
     "HTTP_METRIC_NAMES",
     "Histogram",
     "LATENCY_BUCKETS_MS",
@@ -47,6 +49,14 @@ __all__ = [
 #: fast path and multi-second fixpoint cranks.
 LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+#: Edge-appropriate latency buckets: the core ladder plus sub-millisecond
+#: resolution, because warm-cache HTTP traffic lands almost entirely under
+#: 10ms and the core ladder cannot distinguish a 0.3ms hit from a 9ms one.
+HTTP_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+    10000,
 )
 
 
@@ -199,6 +209,11 @@ class Histogram(_Metric):
         self.bounds = bounds
         # Per label-key: [bucket counts..., +Inf count], total sum, count.
         self._data: Dict[Tuple[str, ...], List] = {}
+        # Per label-key: bucket index -> last exemplar dict.  Exemplars
+        # link a bucket to a retained flight record (by trace id); they
+        # appear in the JSON snapshots only — the Prometheus text
+        # rendering stays byte-identical with or without them.
+        self._exemplars: Dict[Tuple[str, ...], Dict[int, dict]] = {}
 
     def _cell(self, key: Tuple[str, ...]) -> List:
         cell = self._data.get(key)
@@ -207,7 +222,10 @@ class Histogram(_Metric):
             self._data[key] = cell
         return cell
 
-    def observe(self, value: float, **labels: str) -> None:
+    def observe(
+        self, value: float, *, exemplar: Optional[str] = None,
+        **labels: str,
+    ) -> None:
         key = self._key(labels)
         with self._lock:
             counts, total, count = self._cell(key)
@@ -220,13 +238,28 @@ class Histogram(_Metric):
             cell = self._data[key]
             cell[1] = total + value
             cell[2] = count + 1
+            if exemplar is not None:
+                self._exemplars.setdefault(key, {})[index] = {
+                    "trace_id": exemplar,
+                    "value": round(float(value), 3),
+                    "unix": round(time.time(), 3),
+                }
 
     def snapshot(self, **labels: str) -> dict:
-        """Cumulative bucket counts plus sum/count for one label set."""
+        """Cumulative bucket counts plus sum/count for one label set.
+
+        When any bucket carries an exemplar the snapshot also maps the
+        bucket bound to its latest ``{trace_id, value, unix}`` under
+        ``"exemplars"``.
+        """
         key = self._key(labels)
         with self._lock:
             counts, total, count = self._cell(key)
             counts = list(counts)
+            exemplars = {
+                index: dict(data)
+                for index, data in self._exemplars.get(key, {}).items()
+            }
         cumulative: List[Tuple[float, int]] = []
         running = 0
         for bound, bucket_count in zip(
@@ -234,7 +267,14 @@ class Histogram(_Metric):
         ):
             running += bucket_count
             cumulative.append((bound, running))
-        return {"buckets": cumulative, "sum": total, "count": count}
+        snap = {"buckets": cumulative, "sum": total, "count": count}
+        if exemplars:
+            all_bounds = self.bounds + (math.inf,)
+            snap["exemplars"] = {
+                ("+Inf" if math.isinf(all_bounds[index]) else all_bounds[index]): data
+                for index, data in sorted(exemplars.items())
+            }
+        return snap
 
     def quantile(self, q: float, **labels: str) -> float:
         """Estimate the ``q``-quantile from the cumulative buckets."""
@@ -345,6 +385,11 @@ class MetricsRegistry:
                             ["+Inf" if math.isinf(b) else b, c]
                             for b, c in snap["buckets"]
                         ],
+                        **(
+                            {"exemplars": snap["exemplars"]}
+                            if "exemplars" in snap
+                            else {}
+                        ),
                     }
                     for labels, snap in metric.items()
                 ]
@@ -557,13 +602,22 @@ HTTP_METRIC_NAMES = (
 )
 
 
-def install_http_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
+def install_http_metrics(
+    registry: MetricsRegistry,
+    *,
+    latency_buckets: Sequence[float] = HTTP_LATENCY_BUCKETS_MS,
+) -> Dict[str, _Metric]:
     """Pre-register the HTTP-edge metric family on ``registry``.
 
     Idempotent (same contract as :func:`install_core_metrics`).  Fuel
     gauges/counters are denominated in *certified fuel units* — the
     admission controller accounts capacity in the Theorem 5.1 cost
     certificates of the admitted plans, not in request counts.
+
+    The edge latency histogram defaults to the finer
+    :data:`HTTP_LATENCY_BUCKETS_MS` ladder (sub-millisecond buckets for
+    cache-hit traffic); metric names and label schemas are unchanged, so
+    ``/metrics`` stays backward compatible.
     """
     return {
         "connections": registry.counter(
@@ -583,7 +637,7 @@ def install_http_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
             "repro_http_request_latency_ms",
             "HTTP request wall time (milliseconds), by route",
             labels=("route",),
-            buckets=LATENCY_BUCKETS_MS,
+            buckets=latency_buckets,
         ),
         "inflight_fuel": registry.gauge(
             "repro_http_inflight_fuel",

@@ -17,6 +17,18 @@ Tracing is **off by default**: the module-level default tracer is disabled
 and a disabled tracer's :meth:`Tracer.span` returns a shared no-op span
 without allocating anything, so the instrumented hot path costs one
 attribute check per span site.
+
+**Cross-process propagation.**  A trace crosses process boundaries as
+plain data: the coordinator ships ``{"trace_id", "parent_id"}`` with a
+shard task, the worker records its own spans with a
+:class:`SpanRecorder` (no tracer, no contextvars — just nested dicts
+in :meth:`Span.as_dict` shape), and the reply carries them back over
+the pipe where :meth:`Tracer.ingest` grafts them into the
+coordinator's exporters.  At the HTTP edge the same ``trace_id``
+travels in a W3C ``traceparent``-style header
+(``00-<trace_id>-<parent_id>-01``; see :func:`parse_traceparent` /
+:func:`format_traceparent`), so one tree spans edge → service →
+workers.
 """
 
 from __future__ import annotations
@@ -25,17 +37,22 @@ import itertools
 import json
 import threading
 import time
+import uuid
 from collections import deque
 from contextvars import ContextVar
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = [
     "JsonlExporter",
     "RingBufferExporter",
     "Span",
+    "SpanRecorder",
     "Tracer",
     "current_span",
+    "format_traceparent",
     "get_tracer",
+    "make_trace_id",
+    "parse_traceparent",
     "render_span_tree",
     "set_tracer",
 ]
@@ -170,20 +187,60 @@ class Tracer:
         self._lock = threading.Lock()
         self._open: Dict[str, Span] = {}
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, *, trace_id: Optional[str] = None, **attrs):
         """A context manager for one span; nests under the context's
-        current open span."""
+        current open span.
+
+        ``trace_id`` seeds the trace for a *root* span (e.g. the id a
+        ``traceparent`` header carried in); when there is an open parent
+        span in this context the parent's trace wins.
+        """
         if not self.enabled:
             return NOOP_SPAN
         parent = _CURRENT_SPAN.get()
         span_id = f"{next(self._ids):012x}"
         if parent is not None:
             parent_id: Optional[str] = parent.span_id
-            trace_id = parent.trace_id
+            trace = parent.trace_id
         else:
             parent_id = None
-            trace_id = span_id
-        return Span(name, span_id, parent_id, trace_id, dict(attrs), self)
+            trace = trace_id or span_id
+        return Span(name, span_id, parent_id, trace, dict(attrs), self)
+
+    def new_span_id(self) -> str:
+        """A fresh span id (for synthesizing spans outside :meth:`span`,
+        e.g. the coordinator-side ``shard.respawn`` marker)."""
+        return f"{next(self._ids):012x}"
+
+    def ingest(self, span_dicts: Iterable[dict]) -> List[Span]:
+        """Graft already-finished spans (``Span.as_dict`` shape, e.g.
+        recorded in a shard worker and shipped back over the pipe) into
+        this tracer's exporters.
+
+        The spans keep their own ids/parents/trace, so a worker subtree
+        whose root points at a coordinator span id renders inside the
+        coordinator's tree.  No-op when disabled.
+        """
+        if not self.enabled:
+            return []
+        grafted: List[Span] = []
+        for data in span_dicts:
+            span = Span(
+                str(data.get("name", "span")),
+                str(data.get("span_id", "")),
+                data.get("parent_id"),
+                str(data.get("trace_id", "")),
+                dict(data.get("attrs") or {}),
+                self,
+            )
+            span.status = str(data.get("status", "ok"))
+            span.start_unix = float(data.get("start_unix") or 0.0)
+            duration = data.get("duration_ms")
+            span.duration_ms = float(duration) if duration is not None else None
+            for exporter in self.exporters:
+                exporter.export(span)
+            grafted.append(span)
+        return grafted
 
     def add_exporter(self, exporter) -> None:
         self.exporters.append(exporter)
@@ -250,6 +307,150 @@ class JsonlExporter:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+
+
+class RecordedSpan:
+    """One span captured by a :class:`SpanRecorder` (worker side).
+
+    A plain context manager mirroring :class:`Span`'s surface
+    (``set_attr``/``set_status``) without a tracer, contextvars, or
+    locks — shard workers are single-threaded per task.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "trace_id", "attrs", "status",
+        "start_unix", "_start_perf", "duration_ms", "_recorder",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: Optional[str],
+        trace_id: str,
+        attrs: Dict[str, object],
+        recorder: "SpanRecorder",
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.attrs = attrs
+        self.status = "ok"
+        self.start_unix = 0.0
+        self._start_perf = 0.0
+        self.duration_ms: Optional[float] = None
+        self._recorder = recorder
+
+    def set_attr(self, name: str, value) -> None:
+        self.attrs[name] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    def __enter__(self) -> "RecordedSpan":
+        self.start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        self._recorder._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_ms = (time.perf_counter() - self._start_perf) * 1000.0
+        if exc_type is not None and self.status == "ok":
+            self.status = "error"
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        stack = self._recorder._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._recorder._finished.append(self.as_dict())
+        return False
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "status": self.status,
+            "start_unix": round(self.start_unix, 6),
+            "duration_ms": (
+                round(self.duration_ms, 3)
+                if self.duration_ms is not None
+                else None
+            ),
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanRecorder:
+    """Records spans in a process with no tracer, for shipping back.
+
+    A shard worker builds one per task from the coordinator's trace
+    context (``trace_id`` + the coordinator span to parent under),
+    nests spans on a plain stack, and serializes the finished list —
+    :meth:`Span.as_dict`-shaped dicts — into the reply, where
+    :meth:`Tracer.ingest` grafts them into the coordinator's tree.
+    ``prefix`` keeps worker span ids (e.g. ``w1234-1``) from colliding
+    with the coordinator's counter-based ids across processes.
+    """
+
+    def __init__(
+        self,
+        trace_id: str,
+        parent_id: Optional[str] = None,
+        *,
+        prefix: str = "w",
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.prefix = prefix
+        self._count = 0
+        self._stack: List[RecordedSpan] = []
+        self._finished: List[dict] = []
+
+    def span(self, name: str, **attrs) -> RecordedSpan:
+        self._count += 1
+        span_id = f"{self.prefix}-{self._count}"
+        parent = self._stack[-1].span_id if self._stack else self.parent_id
+        return RecordedSpan(
+            name, span_id, parent, self.trace_id, dict(attrs), self
+        )
+
+    def spans(self) -> List[dict]:
+        """The finished spans, in completion order."""
+        return list(self._finished)
+
+
+def make_trace_id() -> str:
+    """A fresh 32-hex-char trace id (uuid4)."""
+    return uuid.uuid4().hex
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[str]:
+    """The trace id from a W3C ``traceparent``-style header, if usable.
+
+    Lenient: accepts ``00-<trace>-<span>-<flags>`` and returns the
+    trace field when it is non-zero hex; anything malformed yields
+    ``None`` (the caller mints a fresh id).
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 2:
+        return None
+    trace = parts[1].lower()
+    if not trace or any(ch not in "0123456789abcdef" for ch in trace):
+        return None
+    if set(trace) == {"0"}:
+        return None
+    return trace
+
+
+def format_traceparent(trace_id: str, span_id: str = "") -> str:
+    """Render a W3C-shaped ``traceparent`` value for response headers."""
+    trace = (trace_id or make_trace_id()).ljust(32, "0")[:32]
+    span = (span_id or "0").ljust(16, "0")[:16]
+    return f"00-{trace}-{span}-01"
 
 
 def render_span_tree(spans: Sequence[Span], *, attrs: bool = True) -> str:

@@ -32,7 +32,21 @@ quote step breakdown lands on :attr:`QueryResponse.profile` together with
 the certifier's static cost bound and the observed/bound ratio, which is
 also exported as the ``repro_steps_bound_ratio`` gauge.  Requests slower
 than ``slow_query_ms`` emit a structured warning on the
-``repro.service.slow`` logger.
+``repro.service.slow`` logger, carrying the ``trace_id`` and cache-key
+digest so the logged request can be looked up in the flight recorder.
+
+**Flight recorder & EXPLAIN.**  A service built (or retrofitted via
+:meth:`QueryService.enable_flight`) with a
+:class:`~repro.obs.flight.FlightRecorder` assembles one *explain
+report* per request — the static side (order certificate, cost
+polynomial before/after absint tightening, read-set, distribution
+class) joined with the observed side (engine, cache path, per-shard
+fuel split vs. steps, reduction profile, bound ratio) plus the
+request's span tree — and offers it to the recorder, which retains
+errors, bound-ratio breaches, the slowest N, and anything that asked
+``explain=True``.  Requests propagate a caller-supplied ``trace_id``
+(e.g. from an HTTP ``traceparent`` header) into the root span, and
+admitted reports stamp trace-id exemplars onto the latency histogram.
 """
 
 from __future__ import annotations
@@ -64,6 +78,7 @@ from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
 from repro.errors import FuelExhausted, ReproError, SchemaError
 from repro.lam.terms import Term, digest
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     MetricsRegistry,
     install_core_metrics,
@@ -136,6 +151,12 @@ class QueryRequest:
     shard-by-shard with a canonical merge.  Non-distributable plans fall
     back to the ordinary in-process path (or error, per the policy's
     ``fallback``).
+
+    ``trace_id`` seeds the request's trace (e.g. the id carried in an
+    HTTP ``traceparent`` header); left ``None``, the tracer mints one
+    when tracing is enabled.  ``explain=True`` asks for the full
+    EXPLAIN-ANALYZE report on :attr:`QueryResponse.explain` (and pins
+    the request into the flight recorder when one is installed).
     """
 
     query: Union[str, Term, FixpointQuery]
@@ -148,6 +169,8 @@ class QueryRequest:
     tag: Optional[str] = None
     shards: Optional[int] = None
     shard_policy: Optional[ShardPolicy] = None
+    trace_id: Optional[str] = None
+    explain: bool = False
 
 
 @dataclass
@@ -176,6 +199,9 @@ class QueryResponse:
     error: Optional[str] = None
     tag: Optional[str] = None
     profile: Optional[dict] = None
+    trace_id: Optional[str] = None
+    cache_key: Optional[str] = None
+    explain: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -201,7 +227,11 @@ class QueryResponse:
             "profile": self.profile,
             "error": self.error,
             "tag": self.tag,
+            "trace_id": self.trace_id,
+            "cache_key": self.cache_key,
         }
+        if self.explain is not None:
+            out["explain"] = self.explain
         if include_tuples and self.relation is not None:
             out["arity"] = self.relation.arity
             out["tuples"] = [list(row) for row in self.relation.tuples]
@@ -268,6 +298,9 @@ class _ResolvedQuery:
     #: result cache on the read-set's version sub-vector and gates the
     #: admission-time contract check.
     provenance: Optional[ProvenanceFacts] = None
+    #: The Definition 3.7 order certificate found at registration
+    #: (``i + 3`` for TLI=i); reported in explain output.
+    order: Optional[int] = None
 
 
 class QueryService:
@@ -278,7 +311,9 @@ class QueryService:
     aggregate across services); ``tracer`` defaults to the process
     default, which is disabled until configured; ``slow_query_ms`` turns
     on structured slow-query logging via the ``repro.service.slow``
-    logger.
+    logger; ``flight`` installs a
+    :class:`~repro.obs.flight.FlightRecorder` (see
+    :meth:`enable_flight`).
     """
 
     def __init__(
@@ -291,17 +326,26 @@ class QueryService:
         tracer: Optional[Tracer] = None,
         slow_query_ms: Optional[float] = None,
         shard_workers: Optional[int] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.cache = ResultCache(capacity=cache_capacity)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.slow_query_ms = slow_query_ms
+        self.flight: Optional[FlightRecorder] = None
+        if flight is not None:
+            self.enable_flight(flight)
         self._metrics = install_core_metrics(self.registry)
         self._shard_metrics = install_shard_metrics(self.registry)
         self._max_workers = max_workers
         self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
         self._inflight_guard = threading.Lock()
+        # Memoized static halves of EXPLAIN reports: the certificate
+        # side is constant per (plan, engine, database version), and
+        # re-describing cost polynomials per request is the dominant
+        # cost of flight recording on the cache-hit path.
+        self._explain_static_cache: Dict[Tuple, dict] = {}
         # close() latch: set exactly once, checked by the lazy executor
         # factories so a request racing a close() can never resurrect a
         # pool the close already tore down (that pool would leak).
@@ -319,6 +363,25 @@ class QueryService:
             OrderedDict()
         )
         self._plan_cache_lock = threading.Lock()
+
+    def enable_flight(
+        self, flight: Optional[FlightRecorder] = None
+    ) -> FlightRecorder:
+        """Install a flight recorder (a default-configured one when
+        ``flight`` is ``None``) and make sure spans reach it.
+
+        The recorder needs the span stream to attach span trees to its
+        reports, so a service whose tracer is disabled gets a fresh
+        enabled tracer exporting to the recorder only; an already-enabled
+        tracer gains the recorder as an additional exporter.
+        """
+        recorder = flight if flight is not None else FlightRecorder()
+        self.flight = recorder
+        if self.tracer.enabled:
+            self.tracer.add_exporter(recorder)
+        else:
+            self.tracer = Tracer(exporters=[recorder], enabled=True)
+        return recorder
 
     # -- public API ----------------------------------------------------------
 
@@ -410,6 +473,7 @@ class QueryService:
             error=f"service closed before the request could run ({exc})",
             wall_ms=(time.perf_counter() - start) * 1000.0,
             tag=request.tag,
+            trace_id=request.trace_id,
         )
         self._observe(response)
         return response
@@ -494,6 +558,7 @@ class QueryService:
                 base_cost=entry.cost,
                 signature=entry.signature,
                 provenance=entry.provenance,
+                order=entry.order,
             )
         if isinstance(query, FixpointQuery):
             spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
@@ -543,14 +608,16 @@ class QueryService:
 
     def _serve(self, request: QueryRequest) -> QueryResponse:
         start = time.perf_counter()
+        extras: Dict[str, object] = {}
         with self.tracer.span(
             "query",
+            trace_id=request.trace_id,
             query=self._query_label(request),
             database=self._database_label(request),
             tag=request.tag,
         ) as span:
             try:
-                response = self._serve_inner(request, start)
+                response = self._serve_inner(request, start, extras)
             except (ReproError, RecursionError) as exc:
                 response = QueryResponse(
                     status=STATUS_ERROR,
@@ -567,11 +634,33 @@ class QueryService:
             span.set_attr("status", response.status)
             if response.status != STATUS_OK:
                 span.set_status(response.status)
-        self._observe(response)
+        # NOOP_SPAN (tracing disabled) has no trace_id attribute; the
+        # caller-supplied id still propagates onto the response.
+        response.trace_id = getattr(span, "trace_id", request.trace_id)
+        response.cache_key = extras.get("cache_key")  # type: ignore[assignment]
+        recorded = False
+        if self.flight is not None or request.explain:
+            report = self._explain_report(request, response, extras)
+            if self.flight is not None:
+                # Past the root span's close, so the recorder's pending
+                # map already holds the whole span tree for this trace.
+                recorded = self.flight.record(report)
+                if recorded and response.trace_id:
+                    stored = self.flight.lookup(response.trace_id)
+                    if stored is not None:
+                        # The retained copy carries the span tree and
+                        # admission reasons; surface that richer report.
+                        report = stored
+            if request.explain:
+                response.explain = report
+        self._observe(response, exemplar_recorded=recorded)
         return response
 
     def _serve_inner(
-        self, request: QueryRequest, start: float
+        self,
+        request: QueryRequest,
+        start: float,
+        extras: Dict[str, object],
     ) -> QueryResponse:
         tracer = self.tracer
         if request.engine is not None:
@@ -581,6 +670,8 @@ class QueryService:
             db_entry = self._resolve_database(request)
             span.set_attr("query", resolved.name)
             span.set_attr("database", db_entry.name)
+        extras["resolved"] = resolved
+        extras["db_entry"] = db_entry
         if resolved.engine == FIXPOINT_ENGINE and resolved.fixpoint is None:
             raise ReproError(
                 f"query {resolved.name!r} has no fixpoint spec; the "
@@ -602,6 +693,11 @@ class QueryService:
             self._version_key(resolved, db_entry),
             engine_key,
         )
+        extras["cache_key"] = hashlib.sha256(
+            repr(key).encode()
+        ).hexdigest()[:16]
+        extras["policy"] = policy
+        extras["plan"] = shard_plan
         arity = (
             request.arity
             if request.arity is not None
@@ -1032,6 +1128,175 @@ class QueryService:
             "shard": outcome.profile_dict(policy, shard_plan),
         }
 
+    # -- EXPLAIN ANALYZE -----------------------------------------------------
+
+    def _explain_report(
+        self,
+        request: QueryRequest,
+        response: QueryResponse,
+        extras: Dict[str, object],
+    ) -> dict:
+        """One EXPLAIN-ANALYZE report: the static certificate side joined
+        with the observed execution side.  Built for every request when a
+        flight recorder is installed (the recorder decides retention) and
+        returned on the response when ``explain=True`` was asked."""
+        report: Dict[str, object] = {
+            "trace_id": response.trace_id,
+            "query": response.query,
+            "database": response.database,
+            "status": response.status,
+            "explain_requested": bool(request.explain),
+            "cache_key": response.cache_key,
+            "wall_ms": round(response.wall_ms, 3),
+            "tag": response.tag,
+            "static": self._explain_static(extras),
+            "observed": self._explain_observed(response),
+        }
+        if response.error:
+            report["error"] = response.error
+        return report
+
+    def _explain_static(self, extras: Dict[str, object]) -> dict:
+        """The certificate side: what the analyzers promised before the
+        request ran (order, cost polynomial before/after tightening,
+        read-set, distribution class)."""
+        resolved = extras.get("resolved")
+        db_entry = extras.get("db_entry")
+        if not isinstance(resolved, _ResolvedQuery):
+            return {}
+        entry = db_entry if isinstance(db_entry, DatabaseEntry) else None
+        key = (
+            resolved.digest,
+            resolved.name,
+            resolved.engine,
+            entry.name if entry is not None else None,
+            entry.version if entry is not None else None,
+        )
+        cached = self._explain_static_cache.get(key)
+        if cached is not None:
+            static = dict(cached)
+            return self._explain_static_request(static, extras)
+        static = self._explain_static_base(resolved, entry)
+        if len(self._explain_static_cache) >= 128:
+            self._explain_static_cache.clear()
+        self._explain_static_cache[key] = dict(static)
+        return self._explain_static_request(static, extras)
+
+    def _explain_static_base(
+        self,
+        resolved: "_ResolvedQuery",
+        db_entry: Optional[DatabaseEntry],
+    ) -> dict:
+        """The memoizable part of the static section — everything that
+        depends only on the resolved plan and the database version."""
+        static: Dict[str, object] = {
+            "query": resolved.name,
+            "digest": resolved.digest[:12],
+            "kind": "fixpoint" if resolved.fixpoint is not None else "term",
+            "engine": resolved.engine,
+            "order": resolved.order,
+            "signature": (
+                str(resolved.signature)
+                if resolved.signature is not None
+                else None
+            ),
+            "cost": (
+                resolved.base_cost.describe()
+                if resolved.base_cost is not None
+                else None
+            ),
+            "tightened_cost": (
+                resolved.cost.describe()
+                if resolved.cost is not None
+                and resolved.base_cost is not None
+                and resolved.cost != resolved.base_cost
+                else None
+            ),
+            "read_set": (
+                resolved.provenance.describe()
+                if resolved.provenance is not None
+                else None
+            ),
+        }
+        if db_entry is not None and resolved.cost is not None:
+            stats = db_entry.stats
+            if stats is None:
+                stats = DatabaseStats.of(db_entry.database)
+            static["static_bound"] = resolved.cost.bound(stats)
+            if (
+                resolved.base_cost is not None
+                and resolved.base_cost != resolved.cost
+            ):
+                base = resolved.base_cost.bound(stats)
+                static["base_bound"] = base
+                if base > 0:
+                    static["tightening_ratio"] = round(
+                        resolved.cost.bound(stats) / base, 6
+                    )
+        return static
+
+    @staticmethod
+    def _explain_static_request(
+        static: Dict[str, object], extras: Dict[str, object]
+    ) -> dict:
+        """Per-request additions to the static section (the resolved
+        distribution plan and shard policy vary with the request's
+        ``shards`` ask, so they stay out of the memo)."""
+        plan = extras.get("plan")
+        if plan is not None:
+            static["distribution"] = {
+                "mode": getattr(plan, "mode", None),
+                "code": getattr(plan, "code", None),
+                "reason": getattr(plan, "reason", None),
+            }
+        policy = extras.get("policy")
+        if isinstance(policy, ShardPolicy):
+            static["shard_policy"] = {
+                "shards": policy.shards,
+                "partitioner": policy.partitioner,
+            }
+        return static
+
+    @staticmethod
+    def _explain_observed(response: QueryResponse) -> dict:
+        """The execution side: what actually happened (engine, cache
+        path, fuel vs. steps, reduction profile, per-shard rows)."""
+        profile = response.profile or {}
+        observed: Dict[str, object] = {
+            "engine": response.engine,
+            "cache_hit": response.cache_hit,
+            "steps": response.steps,
+            "stages": response.stages,
+            "fuel_budget": response.fuel_budget,
+            "wall_ms": round(response.wall_ms, 3),
+            "compute_wall_ms": (
+                round(response.compute_wall_ms, 3)
+                if response.compute_wall_ms is not None
+                else None
+            ),
+            "bound_ratio": profile.get("bound_ratio"),
+            "tightening_ratio": profile.get("tightening_ratio"),
+            "profile": profile or None,
+        }
+        shard = profile.get("shard")
+        if isinstance(shard, dict):
+            # Per-shard fuel split vs. observed steps, straight from the
+            # coordinator's shard rows.
+            observed["shards"] = [
+                {
+                    "shard": row.get("shard"),
+                    "fuel": row.get("fuel"),
+                    "steps": row.get("steps"),
+                    "bound": row.get("bound"),
+                    "bound_ratio": row.get("bound_ratio"),
+                    "worker": row.get("worker"),
+                    "retries": row.get("retries"),
+                    "degraded": row.get("degraded"),
+                }
+                for row in shard.get("rows", [])
+            ]
+        return observed
+
     @staticmethod
     def _annotate_evaluation(span, collector: ProfileCollector) -> None:
         """Copy the collected step breakdown onto the evaluation span
@@ -1187,13 +1452,28 @@ class QueryService:
             else:
                 self._inflight[key] = (lock, count - 1)
 
-    def _observe(self, response: QueryResponse) -> None:
+    def _observe(
+        self, response: QueryResponse, *, exemplar_recorded: bool = False
+    ) -> None:
         """Fold one finished response into the registry (and the slow-query
         log).  Called for every response, including synthesized timeout
-        responses — matching the pre-registry counting semantics."""
+        responses — matching the pre-registry counting semantics.
+
+        ``exemplar_recorded`` marks responses whose explain report the
+        flight recorder retained: their trace id is stamped onto the
+        latency histogram bucket as an exemplar, so a p99 bucket links
+        to a retrievable flight record.
+        """
         metrics = self._metrics
         metrics["requests"].inc(status=response.status)
-        metrics["latency"].observe(response.wall_ms)
+        metrics["latency"].observe(
+            response.wall_ms,
+            exemplar=(
+                response.trace_id
+                if exemplar_recorded and response.trace_id
+                else None
+            ),
+        )
         if response.steps and not response.cache_hit:
             metrics["engine_steps"].inc(
                 response.steps, engine=response.engine
@@ -1203,7 +1483,8 @@ class QueryService:
             metrics["slow_queries"].inc()
             slow_logger.warning(
                 "slow query %s@%s: %.1fms >= %.1fms "
-                "(status=%s engine=%s cache_hit=%s steps=%s tag=%s)",
+                "(status=%s engine=%s cache_hit=%s steps=%s tag=%s "
+                "trace_id=%s cache_key=%s)",
                 response.query,
                 response.database,
                 response.wall_ms,
@@ -1213,6 +1494,8 @@ class QueryService:
                 response.cache_hit,
                 response.steps,
                 response.tag,
+                response.trace_id,
+                response.cache_key,
                 extra={
                     "query": response.query,
                     "database": response.database,
@@ -1223,6 +1506,8 @@ class QueryService:
                     "cache_hit": response.cache_hit,
                     "steps": response.steps,
                     "tag": response.tag,
+                    "trace_id": response.trace_id,
+                    "cache_key": response.cache_key,
                 },
             )
 
@@ -1238,6 +1523,7 @@ class QueryService:
             error=f"request missed its {request.timeout_s}s deadline",
             wall_ms=wall_ms,
             tag=request.tag,
+            trace_id=request.trace_id,
         )
         self._observe(response)
         return response

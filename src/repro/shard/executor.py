@@ -29,7 +29,7 @@ from repro.db.relations import Database, Relation
 from repro.errors import FuelExhausted, ReproError
 from repro.lam.terms import Term
 from repro.obs.profiler import bound_ratio
-from repro.obs.tracing import Tracer
+from repro.obs.tracing import Span, Tracer
 from repro.queries.fixpoint import FIX_NAME, FixpointQuery
 from repro.shard.partition import merge_relations, partition_database
 from repro.shard.planner import DistributionPlan, shard_fuel
@@ -113,6 +113,68 @@ def _shard_input_tuples(
     return sum(len(shard[name]) for name in partitioned)
 
 
+def _attach_trace(tasks: Sequence[dict], span) -> None:
+    """Ship the coordinator's trace context with every task (only when
+    tracing is on — ``span`` is the live ``shard.evaluate`` span the
+    worker subtrees parent under)."""
+    if not isinstance(span, Span):
+        return
+    for index, task in enumerate(tasks):
+        task["trace"] = {
+            "trace_id": span.trace_id,
+            "parent_id": span.span_id,
+            "shard": index,
+        }
+
+
+def _graft_worker_spans(
+    tracer: Tracer, span, replies: Sequence[dict]
+) -> None:
+    """Merge the span lists the workers shipped back into the
+    coordinator's exporters (one tree spanning both processes)."""
+    if not isinstance(span, Span):
+        return
+    for reply in replies:
+        spans = reply.get("spans")
+        if spans:
+            tracer.ingest(spans)
+
+
+def _synthesize_respawns(
+    tracer: Tracer, span, retries_by_shard: Dict[int, dict]
+) -> None:
+    """Emit one ``shard.respawn`` span per shard that needed retries.
+
+    A crashed worker's recorded spans die with it, so the crash-recovery
+    path is represented explicitly: the retry's worker spans plus this
+    coordinator-side marker, never a silently dropped subtree.
+    """
+    if not isinstance(span, Span):
+        return
+    for index, meta in sorted(retries_by_shard.items()):
+        retries = int(meta.get("retries") or 0)
+        if retries <= 0:
+            continue
+        tracer.ingest(
+            [
+                {
+                    "name": "shard.respawn",
+                    "span_id": tracer.new_span_id(),
+                    "parent_id": span.span_id,
+                    "trace_id": span.trace_id,
+                    "status": "ok",
+                    "start_unix": round(time.time(), 6),
+                    "duration_ms": 0.0,
+                    "attrs": {
+                        "shard": index,
+                        "retries": retries,
+                        "degraded": bool(meta.get("degraded")),
+                    },
+                }
+            ]
+        )
+
+
 def _check_reply(reply: dict, shard: int) -> None:
     if reply.get("ok"):
         return
@@ -174,12 +236,19 @@ def execute_sharded_term(
     with tracer.span(
         "shard.evaluate", engine=engine, tasks=len(tasks)
     ) as span:
+        _attach_trace(tasks, span)
         replies = pool.run_batch(tasks, timeout_s=policy.task_timeout_s)
         span.set_attr(
             "retries", sum(r["_meta"]["retries"] for r in replies)
         )
         span.set_attr(
             "degraded", sum(1 for r in replies if r["_meta"]["degraded"])
+        )
+        _graft_worker_spans(tracer, span, replies)
+        _synthesize_respawns(
+            tracer,
+            span,
+            {i: r["_meta"] for i, r in enumerate(replies)},
         )
     rows: List[dict] = []
     parts: List[Relation] = []
@@ -269,7 +338,7 @@ def execute_sharded_fixpoint(
     with tracer.span(
         "shard.evaluate", engine="fixpoint", tasks=policy.shards
     ) as span:
-        for _ in range(crank_length):
+        for stage_index in range(crank_length):
             tasks = [
                 {
                     "kind": "ra",
@@ -283,9 +352,16 @@ def execute_sharded_fixpoint(
                 }
                 for index in range(policy.shards)
             ]
+            if stage_index == 0:
+                # Only the first stage ships trace context: per-shard
+                # worker spans for every stage would blow the span volume
+                # up linearly in the crank length, and stage 0 already
+                # shows the cold/warm snapshot split.
+                _attach_trace(tasks, span)
             replies = pool.run_batch(
                 tasks, timeout_s=policy.task_timeout_s
             )
+            _graft_worker_spans(tracer, span, replies)
             parts: List[Relation] = []
             for index, reply in enumerate(replies):
                 _check_reply(reply, index)
@@ -310,6 +386,17 @@ def execute_sharded_fixpoint(
         span.set_attr("wall_ms", round(
             (time.perf_counter() - start) * 1000.0, 3
         ))
+        _synthesize_respawns(
+            tracer,
+            span,
+            {
+                index: {
+                    "retries": per_shard_retries[index],
+                    "degraded": per_shard_degraded[index],
+                }
+                for index in range(policy.shards)
+            },
+        )
     rows: List[dict] = []
     for index in range(policy.shards):
         bound = (

@@ -25,10 +25,21 @@ Tasks and replies are plain picklable dicts; :func:`execute_task` is the
 single execution semantics shared by workers and the degraded path.
 ``{"kind": "crash"}`` makes a worker ``os._exit`` — the deterministic
 crash injection the recovery tests use.
+
+**Trace propagation.**  A task may carry a ``"trace"`` dict
+(``{"trace_id", "parent_id", "shard"}``) — the coordinator's trace
+context crossing the pipe.  The worker then records its own spans
+(``worker.task`` → ``worker.snapshot`` / ``worker.evaluate``) with a
+:class:`~repro.obs.tracing.SpanRecorder` and ships them back in the
+reply's ``"spans"`` list, where the coordinator grafts them into its
+tracer.  Workers that crash take their recorded spans with them; the
+*retry*'s spans (plus a coordinator-synthesized ``shard.respawn``
+span) represent the recovery in the merged tree.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import threading
@@ -38,6 +49,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
 from repro.errors import FuelExhausted, ReproError
+from repro.obs.tracing import NOOP_SPAN, SpanRecorder
 
 #: Events reported to the pool's observer callback.
 EVENT_TASK = "task"
@@ -59,6 +71,46 @@ class WorkerTimeout(WorkerCrash):
 # ---------------------------------------------------------------------------
 # Task execution (worker side and the degraded in-process path)
 # ---------------------------------------------------------------------------
+
+#: Per-process task counter: keeps worker span ids unique when one
+#: process serves several shards of the same trace.
+_TASK_IDS = itertools.count(1)
+
+
+class _NoopRecorder:
+    """Recorder stand-in for untraced tasks: zero allocation per span."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs):
+        return NOOP_SPAN
+
+    def spans(self) -> List[dict]:
+        return []
+
+
+_NOOP_RECORDER = _NoopRecorder()
+
+
+def _task_recorder(task: dict):
+    """A span recorder bound to the task's trace context (or a no-op)."""
+    trace = task.get("trace")
+    if not trace:
+        return _NOOP_RECORDER
+    prefix = trace.get("prefix") or f"w{os.getpid()}t{next(_TASK_IDS)}"
+    return SpanRecorder(
+        str(trace.get("trace_id") or ""),
+        trace.get("parent_id"),
+        prefix=str(prefix),
+    )
+
+
+def _attach_spans(reply: dict, recorder) -> dict:
+    spans = recorder.spans()
+    if spans:
+        reply["spans"] = spans
+    return reply
+
 
 def _resolve_database(
     task: dict, cache: Dict[str, Tuple[Database, tuple]]
@@ -89,6 +141,10 @@ def execute_task(
     if cache is None:
         cache = {}
     kind = task.get("kind")
+    recorder = (
+        _task_recorder(task) if kind in ("term", "ra") else _NOOP_RECORDER
+    )
+    shard_index = (task.get("trace") or {}).get("shard")
     try:
         if kind == "ping":
             return {"ok": True, "kind": "pong", "pid": os.getpid()}
@@ -100,62 +156,104 @@ def execute_task(
             from repro.obs.profiler import ProfileCollector
             from repro.service.engines import evaluate_term_query
 
-            _, encoded = _resolve_database(task, cache)
-            collector = ProfileCollector()
-            result = evaluate_term_query(
-                task["term"],
-                encoded,
-                engine=task.get("engine", "nbe"),
-                fuel=task.get("fuel"),
-                max_depth=task.get("max_depth", 600_000),
-                observer=collector,
+            with recorder.span(
+                "worker.task", kind="term", shard=shard_index,
+                pid=os.getpid(),
+            ):
+                with recorder.span(
+                    "worker.snapshot",
+                    warm=(
+                        task.get("database") is None
+                        and task.get("db_digest") in cache
+                    ),
+                ):
+                    _, encoded = _resolve_database(task, cache)
+                collector = ProfileCollector()
+                with recorder.span(
+                    "worker.evaluate", engine=task.get("engine", "nbe")
+                ) as span:
+                    result = evaluate_term_query(
+                        task["term"],
+                        encoded,
+                        engine=task.get("engine", "nbe"),
+                        fuel=task.get("fuel"),
+                        max_depth=task.get("max_depth", 600_000),
+                        observer=collector,
+                    )
+                    span.set_attr("steps", result.steps)
+                decoded = decode_relation(
+                    result.normal_form, task.get("arity")
+                )
+            return _attach_spans(
+                {
+                    "ok": True,
+                    "tuples": decoded.relation.tuples,
+                    "arity": decoded.relation.arity,
+                    "steps": result.steps,
+                    "profile": collector.profile.as_dict(),
+                },
+                recorder,
             )
-            decoded = decode_relation(
-                result.normal_form, task.get("arity")
-            )
-            return {
-                "ok": True,
-                "tuples": decoded.relation.tuples,
-                "arity": decoded.relation.arity,
-                "steps": result.steps,
-                "profile": collector.profile.as_dict(),
-            }
         if kind == "ra":
             from repro.eval.materialize import run_ra_query_materialized
 
-            database, _ = _resolve_database(task, cache)
-            fix_tuples = task.get("fix_tuples")
-            if fix_tuples is not None:
-                database = database.with_relation(
-                    task["fix_name"],
-                    Relation.from_tuples(task["fix_arity"], fix_tuples),
-                )
-            run = run_ra_query_materialized(
-                task["expr"],
-                database,
-                max_depth=task.get("max_depth", 600_000),
+            with recorder.span(
+                "worker.task", kind="ra", shard=shard_index,
+                pid=os.getpid(),
+            ):
+                with recorder.span(
+                    "worker.snapshot",
+                    warm=(
+                        task.get("database") is None
+                        and task.get("db_digest") in cache
+                    ),
+                ):
+                    database, _ = _resolve_database(task, cache)
+                fix_tuples = task.get("fix_tuples")
+                if fix_tuples is not None:
+                    database = database.with_relation(
+                        task["fix_name"],
+                        Relation.from_tuples(task["fix_arity"], fix_tuples),
+                    )
+                with recorder.span(
+                    "worker.evaluate", engine="ra"
+                ) as span:
+                    run = run_ra_query_materialized(
+                        task["expr"],
+                        database,
+                        max_depth=task.get("max_depth", 600_000),
+                    )
+                    span.set_attr("steps", run.steps)
+            return _attach_spans(
+                {
+                    "ok": True,
+                    "tuples": run.relation.tuples,
+                    "arity": run.relation.arity,
+                    "steps": run.steps,
+                },
+                recorder,
             )
-            return {
-                "ok": True,
-                "tuples": run.relation.tuples,
-                "arity": run.relation.arity,
-                "steps": run.steps,
-            }
         return {"ok": False, "error_kind": "error",
                 "error": f"unknown task kind {kind!r}"}
     except FuelExhausted as exc:
-        return {
-            "ok": False,
-            "error_kind": "fuel",
-            "steps": exc.steps,
-            "error": str(exc),
-        }
+        return _attach_spans(
+            {
+                "ok": False,
+                "error_kind": "fuel",
+                "steps": exc.steps,
+                "error": str(exc),
+            },
+            recorder,
+        )
     except Exception as exc:  # noqa: BLE001 - replies, never raises
-        return {
-            "ok": False,
-            "error_kind": "error",
-            "error": f"{type(exc).__name__}: {exc}",
-        }
+        return _attach_spans(
+            {
+                "ok": False,
+                "error_kind": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            },
+            recorder,
+        )
 
 
 def _worker_main(conn) -> None:
@@ -437,7 +535,16 @@ class ShardWorkerPool:
         # Retries exhausted: degrade to in-process evaluation (the task's
         # own fuel/depth budgets still bound it).
         self._notify(EVENT_DEGRADED)
-        reply = execute_task(dict(task))
+        degraded_task = dict(task)
+        trace = degraded_task.get("trace")
+        if trace:
+            # In-process spans get a distinct prefix so the merged tree
+            # shows where the degraded evaluation actually ran.
+            degraded_task["trace"] = {
+                **trace,
+                "prefix": f"local{os.getpid()}t{next(_TASK_IDS)}",
+            }
+        reply = execute_task(degraded_task)
         reply["_meta"] = {
             "worker": None,
             "retries": retries,

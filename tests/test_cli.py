@@ -359,3 +359,74 @@ class TestLintCommand:
     def test_no_targets_errors(self, capsys):
         code, _, err = run_cli(capsys, "lint")
         assert code != 0
+
+
+class TestExplainAndFlightCommands:
+    def test_explain_json_report(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "explain", "swap",
+            "--db", f"g={db_file}",
+            "--query", r"swap=\E. \c. \n. E (\x y T. c y x T) n",
+            "--inputs", "2", "--output", "2",
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["status"] == "ok"
+        assert report["explain_requested"] is True
+        assert report["static"]["order"] == 3
+        assert report["static"]["cost"]
+        assert report["observed"]["cache_hit"] is False
+        assert "explain" in report["reasons"]
+        assert any(s["name"] == "query" for s in report["spans"])
+
+    def test_explain_sharded_has_worker_rows(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "explain", "swap",
+            "--db", f"g={db_file}",
+            "--query", r"swap=\E. \c. \n. E (\x y T. c y x T) n",
+            "--inputs", "2", "--output", "2",
+            "--shards", "2",
+        )
+        assert code == 0
+        report = json.loads(out)
+        rows = report["observed"]["shards"]
+        assert sorted(row["shard"] for row in rows) == [0, 1]
+        names = [s["name"] for s in report["spans"]]
+        assert names.count("worker.task") == 2
+
+    def test_flight_dump_after_batch(self, capsys, db_file, tmp_path):
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({"requests": [
+            {"query": "swap", "db": "g"},
+        ]}))
+        code, out, _ = run_cli(
+            capsys, "flight",
+            "--db", f"g={db_file}",
+            "--query", r"swap=\E. \c. \n. E (\x y T. c y x T) n",
+            "--inputs", "2", "--output", "2",
+            "--requests", str(batch),
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["stats"]["capacity"] > 0
+        # A first-ever request lands in the slowest-N cohort.
+        assert payload["records"]
+        assert payload["records"][0]["trace_id"]
+
+    def test_flight_empty_without_traffic(self, capsys, db_file):
+        code, out, _ = run_cli(capsys, "flight", "--db", f"g={db_file}")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["records"] == []
+
+    def test_trace_shards_prints_worker_spans(self, capsys, db_file):
+        code, out, _ = run_cli(
+            capsys, "trace", "swap",
+            "--db", f"g={db_file}",
+            "--query", r"swap=\E. \c. \n. E (\x y T. c y x T) n",
+            "--inputs", "2", "--output", "2",
+            "--shards", "2", "--no-tuples",
+        )
+        assert code == 0
+        assert "worker.task" in out
+        assert "shard.evaluate" in out

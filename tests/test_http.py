@@ -675,6 +675,149 @@ class TestEdgeEndToEnd:
         )
 
 
+class TestFlightAndExplain:
+    def test_traceparent_adopted_and_echoed(self):
+        from repro.obs import make_trace_id
+
+        trace = make_trace_id()
+
+        async def scenario(edge):
+            status, headers, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "main"},
+                headers={"traceparent": f"00-{trace}-00f067aa0ba902b7-01"},
+            )
+            assert status == 200
+            assert payload["trace_id"] == trace
+            assert headers["traceparent"].split("-")[1] == trace
+            # Without a caller header the edge mints a fresh id.
+            status, headers, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "main"},
+            )
+            assert status == 200
+            assert payload["trace_id"]
+            assert payload["trace_id"] != trace
+            assert headers["traceparent"].split("-")[1] == (
+                payload["trace_id"]
+            )
+
+        run_edge(scenario)
+
+    def test_explain_route_and_flight_lookup(self):
+        from repro.obs import make_trace_id
+
+        trace = make_trace_id()
+
+        async def scenario(edge):
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/explain",
+                body={"query": "swap", "database": "main", "shards": 2},
+                headers={"traceparent": f"00-{trace}-00f067aa0ba902b7-01"},
+            )
+            assert status == 200
+            report = payload["explain"]
+            assert report["trace_id"] == trace
+            assert "explain" in report["reasons"]
+            assert report["static"]["order"] == 3
+            assert report["static"]["cost"]
+            assert report["static"]["distribution"]["mode"]
+            rows = report["observed"]["shards"]
+            assert sorted(row["shard"] for row in rows) == [0, 1]
+            workers = [
+                s for s in report["spans"] if s["name"] == "worker.task"
+            ]
+            assert sorted(w["attrs"]["shard"] for w in workers) == [0, 1]
+            assert all(s["trace_id"] == trace for s in report["spans"])
+            # The same report is retrievable from the flight recorder.
+            status, _, payload = await request(
+                edge.port, "GET", f"/debug/flight?trace_id={trace}"
+            )
+            assert status == 200
+            assert payload["records"][0]["trace_id"] == trace
+            assert payload["stats"]["retained"] >= 1
+            status, _, payload = await request(
+                edge.port, "GET", "/debug/flight?trace_id=deadbeef"
+            )
+            assert status == 404
+            assert payload["error"]["code"] == "unknown_trace"
+            status, _, payload = await request(
+                edge.port, "GET", "/debug/flight?limit=1"
+            )
+            assert status == 200
+            assert len(payload["records"]) == 1
+
+        run_edge(scenario)
+
+    def test_query_with_explain_field(self):
+        async def scenario(edge):
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "main",
+                      "explain": True},
+            )
+            assert status == 200
+            assert payload["explain"]["static"]["query"] == "swap"
+            # Plain queries carry no report in the payload.
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "main"},
+            )
+            assert status == 200 and "explain" not in payload
+
+        run_edge(scenario)
+
+    def test_flight_route_respects_auth_and_capacity_zero(self):
+        async def scenario(edge):
+            status, _, payload = await request(
+                edge.port, "GET", "/debug/flight"
+            )
+            assert status == 401
+            status, _, payload = await request(
+                edge.port, "GET", "/debug/flight", token="s3cret"
+            )
+            assert status == 200
+            assert payload["records"] == []
+
+        run_edge(scenario, tokens=("s3cret",))
+
+        async def disabled(edge):
+            assert edge.flight is None
+            status, _, payload = await request(
+                edge.port, "GET", "/debug/flight"
+            )
+            assert status == 404
+            assert payload["error"]["code"] == "flight_disabled"
+            # Queries still serve (and still propagate trace ids).
+            status, _, payload = await request(
+                edge.port, "POST", "/v1/query",
+                body={"query": "swap", "database": "main"},
+            )
+            assert status == 200 and payload["trace_id"]
+
+        run_edge(disabled, flight_capacity=0)
+
+    def test_exemplar_on_http_latency(self):
+        async def scenario(edge):
+            status, _, _ = await request(
+                edge.port, "POST", "/v1/explain",
+                body={"query": "swap", "database": "main"},
+            )
+            assert status == 200
+            snap = edge.metrics["http_latency"].snapshot(
+                route="/v1/explain"
+            )
+            exemplars = snap.get("exemplars") or {}
+            assert exemplars, "no exemplar recorded on http_latency"
+            trace_ids = {ex["trace_id"] for ex in exemplars.values()}
+            assert all(len(t) == 32 for t in trace_ids)
+            # The exemplar links to a retrievable flight record.
+            for trace in trace_ids:
+                assert edge.flight.lookup(trace) is not None
+
+        run_edge(scenario)
+
+
 class TestSingleFlightOverHttp:
     def test_identical_concurrent_requests_evaluate_once(self):
         service = make_service()

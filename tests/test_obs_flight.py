@@ -1,0 +1,296 @@
+"""Tests for the flight recorder, cross-process trace propagation, and
+EXPLAIN ANALYZE reports (tentpole: end-to-end flight recorder)."""
+
+import json
+
+import pytest
+
+from repro.db.generators import random_database
+from repro.lam.parser import parse
+from repro.obs import (
+    FlightRecorder,
+    RingBufferExporter,
+    SpanRecorder,
+    Tracer,
+    format_traceparent,
+    make_trace_id,
+    parse_traceparent,
+)
+from repro.queries.language import QueryArity
+from repro.service import Catalog, QueryRequest, QueryService
+
+SWAP = r"\R. \c. \n. R (\x y T. c y x T) n"
+SIG1 = QueryArity((2,), 2)
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.register_database(
+        "main", random_database([2], [16], universe_size=6, seed=7)
+    )
+    catalog.register_query("swap", parse(SWAP), signature=SIG1)
+    return catalog
+
+
+@pytest.fixture
+def traced_service():
+    ring = RingBufferExporter()
+    tracer = Tracer(exporters=[ring], enabled=True)
+    service = QueryService(make_catalog(), tracer=tracer)
+    flight = service.enable_flight()
+    yield service, flight, ring
+    service.close()
+
+
+# ---------------------------------------------------------------------------
+# traceparent helpers
+# ---------------------------------------------------------------------------
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace = make_trace_id()
+        assert len(trace) == 32
+        header = format_traceparent(trace, "00f067aa0ba902b7")
+        assert header == f"00-{trace}-00f067aa0ba902b7-01"
+        assert parse_traceparent(header) == trace
+
+    def test_malformed_yields_none(self):
+        assert parse_traceparent(None) is None
+        assert parse_traceparent("") is None
+        assert parse_traceparent("nonsense") is None
+        assert parse_traceparent("00-zzzz-span-01") is None
+
+    def test_all_zero_trace_rejected(self):
+        assert parse_traceparent("00-" + "0" * 32 + "-aa-01") is None
+
+    def test_bare_trace_id_accepted(self):
+        # Lenient: "00-<trace>" without span/flags still parses.
+        assert parse_traceparent("00-abc123") == "abc123"
+
+
+# ---------------------------------------------------------------------------
+# FlightRecorder admission and retention
+# ---------------------------------------------------------------------------
+
+def report(trace_id, *, status="ok", explain=False, bound_ratio=None,
+           wall_ms=1.0):
+    observed = {}
+    if bound_ratio is not None:
+        observed["bound_ratio"] = bound_ratio
+    return {
+        "trace_id": trace_id,
+        "status": status,
+        "explain_requested": explain,
+        "observed": observed,
+        "wall_ms": wall_ms,
+    }
+
+
+class TestFlightRecorder:
+    def test_explain_always_admitted(self):
+        flight = FlightRecorder(slowest=0)
+        assert flight.record(report("t1", explain=True))
+        assert flight.lookup("t1")["reasons"] == ["explain"]
+
+    def test_error_admitted(self):
+        flight = FlightRecorder(slowest=0)
+        assert flight.record(report("t1", status="error"))
+        assert "error" in flight.lookup("t1")["reasons"]
+
+    def test_bound_breach_admitted(self):
+        flight = FlightRecorder(slowest=0, bound_ratio_threshold=0.9)
+        assert flight.record(report("hot", bound_ratio=0.95))
+        assert not flight.record(report("cold", bound_ratio=0.5))
+        assert "bound_ratio" in flight.lookup("hot")["reasons"]
+        assert flight.lookup("cold") is None
+
+    def test_slowest_cohort(self):
+        flight = FlightRecorder(slowest=2)
+        assert flight.record(report("a", wall_ms=10.0))
+        assert flight.record(report("b", wall_ms=20.0))
+        # Faster than both of the retained slowest: rejected.
+        assert not flight.record(report("c", wall_ms=1.0))
+        # Slower than the cohort floor: admitted.
+        assert flight.record(report("d", wall_ms=15.0))
+        assert flight.snapshot()["rejected_total"] == 1
+
+    def test_capacity_evicts_lru(self):
+        flight = FlightRecorder(2, slowest=0)
+        for name in ("t1", "t2", "t3"):
+            flight.record(report(name, explain=True))
+        assert flight.lookup("t1") is None
+        assert flight.lookup("t2") is not None
+        assert flight.lookup("t3") is not None
+        assert len(flight) == 2
+
+    def test_pending_spans_attach_to_report(self):
+        flight = FlightRecorder(slowest=0)
+        recorder = SpanRecorder("trace-x", prefix="w")
+        with recorder.span("worker.task", shard=0):
+            pass
+        tracer = Tracer(exporters=[flight], enabled=True)
+        tracer.ingest(recorder.spans())
+        assert flight.record(report("trace-x", explain=True))
+        spans = flight.lookup("trace-x")["spans"]
+        assert [s["name"] for s in spans] == ["worker.task"]
+        assert flight.snapshot()["pending_traces"] == 0
+
+    def test_rejected_report_discards_pending_spans(self):
+        flight = FlightRecorder(slowest=0)
+        recorder = SpanRecorder("trace-y")
+        with recorder.span("worker.task"):
+            pass
+        tracer = Tracer(exporters=[flight], enabled=True)
+        tracer.ingest(recorder.spans())
+        assert not flight.record(report("trace-y"))
+        assert flight.snapshot()["pending_traces"] == 0
+
+    def test_records_listing_newest_first(self):
+        flight = FlightRecorder(slowest=0)
+        flight.record(report("t1", explain=True))
+        flight.record(report("t2", explain=True))
+        listed = flight.records()
+        assert [r["trace_id"] for r in listed] == ["t2", "t1"]
+        assert [r["trace_id"] for r in flight.records(limit=1)] == ["t2"]
+        assert flight.records(trace_id="t1")[0]["trace_id"] == "t1"
+        assert flight.records(trace_id="zzz") == []
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE through the service
+# ---------------------------------------------------------------------------
+
+class TestExplainReport:
+    def test_report_joins_static_and_observed(self, traced_service):
+        service, flight, _ = traced_service
+        response = service.execute(
+            QueryRequest(query="swap", database="main", explain=True)
+        )
+        assert response.ok
+        assert response.trace_id
+        report = response.explain
+        assert report is not None
+        static = report["static"]
+        assert static["query"] == "swap"
+        assert static["kind"] == "term"
+        assert static["order"] == 3  # TLI=0 query terms live at order 3
+        assert static["signature"] == "(2; 2)"
+        assert static["cost"] is not None
+        assert static["static_bound"] > 0
+        observed = report["observed"]
+        assert observed["engine"] == response.engine
+        assert observed["cache_hit"] is False
+        assert observed["steps"] == response.steps
+        # The response's explain copy is the retained flight record:
+        # it carries the span tree and the admission reasons.
+        assert "explain" in report["reasons"]
+        assert any(s["name"] == "query" for s in report["spans"])
+        assert report == flight.lookup(response.trace_id)
+        # The whole report must survive JSON round-tripping (wire shape).
+        assert json.loads(json.dumps(report)) == report
+
+    def test_caller_trace_id_adopted(self, traced_service):
+        service, flight, _ = traced_service
+        trace = "feedfacecafebeef" * 2
+        response = service.execute(
+            QueryRequest(
+                query="swap", database="main", explain=True, trace_id=trace
+            )
+        )
+        assert response.trace_id == trace
+        assert flight.lookup(trace) is not None
+
+    def test_no_explain_no_report_on_response(self, traced_service):
+        service, _, _ = traced_service
+        response = service.execute(
+            QueryRequest(query="swap", database="main")
+        )
+        assert response.ok
+        assert response.explain is None
+        assert response.trace_id  # propagation is unconditional
+
+    def test_exemplar_links_latency_to_trace(self, traced_service):
+        service, _, _ = traced_service
+        response = service.execute(
+            QueryRequest(query="swap", database="main", explain=True)
+        )
+        latency = service.registry.get("repro_request_latency_ms")
+        exemplars = latency.snapshot().get("exemplars") or {}
+        assert any(
+            ex["trace_id"] == response.trace_id
+            for ex in exemplars.values()
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cross-process propagation through the shard pool (satellite)
+# ---------------------------------------------------------------------------
+
+def span_names(spans):
+    return [s["name"] for s in spans]
+
+
+class TestShardedTracePropagation:
+    def test_worker_spans_carry_coordinator_trace(self, traced_service):
+        service, flight, _ = traced_service
+        trace = make_trace_id()
+        response = service.execute(
+            QueryRequest(
+                query="swap", database="main", shards=2,
+                explain=True, trace_id=trace,
+            )
+        )
+        assert response.ok
+        record = flight.lookup(trace)
+        assert record is not None
+        spans = record["spans"]
+        assert all(s["trace_id"] == trace for s in spans)
+        workers = [s for s in spans if s["name"] == "worker.task"]
+        assert sorted(w["attrs"]["shard"] for w in workers) == [0, 1]
+        evaluate = next(
+            s for s in spans if s["name"] == "shard.evaluate"
+        )
+        assert all(w["parent_id"] == evaluate["span_id"] for w in workers)
+        # Each worker.task nests a snapshot span and an evaluate span.
+        for worker in workers:
+            children = {
+                s["name"] for s in spans
+                if s["parent_id"] == worker["span_id"]
+            }
+            assert children == {"worker.snapshot", "worker.evaluate"}
+        # Per-shard fuel-vs-steps rows made it into the observed side.
+        rows = record["observed"]["shards"]
+        assert sorted(row["shard"] for row in rows) == [0, 1]
+        assert all(row["steps"] >= 0 for row in rows)
+        assert all(row["fuel"] is None or row["fuel"] > 0 for row in rows)
+
+    def test_respawn_span_survives_worker_crash(self, traced_service):
+        """A crashed worker's retry must surface as a shard.respawn span
+        under the same trace, not as a silently dropped subtree."""
+        service, flight, _ = traced_service
+        warm = service.execute(
+            QueryRequest(query="swap", database="main", shards=2)
+        )
+        assert warm.ok
+        pool = service._shard_pool
+        assert pool is not None
+        pool.inject_crash(0)
+        service.cache.clear()
+        trace = make_trace_id()
+        response = service.execute(
+            QueryRequest(
+                query="swap", database="main", shards=2,
+                explain=True, trace_id=trace,
+            )
+        )
+        assert response.ok
+        record = flight.lookup(trace)
+        assert record is not None
+        spans = record["spans"]
+        respawns = [s for s in spans if s["name"] == "shard.respawn"]
+        assert respawns, f"no respawn span in {span_names(spans)}"
+        assert all(s["trace_id"] == trace for s in respawns)
+        assert all(s["attrs"]["retries"] >= 1 for s in respawns)
+        # The retried shard still contributed worker spans.
+        workers = [s for s in spans if s["name"] == "worker.task"]
+        assert sorted({w["attrs"]["shard"] for w in workers}) == [0, 1]
