@@ -1,0 +1,254 @@
+"""The compilation benchmark: compiled-RA vs reduction, per plan class.
+
+Registers one certified plan per relational-algebra class (filter,
+project, equi-join, union, difference, intersection) plus transitive
+closure, runs each twice — on the ``"ra"`` engine and on the reduction
+baseline (``nbe`` for terms, the staged ``fixpoint`` evaluator for the
+closure) — and writes ``BENCH_compile.json``:
+
+* per plan: the compile decision (TLI028 operator chain), both wall
+  times, the speedup, both step counts, and whether the compiled
+  relation is set-equal to the baseline;
+* the last observed/bound ratio per query (compiled operations are a
+  lower bound on reduction steps, so the certified envelope must hold
+  with ratio <= 1);
+* the service's ``repro_compile_*`` metrics snapshot.
+
+Correctness (set equality, compiled decisions, bound ratios <= 1) is
+asserted unconditionally.  The >= 10x speedup gates — wall-clock on the
+best term plan, step-count on the fixpoint — only apply to full (non
+``--smoke``) runs, where the workload is large enough for interpreter
+noise to wash out.
+
+    python benchmarks/bench_compile.py --smoke --out /tmp/BENCH_compile.json
+    python benchmarks/bench_compile.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+def build_catalog(tuples: int, seed: int):
+    from repro.db.generators import random_graph_relation, random_relation
+    from repro.db.relations import Database
+    from repro.queries.fixpoint import transitive_closure_query
+    from repro.queries.language import QueryArity
+    from repro.queries.relalg_compile import build_ra_query
+    from repro.relalg.ast import (
+        Base,
+        ColumnEqualsColumn,
+        ColumnEqualsConst,
+        Difference,
+        Intersection,
+        Product,
+        Project,
+        Select,
+        Union,
+    )
+    from repro.service import Catalog
+
+    r = random_relation(2, tuples, seed=seed)
+    s = random_relation(2, tuples, seed=seed + 1)
+    database = Database.of({"R": r, "S": s})
+    # A sparse graph for the closure: stage count and per-stage volume
+    # are what the set-based runner accelerates.
+    nodes = max(5, min(14, tuples // 6))
+    graph = Database.of({"E": random_graph_relation(nodes, 0.3, seed=seed)})
+
+    schema = {"R": 2, "S": 2}
+    constant = next(iter(r.tuples))[0]
+    plans = {
+        # One fold with a residual equality branch.
+        "filter": Select(Base("R"), ColumnEqualsConst(0, constant)),
+        # One fold, columns permuted on emit.
+        "project": Project(Base("R"), (1, 0)),
+        # R(a,b) |x| S(b,c) -> (a,c): the nested-fold shape the physical
+        # planner rewrites into a hash join.
+        "join": Project(
+            Select(Product(Base("R"), Base("S")), ColumnEqualsColumn(1, 2)),
+            (0, 3),
+        ),
+        # Two parallel folds.
+        "union": Union(Project(Base("R"), (1, 0)), Base("S")),
+        # Anti-join probe against a cached key-set.
+        "difference": Difference(Base("R"), Base("S")),
+        # Semi-join probe.
+        "intersect": Intersection(Base("R"), Base("S")),
+    }
+    catalog = Catalog()
+    catalog.register_database("main", database)
+    catalog.register_database("graph", graph)
+    signature = QueryArity((2, 2), 2)
+    for name, expr in plans.items():
+        entry = catalog.register_query(
+            name,
+            build_ra_query(expr, ["R", "S"], schema),
+            signature=signature,
+        )
+        assert entry.compiled is not None and entry.compiled.compiled, (
+            name,
+            entry.compiled,
+        )
+        assert entry.engine == "ra", (name, entry.engine)
+    tc = catalog.register_query("tc", transitive_closure_query("E"))
+    assert tc.compiled is not None and tc.compiled.compiled
+    return catalog, database, graph, list(plans)
+
+
+def run(smoke: bool, out: str) -> None:
+    from repro.service import QueryRequest, QueryService
+
+    tuples = 30 if smoke else 120
+    rounds = 1 if smoke else 3
+    catalog, database, graph, term_queries = build_catalog(tuples, seed=13)
+    cases = [(name, "main", "nbe") for name in term_queries]
+    cases.append(("tc", "graph", "fixpoint"))
+
+    rows = []
+    with QueryService(catalog) as service:
+        for query, db_name, baseline_engine in cases:
+            entry = service.catalog.get_query(query)
+            ra_s = base_s = 0.0
+            ra_steps = base_steps = 0
+            match = True
+            for _ in range(rounds):
+                # Version-bump so every timed execution is a cache miss.
+                service.update_database(
+                    db_name, database if db_name == "main" else graph
+                )
+                start = time.perf_counter()
+                compiled = service.execute(
+                    QueryRequest(query=query, database=db_name, engine="ra")
+                )
+                ra_s += time.perf_counter() - start
+                start = time.perf_counter()
+                baseline = service.execute(
+                    QueryRequest(
+                        query=query, database=db_name, engine=baseline_engine
+                    )
+                )
+                base_s += time.perf_counter() - start
+                assert compiled.ok and baseline.ok, (
+                    query, compiled.status, compiled.error,
+                    baseline.status, baseline.error,
+                )
+                assert compiled.engine == "ra", (
+                    f"{query} degraded to {compiled.engine}"
+                )
+                match = match and compiled.relation.same_set(
+                    baseline.relation
+                )
+                if query == "tc":
+                    assert compiled.stages == baseline.stages, query
+                ra_steps = compiled.steps
+                base_steps = baseline.steps
+            assert match, f"compiled result diverged for {query!r}"
+            rows.append(
+                {
+                    "query": query,
+                    "kind": entry.compiled.kind,
+                    "summary": entry.compiled.summary,
+                    "baseline_engine": baseline_engine,
+                    "match": match,
+                    "ra_wall_s": round(ra_s, 4),
+                    "baseline_wall_s": round(base_s, 4),
+                    "speedup": round(base_s / ra_s, 3) if ra_s else None,
+                    "ra_steps": ra_steps,
+                    "baseline_steps": base_steps,
+                    "step_ratio": (
+                        round(base_steps / ra_steps, 3) if ra_steps else None
+                    ),
+                }
+            )
+        ratio_gauge = service.registry.get("repro_steps_bound_ratio")
+        bound_ratios = {}
+        if ratio_gauge is not None:
+            for labels, value in ratio_gauge.items():
+                bound_ratios[labels.get("query", "?")] = value
+        for labels, value in bound_ratios.items():
+            assert value <= 1.0, (labels, value)
+        metrics = {
+            entry["name"]: entry["values"]
+            for entry in service.registry.as_dict()["metrics"]
+            if entry["name"].startswith("repro_compile_")
+        }
+
+    term_rows = [r for r in rows if r["query"] != "tc"]
+    fixpoint_row = next(r for r in rows if r["query"] == "tc")
+    term_speedups = [r["speedup"] for r in term_rows if r["speedup"]]
+    payload = {
+        "experiment": "compile",
+        "smoke": smoke,
+        "workload": {
+            "tuples": tuples,
+            "rounds": rounds,
+            "queries": [query for query, _, _ in cases],
+        },
+        "rows": rows,
+        "term_speedup_max": max(term_speedups) if term_speedups else None,
+        "fixpoint_step_ratio": fixpoint_row["step_ratio"],
+        "bound_ratios": bound_ratios,
+        "metrics": metrics,
+    }
+    if not smoke:
+        assert payload["term_speedup_max"] >= 10.0, (
+            "expected >= 10x wall-clock speedup on the best certified "
+            f"term plan, got {payload['term_speedup_max']}"
+        )
+        assert payload["fixpoint_step_ratio"] >= 10.0, (
+            "expected >= 10x step-count reduction on the set-based "
+            f"fixpoint, got {payload['fixpoint_step_ratio']}"
+        )
+
+    out_path = os.path.abspath(
+        out
+        or os.path.join(
+            os.path.dirname(os.path.abspath(__file__)),
+            os.pardir,
+            "BENCH_compile.json",
+        )
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in rows:
+        print(
+            f"{row['query']:>10} [{row['summary']}] "
+            f"ra {row['ra_wall_s']}s {row['baseline_engine']} "
+            f"{row['baseline_wall_s']}s speedup {row['speedup']}x "
+            f"steps {row['ra_steps']}/{row['baseline_steps']} "
+            f"match={row['match']}"
+        )
+    print(f"wrote {out_path}")
+
+
+def main(argv) -> None:
+    args = list(argv[1:])
+    smoke = False
+    out = None
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--smoke":
+            smoke = True
+        elif arg == "--out":
+            index += 1
+            out = args[index]
+        else:
+            raise SystemExit(f"unknown argument {arg!r}")
+        index += 1
+    run(smoke, out)
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0,
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"
+        ),
+    )
+    main(sys.argv)

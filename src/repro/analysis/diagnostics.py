@@ -272,6 +272,25 @@ CODES: Dict[str, CodeInfo] = {
             "caching degrades to whole-version invalidation and "
             "admission prices against the full database statistics.",
         ),
+        CodeInfo(
+            "TLI028",
+            "compiled to relational algebra",
+            Severity.INFO,
+            "The plan's normal form lowered to a set-backed "
+            "relational-algebra program (hash joins/probes, no "
+            "beta-reduction on the hot path); the service runs it on "
+            "the \"ra\" engine, with NBE kept as differential oracle "
+            "and runtime fallback.",
+        ),
+        CodeInfo(
+            "TLI029",
+            "compile fallback to reduction",
+            Severity.INFO,
+            "The plan falls outside the compiler's liftable normal-form "
+            "grammar (the message carries the fallback-taxonomy reason); "
+            "evaluation stays on the certified reduction engines — a "
+            "correctness-neutral, performance-only decision.",
+        ),
     )
 }
 

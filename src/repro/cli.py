@@ -414,6 +414,7 @@ def cmd_lint(args) -> int:
         lines.append(report.render(verbose=args.verbose))
         if args.analyze:
             lines.extend(_render_abstract_facts(report))
+            lines.extend(_render_compile_facts(target, report))
         if missing:
             lines.append(
                 f"  expected diagnostic(s) did not fire: {', '.join(missing)}"
@@ -481,6 +482,34 @@ def _render_abstract_facts(report) -> list:
     if getattr(report, "provenance", None) is not None:
         out.extend(f"  {line}" for line in report.provenance.render())
     return out
+
+
+def _render_compile_facts(target, report) -> list:
+    """The ``repro lint --analyze`` compile-decision line: what the
+    plan compiler (`repro.compile`) would do with this plan — the
+    physical operator chain when it lowers (TLI028), the fallback
+    taxonomy tag when it doesn't (TLI029)."""
+    from repro.compile import compile_decision, decision_for_fixpoint
+    from repro.queries.fixpoint import FixpointQuery
+
+    plan = target.plan
+    if isinstance(plan, FixpointQuery):
+        decision = decision_for_fixpoint(plan)
+    elif target.signature is not None and report.ok:
+        plan_term = (
+            report.simplified if report.simplified is not None else plan
+        )
+        decision = compile_decision(
+            plan_term, target.signature.inputs, target.signature.output
+        )
+    else:
+        return [
+            "  compile: not attempted "
+            "(needs a passing analysis with an arity signature)"
+        ]
+    if decision.compiled:
+        return [f"  compile: {decision.summary}"]
+    return [f"  compile: fallback ({decision.reason}) {decision.summary}"]
 
 
 def _load_batch_requests(path: str, service, constants):
@@ -1007,7 +1036,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db", required=True, help="database JSON file")
     p.add_argument("--arity", type=int, default=None,
                    help="expected output arity")
-    p.add_argument("--engine", choices=["nbe", "smallstep", "applicative"],
+    p.add_argument("--engine",
+                   choices=["nbe", "smallstep", "applicative", "ra"],
                    default="nbe")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(handler=cmd_run)
@@ -1180,7 +1210,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which registered database to query (default: the "
                         "only one)")
     p.add_argument("--engine", default=None,
-                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   choices=["nbe", "smallstep", "applicative", "ra", "fixpoint"],
                    help="override the plan's engine")
     p.add_argument("--arity", type=int, default=None,
                    help="expected output arity")
@@ -1213,7 +1243,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which registered database to query (default: the "
                         "only one)")
     p.add_argument("--engine", default=None,
-                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   choices=["nbe", "smallstep", "applicative", "ra", "fixpoint"],
                    help="override the plan's engine")
     p.add_argument("--arity", type=int, default=None,
                    help="expected output arity")
@@ -1267,7 +1297,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--task-timeout-s", type=float, default=None,
                    help="per-shard task deadline on the worker pool")
     p.add_argument("--engine", default=None,
-                   choices=["nbe", "smallstep", "applicative", "fixpoint"],
+                   choices=["nbe", "smallstep", "applicative", "ra", "fixpoint"],
                    help="override the plan's engine")
     p.add_argument("--arity", type=int, default=None,
                    help="expected output arity")

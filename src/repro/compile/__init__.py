@@ -1,0 +1,38 @@
+"""Certified-plan -> relational-algebra compilation engine (the ``"ra"`` engine).
+
+The paper's Section 5 upper bounds are evaluation *algorithms*: canonical
+TLI=0 terms translate to first-order / relational-algebra evaluation and
+TLI=1 terms to PTIME fixpoint iteration — they were never meant to be run
+by beta-reduction.  This package lowers the certifier's normalized plans
+to a small fold-structured IR (:mod:`repro.compile.ir`), rewrites the IR
+into hash-based physical operators (:mod:`repro.compile.planner`), and
+executes the result directly on Python sets/dicts
+(:mod:`repro.compile.executor`) — no beta-reduction on the hot path.
+Fixpoint queries skip the lambda tower entirely and iterate their RA step
+set-at-a-time (:mod:`repro.compile.fixpoint`).
+
+Plans the lowering cannot classify raise :class:`CompileFallback`; the
+service keeps NBE as the runtime fallback and differential oracle.
+"""
+
+from repro.compile.engine import (
+    CompiledRun,
+    CompiledTermPlan,
+    CompileDecision,
+    CompileFallback,
+    compile_decision,
+    compile_term_plan,
+    decision_for_fixpoint,
+)
+from repro.compile.fixpoint import run_fixpoint_query_compiled
+
+__all__ = [
+    "CompileDecision",
+    "CompileFallback",
+    "CompiledRun",
+    "CompiledTermPlan",
+    "compile_decision",
+    "compile_term_plan",
+    "decision_for_fixpoint",
+    "run_fixpoint_query_compiled",
+]

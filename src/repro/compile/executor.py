@@ -1,0 +1,256 @@
+"""Set-backed execution of physical plans — no beta-reduction anywhere.
+
+Output lists are persistent cons cells ``(row, rest)`` / ``None`` so the
+branch-heavy fold bodies can share accumulators in O(1), exactly like
+the Church lists they replace — but each fold is a plain Python loop
+over materialized tuples, each hash probe one frozen-set lookup, and
+each hash join one dict-of-buckets build plus per-row probes.
+
+The executor counts *operations* (tuples scanned, index entries built,
+rows emitted, probes issued) and reports them as the run's step count;
+every operation corresponds to at least one beta/delta step the NBE
+engine would have spent, so the certifier's cost envelopes — and the
+CI gate ``observed <= certified bound`` — remain sound for compiled
+runs.
+
+Hash indexes are cached per run, keyed by the relation name and the
+index shape, so a probe nested inside an outer scan builds its index
+once and answers each of the outer rows in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.compile.ir import (
+    AccRef,
+    Branch,
+    Col,
+    Emit,
+    Expr,
+    Fold,
+    HashJoin,
+    HashProbe,
+    Lit,
+    Nil,
+    Node,
+)
+from repro.db.relations import Database, Relation
+from repro.errors import SchemaError
+
+#: A persistent output list: ``None`` or ``(row, rest)``.
+ConsList = Optional[Tuple[Tuple[str, ...], "ConsList"]]
+
+#: Sentinel distinguishing "unbound" from a legitimately-``None`` (empty
+#: list) environment entry during save/restore around fold scopes.
+_ABSENT = object()
+
+
+@dataclass
+class _Run:
+    """Per-execution state: the database view, env, indexes, op count."""
+
+    relations: Dict[str, Relation]
+    env: Dict[str, object] = field(default_factory=dict)
+    sets: Dict[object, FrozenSet[Tuple[str, ...]]] = field(
+        default_factory=dict
+    )
+    buckets: Dict[object, Dict[Tuple[str, ...], List[tuple]]] = field(
+        default_factory=dict
+    )
+    ops: int = 0
+
+
+def execute(
+    body: Node,
+    input_names: Tuple[str, ...],
+    database: Database,
+    arities: Tuple[int, ...],
+) -> Tuple[List[Tuple[str, ...]], int]:
+    """Run a plan body against ``database``.
+
+    Binding is *positional* — the plan's i-th input binder takes the
+    database's i-th relation, exactly as the lambda runtime applies the
+    query term to the encoded relations in database order (the binder
+    names themselves are readback-fresh ``v0, v1, ...``).
+
+    Returns the emitted rows in list order (duplicates preserved —
+    callers dedup into a :class:`Relation`) and the operation count.
+    """
+    supplied = list(database)
+    if len(supplied) != len(input_names):
+        raise SchemaError(
+            f"plan binds {len(input_names)} inputs, database has "
+            f"{len(supplied)} relations"
+        )
+    relations: Dict[str, Relation] = {}
+    for (db_name, relation), name, arity in zip(
+        supplied, input_names, arities
+    ):
+        if relation.arity != arity:
+            raise SchemaError(
+                f"input {db_name!r} has arity {relation.arity}, "
+                f"plan compiled for {arity}"
+            )
+        relations[name] = relation
+    run = _Run(relations)
+    result = _eval(body, run)
+    rows: List[Tuple[str, ...]] = []
+    while result is not None:
+        rows.append(result[0])
+        result = result[1]
+    run.ops += len(rows)
+    return rows, run.ops
+
+
+def _scalar(expr: Expr, run: _Run) -> str:
+    if isinstance(expr, Col):
+        return run.env[expr.name]  # type: ignore[return-value]
+    if isinstance(expr, Lit):
+        return expr.value
+    raise TypeError(f"not an expr: {expr!r}")
+
+
+def _eval(node: Node, run: _Run) -> ConsList:
+    if isinstance(node, Nil):
+        return None
+    if isinstance(node, AccRef):
+        return run.env[node.name]  # type: ignore[return-value]
+    if isinstance(node, Emit):
+        tail = _eval(node.tail, run)
+        run.ops += 1
+        return (tuple(_scalar(e, run) for e in node.exprs), tail)
+    if isinstance(node, Branch):
+        if _scalar(node.lhs, run) == _scalar(node.rhs, run):
+            return _eval(node.then, run)
+        return _eval(node.else_, run)
+    if isinstance(node, Fold):
+        return _eval_fold(node, run)
+    if isinstance(node, HashProbe):
+        return _eval_probe(node, run)
+    if isinstance(node, HashJoin):
+        return _eval_join(node, run)
+    raise TypeError(f"not an IR node: {node!r}")
+
+
+def _eval_fold(node: Fold, run: _Run) -> ConsList:
+    acc = _eval(node.tail, run)
+    tuples = run.relations[node.source].tuples
+    env = run.env
+    saved = {
+        name: env.get(name, _ABSENT) for name in (*node.params, node.acc)
+    }
+    try:
+        for row in reversed(tuples):
+            run.ops += 1
+            for name, value in zip(node.params, row):
+                env[name] = value
+            env[node.acc] = acc
+            acc = _eval(node.body, run)
+    finally:
+        for name, value in saved.items():
+            if value is _ABSENT:
+                env.pop(name, None)
+            else:
+                env[name] = value
+    return acc
+
+
+def _key_set(node: HashProbe, run: _Run) -> FrozenSet[Tuple[str, ...]]:
+    positions = tuple(i for i, _ in node.keys)
+    filters = tuple(
+        (i, _scalar(e, run)) for i, e in node.filters
+    )
+    cache_key = (node.source, positions, filters, node.same_filters)
+    cached = run.sets.get(cache_key)
+    if cached is not None:
+        return cached
+    rows = run.relations[node.source].tuples
+    keys = set()
+    for row in rows:
+        run.ops += 1
+        if any(row[i] != value for i, value in filters):
+            continue
+        if any(row[i] != row[j] for i, j in node.same_filters):
+            continue
+        keys.add(tuple(row[i] for i in positions))
+    frozen = frozenset(keys)
+    run.sets[cache_key] = frozen
+    return frozen
+
+
+def _eval_probe(node: HashProbe, run: _Run) -> ConsList:
+    run.ops += 1
+    for lhs, rhs in node.guards:
+        if _scalar(lhs, run) != _scalar(rhs, run):
+            return _eval(node.else_, run)
+    index = _key_set(node, run)
+    probe = tuple(_scalar(e, run) for _, e in node.keys)
+    if probe in index:
+        return _eval(node.then, run)
+    return _eval(node.else_, run)
+
+
+def _bucket_index(
+    node: HashJoin, run: _Run
+) -> Dict[Tuple[str, ...], List[tuple]]:
+    positions = tuple(i for i, _ in node.keys)
+    filters = tuple((i, _scalar(e, run)) for i, e in node.filters)
+    cache_key = (node.inner, positions, filters, node.same_filters)
+    cached = run.buckets.get(cache_key)
+    if cached is not None:
+        return cached
+    index: Dict[Tuple[str, ...], List[tuple]] = {}
+    for row in run.relations[node.inner].tuples:
+        run.ops += 1
+        if any(row[i] != value for i, value in filters):
+            continue
+        if any(row[i] != row[j] for i, j in node.same_filters):
+            continue
+        index.setdefault(tuple(row[i] for i in positions), []).append(row)
+    run.buckets[cache_key] = index
+    return index
+
+
+def _eval_join(node: HashJoin, run: _Run) -> ConsList:
+    for lhs, rhs in node.guards:
+        if _scalar(lhs, run) != _scalar(rhs, run):
+            return _eval(node.tail, run)
+    env = run.env
+    outer_rows = run.relations[node.outer].tuples
+    saved = {
+        name: env.get(name, _ABSENT)
+        for name in (*node.outer_params, *node.inner_params)
+    }
+    emitted: List[Tuple[str, ...]] = []
+    try:
+        index = _bucket_index(node, run)
+        key_exprs = tuple(e for _, e in node.keys)
+        for row in outer_rows:
+            run.ops += 1
+            for name, value in zip(node.outer_params, row):
+                env[name] = value
+            if any(
+                _scalar(lhs, run) != _scalar(rhs, run)
+                for lhs, rhs in node.outer_tests
+            ):
+                continue
+            probe = tuple(_scalar(e, run) for e in key_exprs)
+            for match in index.get(probe, ()):
+                run.ops += 1
+                for name, value in zip(node.inner_params, match):
+                    env[name] = value
+                emitted.append(
+                    tuple(_scalar(e, run) for e in node.exprs)
+                )
+    finally:
+        for name, value in saved.items():
+            if value is _ABSENT:
+                env.pop(name, None)
+            else:
+                env[name] = value
+    acc = _eval(node.tail, run)
+    for row in reversed(emitted):
+        acc = (row, acc)
+    return acc

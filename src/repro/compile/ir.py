@@ -1,0 +1,258 @@
+"""The compilation IR: an extended relational-algebra of list folds.
+
+The lowering pass (:mod:`repro.compile.lower`) maps a normalized query
+body — a Church-list program over the input relations — onto this small
+first-order language.  Logical nodes mirror the normal-form grammar of
+the Section 4 operator library one-to-one:
+
+* :class:`Nil` / :class:`Emit` — the output list constructors ``n`` and
+  ``c e1..ek rest``;
+* :class:`Fold` — an input relation applied to a loop ``λȳ.λT. body``
+  and a start list (the paper's structural recursion over list-coded
+  relations);
+* :class:`Branch` — a residual ``Eq a b then else`` test;
+* :class:`AccRef` — a reference to an enclosing fold's accumulator.
+
+The physical planner (:mod:`repro.compile.planner`) replaces recognized
+logical shapes with hash-based operators: :class:`HashProbe` (semi-join /
+anti-join membership probes backed by a hashed key index) and
+:class:`HashJoin` (an equi-join that builds a hash index on the inner
+relation instead of re-scanning it per outer tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+# ---------------------------------------------------------------------------
+# Scalar expressions (tuple components)
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """A scalar: a bound column variable or a constant."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Col(Expr):
+    """A reference to a fold parameter (a column of the current row)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(Expr):
+    """A constant from the plan (a ``Const`` in the lambda term)."""
+
+    value: str
+
+
+# ---------------------------------------------------------------------------
+# Logical nodes
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    """Base class of IR nodes; every node evaluates to an output list."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Nil(Node):
+    """The empty output list (``n``)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Emit(Node):
+    """Cons one output tuple onto ``tail`` (``c e1 .. ek tail``)."""
+
+    exprs: Tuple[Expr, ...]
+    tail: Node
+
+
+@dataclass(frozen=True, slots=True)
+class AccRef(Node):
+    """Reference to an enclosing fold's accumulator."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Branch(Node):
+    """Residual equality test: ``Eq lhs rhs then else``."""
+
+    lhs: Expr
+    rhs: Expr
+    then: Node
+    else_: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Fold(Node):
+    """Structural recursion over an input relation:
+
+    ``source (λ params.. acc. body) tail`` — a right fold whose start
+    value is ``tail`` and whose step binds one row plus the accumulator.
+    """
+
+    source: str
+    params: Tuple[str, ...]
+    acc: str
+    body: Node
+    tail: Node
+
+
+# ---------------------------------------------------------------------------
+# Physical nodes (planner output)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class HashProbe(Node):
+    """Existence probe against a hashed key index of ``source``.
+
+    Replaces a fold whose body is an ``Eq``-branch chain where every
+    miss leaves the accumulator unchanged and the hit value is
+    independent of the loop row: semantically *"if some row of source
+    matches, yield ``then``, else ``else_``"* — a semi-join (or, with
+    the branches swapped by the caller, an anti-join) executed as one
+    O(1) set probe per evaluation instead of a relation scan.
+
+    ``keys`` pairs an index column of ``source`` with the outer-scope
+    expression it must equal; ``filters`` restrict which source rows
+    enter the index (column = constant, or column = column within the
+    row); ``guards`` are row-independent equality tests hoisted out of
+    the chain.
+    """
+
+    source: str
+    keys: Tuple[Tuple[int, Expr], ...]
+    filters: Tuple[Tuple[int, Expr], ...]
+    same_filters: Tuple[Tuple[int, int], ...]
+    guards: Tuple[Tuple[Expr, Expr], ...]
+    then: Node
+    else_: Node
+
+
+@dataclass(frozen=True, slots=True)
+class HashJoin(Node):
+    """Equi-join of an outer scan against a hash-indexed inner relation.
+
+    Replaces ``Fold(outer, .., Fold(inner, .., Eq-chain -> Emit, acc),
+    tail)``: the inner relation is indexed once on its join-key columns
+    and each outer row emits one tuple per matching inner row, in the
+    original fold order.
+
+    ``outer_params`` / ``inner_params`` name the bound columns so the
+    emitted ``exprs`` (and residual ``outer_tests`` / ``guards``) can be
+    evaluated against the joined row pair.
+    """
+
+    outer: str
+    outer_params: Tuple[str, ...]
+    inner: str
+    inner_params: Tuple[str, ...]
+    keys: Tuple[Tuple[int, Expr], ...]
+    filters: Tuple[Tuple[int, Expr], ...]
+    same_filters: Tuple[Tuple[int, int], ...]
+    outer_tests: Tuple[Tuple[Expr, Expr], ...]
+    guards: Tuple[Tuple[Expr, Expr], ...]
+    exprs: Tuple[Expr, ...]
+    tail: Node
+
+
+# ---------------------------------------------------------------------------
+# Rendering (EXPLAIN / diagnostics)
+# ---------------------------------------------------------------------------
+
+
+def _expr_str(expr: Expr) -> str:
+    if isinstance(expr, Col):
+        return expr.name
+    if isinstance(expr, Lit):
+        return repr(expr.value)
+    raise TypeError(f"not an expr: {expr!r}")
+
+
+def describe(node: Node) -> Dict[str, object]:
+    """Render a node as a JSON-friendly operator tree (for EXPLAIN)."""
+    if isinstance(node, Nil):
+        return {"op": "nil"}
+    if isinstance(node, AccRef):
+        return {"op": "acc", "name": node.name}
+    if isinstance(node, Emit):
+        return {
+            "op": "emit",
+            "row": [_expr_str(e) for e in node.exprs],
+            "tail": describe(node.tail),
+        }
+    if isinstance(node, Branch):
+        return {
+            "op": "branch",
+            "test": f"{_expr_str(node.lhs)} = {_expr_str(node.rhs)}",
+            "then": describe(node.then),
+            "else": describe(node.else_),
+        }
+    if isinstance(node, Fold):
+        return {
+            "op": "scan",
+            "source": node.source,
+            "columns": list(node.params),
+            "body": describe(node.body),
+            "tail": describe(node.tail),
+        }
+    if isinstance(node, HashProbe):
+        return {
+            "op": "hash-probe",
+            "source": node.source,
+            "keys": [f"#{i}={_expr_str(e)}" for i, e in node.keys],
+            "filters": [f"#{i}={_expr_str(e)}" for i, e in node.filters]
+            + [f"#{i}=#{j}" for i, j in node.same_filters],
+            "guards": [
+                f"{_expr_str(a)}={_expr_str(b)}" for a, b in node.guards
+            ],
+            "then": describe(node.then),
+            "else": describe(node.else_),
+        }
+    if isinstance(node, HashJoin):
+        return {
+            "op": "hash-join",
+            "outer": node.outer,
+            "inner": node.inner,
+            "keys": [f"#{i}={_expr_str(e)}" for i, e in node.keys],
+            "filters": [f"#{i}={_expr_str(e)}" for i, e in node.filters]
+            + [f"#{i}=#{j}" for i, j in node.same_filters],
+            "row": [_expr_str(e) for e in node.exprs],
+            "tail": describe(node.tail),
+        }
+    raise TypeError(f"not an IR node: {node!r}")
+
+
+def summarize(node: Node) -> str:
+    """One-line operator summary, e.g. ``scan(R)>hash-probe(S)``."""
+    parts: List[str] = []
+
+    def walk(n: Node) -> None:
+        if isinstance(n, Emit):
+            walk(n.tail)
+        elif isinstance(n, Branch):
+            walk(n.then)
+            walk(n.else_)
+        elif isinstance(n, Fold):
+            parts.append(f"scan({n.source})")
+            walk(n.body)
+            walk(n.tail)
+        elif isinstance(n, HashProbe):
+            parts.append(f"hash-probe({n.source})")
+            walk(n.then)
+            walk(n.else_)
+        elif isinstance(n, HashJoin):
+            parts.append(f"hash-join({n.outer}*{n.inner})")
+            walk(n.tail)
+
+    walk(node)
+    return ">".join(parts) if parts else "const"

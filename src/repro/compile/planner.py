@@ -1,0 +1,250 @@
+"""Physical planning: rewrite logical folds into hash-based operators.
+
+Two rewrites, applied bottom-up, turn the lowering's nested-loop folds
+into the plans a database engine would pick:
+
+* **Hash probe** (semi-join / anti-join): a fold whose body is an
+  ``Eq``-branch chain where every miss returns the fold's own
+  accumulator and the hit value mentions neither the loop row nor the
+  accumulator computes *"does any row of source match?"*.  The chain's
+  tests split into index keys (row column vs. outer value), build-time
+  filters (row column vs. constant, row column vs. row column) and
+  hoisted guards (row-independent).  One hashed key-set probe replaces
+  the scan; this is exactly the ``Member`` normal form, and with the
+  branches naturally swapped it covers ``Intersection`` and
+  ``Difference`` loop bodies.
+
+* **Hash join**: a fold over ``outer`` whose body folds ``inner`` down
+  to an ``Eq``-guarded single emission and threads the outer accumulator
+  straight through.  The inner relation is hash-indexed on its join-key
+  columns once; each outer row then emits one tuple per bucket match in
+  the original nested-loop order.  This covers ``Product`` (empty key)
+  and every equi-join the FO compiler produces as select-over-product.
+
+The choice of build side follows the read-set/cardinality facts the
+certifier already computed: the *inner* fold is always the build side —
+by construction of the normal forms the inner relation is the one
+re-scanned per outer tuple, so indexing it converts O(|R|·|S|) scans
+into O(|R| + |S|) hash work.  Cardinality intervals from the abstract
+interpreter are attached to the plan for EXPLAIN, not used to reorder:
+the fold nesting fixes a join order that is already certified by the
+plan's cost polynomial.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.compile.ir import (
+    AccRef,
+    Branch,
+    Col,
+    Emit,
+    Expr,
+    Fold,
+    HashJoin,
+    HashProbe,
+    Lit,
+    Nil,
+    Node,
+)
+
+
+def plan(node: Node) -> Node:
+    """Rewrite a lowered IR tree into its physical form."""
+    node = _map_children(node)
+    probe = _try_hash_probe(node)
+    if probe is not None:
+        return probe
+    join = _try_hash_join(node)
+    if join is not None:
+        return join
+    return node
+
+
+def _map_children(node: Node) -> Node:
+    if isinstance(node, Emit):
+        return Emit(node.exprs, plan(node.tail))
+    if isinstance(node, Branch):
+        return Branch(node.lhs, node.rhs, plan(node.then), plan(node.else_))
+    if isinstance(node, Fold):
+        return Fold(
+            node.source, node.params, node.acc, plan(node.body), plan(node.tail)
+        )
+    return node
+
+
+def _free_names(node: Node) -> FrozenSet[str]:
+    """Free column/accumulator names of ``node`` (respecting shadowing)."""
+    if isinstance(node, Nil):
+        return frozenset()
+    if isinstance(node, AccRef):
+        return frozenset([node.name])
+    if isinstance(node, Emit):
+        return _expr_names(node.exprs) | _free_names(node.tail)
+    if isinstance(node, Branch):
+        return (
+            _expr_names((node.lhs, node.rhs))
+            | _free_names(node.then)
+            | _free_names(node.else_)
+        )
+    if isinstance(node, Fold):
+        bound = frozenset(node.params) | frozenset([node.acc])
+        return (_free_names(node.body) - bound) | _free_names(node.tail)
+    if isinstance(node, HashProbe):
+        free = _free_names(node.then) | _free_names(node.else_)
+        free |= _expr_names(e for _, e in node.keys)
+        free |= _expr_names(e for _, e in node.filters)
+        for a, b in node.guards:
+            free |= _expr_names((a, b))
+        return free
+    if isinstance(node, HashJoin):
+        bound = frozenset(node.outer_params) | frozenset(node.inner_params)
+        free = _expr_names(node.exprs) - bound
+        free |= _expr_names(e for _, e in node.keys) - bound
+        free |= _expr_names(e for _, e in node.filters) - bound
+        for a, b in node.outer_tests + node.guards:
+            free |= _expr_names((a, b)) - bound
+        return free | _free_names(node.tail)
+    raise TypeError(f"not an IR node: {node!r}")
+
+
+def _expr_names(exprs) -> FrozenSet[str]:
+    return frozenset(e.name for e in exprs if isinstance(e, Col))
+
+
+def _split_chain(
+    body: Node, acc: str
+) -> Optional[Tuple[List[Tuple[Expr, Expr]], Node]]:
+    """Decompose ``body`` as an Eq-chain whose every miss is ``acc``."""
+    tests: List[Tuple[Expr, Expr]] = []
+    node = body
+    while isinstance(node, Branch):
+        if node.else_ != AccRef(acc):
+            return None
+        tests.append((node.lhs, node.rhs))
+        node = node.then
+    return tests, node
+
+
+def _classify(
+    tests: List[Tuple[Expr, Expr]], params: Tuple[str, ...]
+) -> Optional[
+    Tuple[
+        List[Tuple[int, Expr]],
+        List[Tuple[int, Expr]],
+        List[Tuple[int, int]],
+        List[Tuple[Expr, Expr]],
+    ]
+]:
+    """Split chain tests into keys / filters / same-row filters / guards.
+
+    ``params`` are the loop row's column names; anything else (outer
+    columns, constants) is loop-invariant.
+    """
+    index = {name: i for i, name in enumerate(params)}
+    keys: List[Tuple[int, Expr]] = []
+    filters: List[Tuple[int, Expr]] = []
+    same: List[Tuple[int, int]] = []
+    guards: List[Tuple[Expr, Expr]] = []
+    for lhs, rhs in tests:
+        lhs_col = index.get(lhs.name) if isinstance(lhs, Col) else None
+        rhs_col = index.get(rhs.name) if isinstance(rhs, Col) else None
+        if lhs_col is not None and rhs_col is not None:
+            same.append((lhs_col, rhs_col))
+        elif lhs_col is not None:
+            if isinstance(rhs, Lit):
+                filters.append((lhs_col, rhs))
+            else:
+                keys.append((lhs_col, rhs))
+        elif rhs_col is not None:
+            if isinstance(lhs, Lit):
+                filters.append((rhs_col, lhs))
+            else:
+                keys.append((rhs_col, lhs))
+        else:
+            guards.append((lhs, rhs))
+    return keys, filters, same, guards
+
+
+def _try_hash_probe(node: Node) -> Optional[Node]:
+    if not isinstance(node, Fold):
+        return None
+    split = _split_chain(node.body, node.acc)
+    if split is None:
+        return None
+    tests, hit = split
+    if not tests:
+        return None
+    # The hit value must not depend on the probed row or the accumulator
+    # — then the whole fold is "exists a matching row?".
+    if _free_names(hit) & (frozenset(node.params) | {node.acc}):
+        return None
+    classified = _classify(tests, node.params)
+    if classified is None:
+        return None
+    keys, filters, same, guards = classified
+    return HashProbe(
+        source=node.source,
+        keys=tuple(keys),
+        filters=tuple(filters),
+        same_filters=tuple(same),
+        guards=tuple(guards),
+        then=hit,
+        else_=node.tail,
+    )
+
+
+def _try_hash_join(node: Node) -> Optional[Node]:
+    if not isinstance(node, Fold) or not isinstance(node.body, Fold):
+        return None
+    outer, inner = node, node.body
+    if inner.tail != AccRef(outer.acc):
+        return None
+    split = _split_chain(inner.body, inner.acc)
+    if split is None:
+        return None
+    tests, hit = split
+    if not isinstance(hit, Emit) or hit.tail != AccRef(inner.acc):
+        return None
+    # Every emitted component must be a column of the joined row pair or
+    # a constant from an enclosing scope — no accumulator references.
+    if {outer.acc, inner.acc} & _expr_names(hit.exprs):
+        return None
+    inner_set = frozenset(inner.params)
+    inner_tests = [
+        t
+        for t in tests
+        if _expr_names(t) & inner_set
+    ]
+    outer_tests = [
+        t
+        for t in tests
+        if not (_expr_names(t) & inner_set)
+    ]
+    classified = _classify(inner_tests, inner.params)
+    if classified is None:
+        return None
+    keys, filters, same, _ = classified
+    # Key expressions must be evaluable before the inner loop runs.
+    for _, expr in keys:
+        if isinstance(expr, Col) and expr.name in inner_set:
+            return None
+    outer_set = frozenset(outer.params)
+    guards = [
+        t for t in outer_tests if not (_expr_names(t) & outer_set)
+    ]
+    row_tests = [t for t in outer_tests if _expr_names(t) & outer_set]
+    return HashJoin(
+        outer=outer.source,
+        outer_params=outer.params,
+        inner=inner.source,
+        inner_params=inner.params,
+        keys=tuple(keys),
+        filters=tuple(filters),
+        same_filters=tuple(same),
+        outer_tests=tuple(row_tests),
+        guards=tuple(guards),
+        exprs=hit.exprs,
+        tail=outer.tail,
+    )

@@ -29,15 +29,19 @@ class Relation:
     tuples: Tuple[TupleValue, ...]
 
     def __post_init__(self) -> None:
-        seen = set()
-        for row in self.tuples:
+        index: Dict[TupleValue, int] = {}
+        for position, row in enumerate(self.tuples):
             if len(row) != self.arity:
                 raise SchemaError(
                     f"tuple {row!r} has arity {len(row)}, expected {self.arity}"
                 )
-            if row in seen:
+            if row in index:
                 raise SchemaError(f"duplicate tuple {row!r}")
-            seen.add(row)
+            index[row] = position
+        # Hash index (tuple -> list position), built once per relation:
+        # membership tests and order lookups are O(1) instead of scans —
+        # oracle comparisons and probe-heavy evaluation stay linear.
+        object.__setattr__(self, "_index", index)
 
     # -- construction -------------------------------------------------------
 
@@ -83,10 +87,10 @@ class Relation:
         return iter(self.tuples)
 
     def __contains__(self, row: Sequence[str]) -> bool:
-        return tuple(row) in set(self.tuples)
+        return tuple(row) in self._index  # type: ignore[attr-defined]
 
     def as_set(self) -> frozenset:
-        return frozenset(self.tuples)
+        return frozenset(self._index)  # type: ignore[attr-defined]
 
     def same_set(self, other: "Relation") -> bool:
         """Set-level equality, ignoring tuple order."""
@@ -104,7 +108,10 @@ class Relation:
     def position(self, row: Sequence[str]) -> int:
         """Index of ``row`` in the list order; raises ``ValueError`` if
         absent.  This realizes the order predicate ``<`` of Definition 3.4."""
-        return self.tuples.index(tuple(row))
+        position = self._index.get(tuple(row))  # type: ignore[attr-defined]
+        if position is None:
+            raise ValueError(f"{tuple(row)!r} is not in relation")
+        return position
 
     def precedes(self, left: Sequence[str], right: Sequence[str]) -> bool:
         """Does ``left`` come strictly before ``right`` in the list order?"""

@@ -28,6 +28,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "COMPILE_METRIC_NAMES",
     "CORE_METRIC_NAMES",
     "Counter",
     "Gauge",
@@ -38,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "SHARD_METRIC_NAMES",
     "get_registry",
+    "install_compile_metrics",
     "install_core_metrics",
     "install_http_metrics",
     "install_shard_metrics",
@@ -582,6 +584,44 @@ def install_shard_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
         "shard_workers": registry.gauge(
             "repro_shard_workers",
             "Live worker processes in the shard pool",
+        ),
+    }
+
+
+#: Names the plan compiler exports (the ``"ra"`` engine of
+#: :mod:`repro.compile`).
+COMPILE_METRIC_NAMES = (
+    "repro_compile_plans_total",
+    "repro_compile_requests_total",
+    "repro_compile_runtime_fallbacks_total",
+)
+
+
+def install_compile_metrics(registry: MetricsRegistry) -> Dict[str, _Metric]:
+    """Pre-register the plan-compiler metric family on ``registry``.
+
+    Idempotent (same contract as :func:`install_core_metrics`); the
+    catalog's compile-at-registration pass and the runtime's ``"ra"``
+    dispatch both write through these handles.
+    """
+    return {
+        "compile_plans": registry.counter(
+            "repro_compile_plans_total",
+            "Compile decisions at plan registration, by outcome "
+            "(compiled / fallback) and plan kind (term / fixpoint)",
+            labels=("status", "kind"),
+        ),
+        "compile_requests": registry.counter(
+            "repro_compile_requests_total",
+            "Requests served by evaluation path "
+            "(compiled = the set-backed \"ra\" engine, "
+            "fallback = a reduction engine)",
+            labels=("path",),
+        ),
+        "compile_runtime_fallbacks": registry.counter(
+            "repro_compile_runtime_fallbacks_total",
+            "\"ra\" executions that degraded to NBE at run time "
+            "(defensive fallback; correctness-neutral)",
         ),
     }
 

@@ -12,13 +12,16 @@ it:
   supplied, plain principal-type reconstruction otherwise), hash-consed,
   and digested.  Registration fails fast on ill-typed or wrong-order
   terms — a request can never hit an unchecked plan.
-* **Engine auto-selection**: a plain term is a TLI=0-shaped plan and runs
-  on ``"nbe"`` (Theorem 5.1 territory: normalization is cheap); a
+* **Engine auto-selection**: a checked term plan is compiled once by
+  :mod:`repro.compile`; when it lowers cleanly to relational algebra the
+  entry defaults to the set-backed ``"ra"`` engine (TLI028), otherwise to
+  ``"nbe"`` with a TLI029 diagnostic naming the fallback reason.  A
   :class:`repro.queries.fixpoint.FixpointQuery` spec is a TLI=1 fixpoint
   tower and runs on the Theorem 5.2 PTIME stage evaluator
   (``"fixpoint"``) — naive normalization of those towers is exponential
-  (Section 5), so the spec form is the one to register.  An explicit
-  ``engine=`` overrides the choice.
+  (Section 5), so the spec form is the one to register; ``engine="ra"``
+  opts the spec into the set-based fixpoint runner.  An explicit
+  ``engine=`` always overrides the choice.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.analysis.analyzer import analyze_fixpoint, analyze_term
 from repro.analysis.cost import CostProfile, DatabaseStats
@@ -35,6 +38,11 @@ from repro.analysis.provenance import (
     ProvenanceFacts,
     check_schema_contract,
     database_schema,
+)
+from repro.compile import (
+    CompileDecision,
+    compile_decision,
+    decision_for_fixpoint,
 )
 from repro.db.encode import encode_relation
 from repro.db.relations import Database, Relation
@@ -141,6 +149,10 @@ class QueryEntry:
     #: evaluates this; ``term`` and ``digest`` stay on the original for
     #: cache continuity and reference cross-checks).
     simplified: Optional[Term] = None
+    #: The compiler's decision record (TLI028/TLI029): whether the plan
+    #: lowers to relational algebra, the operator chain when it does, and
+    #: the fallback-taxonomy reason when it doesn't.
+    compiled: Optional[CompileDecision] = None
 
     @property
     def output_arity(self) -> Optional[int]:
@@ -195,6 +207,9 @@ class QueryEntry:
                 else None
             ),
             "simplified": self.simplified is not None,
+            "compile": (
+                self.compiled.as_dict() if self.compiled is not None else None
+            ),
             "reads": (
                 self.provenance.describe()
                 if self.provenance is not None
@@ -213,6 +228,13 @@ class Catalog:
         self._lock = threading.RLock()
         self._databases: Dict[str, DatabaseEntry] = {}
         self._queries: Dict[str, QueryEntry] = {}
+        #: Optional hook invoked with each registration's
+        #: :class:`~repro.compile.CompileDecision` — the service runtime
+        #: attaches its metrics recorder here (the catalog itself stays
+        #: metrics-free).
+        self.compile_observer: Optional[
+            Callable[[CompileDecision], None]
+        ] = None
 
     # -- databases -----------------------------------------------------------
 
@@ -358,6 +380,8 @@ class Catalog:
                 f"got {type(query).__name__}"
             )
         self._cross_check_contract(entry)
+        if entry.compiled is not None and self.compile_observer is not None:
+            self.compile_observer(entry.compiled)
         with self._lock:
             self._queries[name] = entry
         return entry
@@ -421,7 +445,30 @@ class Catalog:
         simplified: Optional[Term] = None
         if report is not None and report.simplified is not None:
             simplified = intern_term(report.simplified)
-        chosen = validate_engine(engine) if engine else "nbe"
+        decision: Optional[CompileDecision] = None
+        if report is not None and signature is not None:
+            plan_term = simplified if simplified is not None else term
+            decision = compile_decision(
+                plan_term, signature.inputs, signature.output
+            )
+            if decision.compiled:
+                report.add(
+                    "TLI028",
+                    f"plan compiles to relational algebra: "
+                    f"{decision.summary}",
+                )
+            else:
+                report.add(
+                    "TLI029",
+                    f"compile fallback to reduction "
+                    f"({decision.reason}): {decision.summary}",
+                )
+        if engine:
+            chosen = validate_engine(engine)
+        elif decision is not None and decision.compiled:
+            chosen = "ra"
+        else:
+            chosen = "nbe"
         return QueryEntry(
             name=name,
             kind="term",
@@ -432,6 +479,7 @@ class Catalog:
             order=order,
             report=report,
             simplified=simplified,
+            compiled=decision,
         )
 
     def _register_fixpoint(
@@ -455,6 +503,16 @@ class Catalog:
         # compiled term is what non-fixpoint engines (reference
         # cross-checks) normalize.
         compiled = intern_term(build_fixpoint_query(query))
+        # A fixpoint step is already relational algebra, so the decision
+        # always compiles; the stage evaluator stays the default (``"ra"``
+        # is the per-entry/per-request opt-in to the set-based runner).
+        decision = decision_for_fixpoint(query) if check else None
+        if report is not None and decision is not None:
+            report.add(
+                "TLI028",
+                f"fixpoint step compiles to set algebra: "
+                f"{decision.summary}",
+            )
         chosen = (
             validate_engine(engine, allow_fixpoint=True)
             if engine
@@ -473,6 +531,7 @@ class Catalog:
             signature=signature,
             order=4,  # TLI=1 towers live at order 4 (Definition 3.7).
             report=report,
+            compiled=decision,
         )
 
     @staticmethod

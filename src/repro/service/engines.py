@@ -6,7 +6,13 @@ Term-shaped queries run on one of the :data:`ENGINES`:
   performance normalizer and the default;
 * ``"smallstep"`` — the reference small-step normalizer, normal order,
   with step counts (:mod:`repro.lam.reduce`);
-* ``"applicative"`` — small-step, applicative order.
+* ``"applicative"`` — small-step, applicative order;
+* ``"ra"`` — the plan compiler (:mod:`repro.compile`): the certified
+  plan is lowered to a set-backed relational-algebra program and run
+  directly on the database relations — no beta-reduction.  Requires the
+  ``database`` argument (the plan operates on relations, not on encoded
+  terms) and only accepts plans the lowering recognizes; both
+  restrictions raise so callers (the runtime) can fall back to NBE.
 
 Fixpoint-query specs (:class:`repro.queries.fixpoint.FixpointQuery`) do not
 go through this module: the service runtime dispatches them to the
@@ -18,7 +24,10 @@ Theorem 5.2 stage-materializing evaluator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.relations import Database
 
 from repro.errors import EvaluationError
 from repro.lam.nbe import nbe_normalize_counted
@@ -26,7 +35,10 @@ from repro.lam.reduce import DEFAULT_FUEL, Strategy, normalize
 from repro.lam.terms import Term, app
 
 #: The term-level engines, in documentation order.
-ENGINES = ("nbe", "smallstep", "applicative")
+ENGINES = ("nbe", "smallstep", "applicative", "ra")
+
+#: The compiled set-backed engine's name (a member of :data:`ENGINES`).
+RA_ENGINE = "ra"
 
 #: Engine name used by the runtime for fixpoint-query specs (not a member
 #: of :data:`ENGINES`: it applies to specs, not raw terms).
@@ -74,14 +86,42 @@ def evaluate_term_query(
     fuel: int = DEFAULT_FUEL,
     max_depth: int = DEFAULT_MAX_DEPTH,
     observer: Optional[Callable[[dict], None]] = None,
+    database: Optional["Database"] = None,
+    output_arity: Optional[int] = None,
 ) -> EngineResult:
     """Normalize ``(query r̄1 ... r̄l)`` — Definition 3.10's application of a
     query term to an already-encoded database — on the selected engine.
 
     ``observer`` receives the engine's step breakdown dict (the
     :mod:`repro.obs.profiler` contract); step totals are unchanged by it.
+
+    ``database`` and ``output_arity`` are required by (and only used by)
+    the ``"ra"`` engine, which executes on the relations themselves; its
+    result normal form is synthesized from the computed relation, not
+    reduced.
     """
     validate_engine(engine)
+    if engine == "ra":
+        if database is None or output_arity is None:
+            raise EvaluationError(
+                'engine "ra" needs the database relations and the '
+                "certified output arity, not only the encodings"
+            )
+        from repro.compile import compile_term_plan
+
+        arities = tuple(
+            relation.arity for _, relation in database
+        )
+        plan = compile_term_plan(query, arities, output_arity)
+        run = plan.execute(database)
+        if observer is not None:
+            # "steps" keeps ProfileCollector totals meaningful; the
+            # dedicated key marks them as set-executor operations, not
+            # reduction steps.
+            observer({"steps": run.ops, "ra_ops": run.ops})
+        return EngineResult(
+            normal_form=run.normal_form, engine=engine, steps=run.ops
+        )
     applied = app(query, *encoded_inputs)
     if engine == "nbe":
         normal_form, steps = nbe_normalize_counted(

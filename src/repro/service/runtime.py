@@ -73,14 +73,25 @@ from repro.analysis.provenance import (
     scanned_relation_names,
     version_subvector,
 )
+from repro.compile import (
+    CompileDecision,
+    CompileFallback,
+    run_fixpoint_query_compiled,
+)
 from repro.db.decode import decode_relation
 from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
-from repro.errors import FuelExhausted, ReproError, SchemaError
+from repro.errors import (
+    EvaluationError,
+    FuelExhausted,
+    ReproError,
+    SchemaError,
+)
 from repro.lam.terms import Term, digest
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     MetricsRegistry,
+    install_compile_metrics,
     install_core_metrics,
     install_shard_metrics,
     quantile,
@@ -100,6 +111,7 @@ from repro.service.catalog import (
 from repro.service.engines import (
     DEFAULT_MAX_DEPTH,
     FIXPOINT_ENGINE,
+    RA_ENGINE,
     evaluate_term_query,
     validate_engine,
 )
@@ -301,6 +313,9 @@ class _ResolvedQuery:
     #: The Definition 3.7 order certificate found at registration
     #: (``i + 3`` for TLI=i); reported in explain output.
     order: Optional[int] = None
+    #: The compiler's registration-time decision (TLI028/TLI029);
+    #: EXPLAIN's static section carries it.
+    compiled: Optional[CompileDecision] = None
 
 
 class QueryService:
@@ -338,6 +353,10 @@ class QueryService:
             self.enable_flight(flight)
         self._metrics = install_core_metrics(self.registry)
         self._shard_metrics = install_shard_metrics(self.registry)
+        self._compile_metrics = install_compile_metrics(self.registry)
+        # Registration-time compile decisions land on the service's
+        # registry (the catalog itself is metrics-free).
+        self.catalog.compile_observer = self._record_compile_decision
         self._max_workers = max_workers
         self._inflight: Dict[CacheKey, Tuple[threading.Lock, int]] = {}
         self._inflight_guard = threading.Lock()
@@ -559,6 +578,7 @@ class QueryService:
                 signature=entry.signature,
                 provenance=entry.provenance,
                 order=entry.order,
+                compiled=entry.compiled,
             )
         if isinstance(query, FixpointQuery):
             spec_digest = hashlib.sha256(repr(query).encode()).hexdigest()
@@ -769,7 +789,8 @@ class QueryService:
             query=resolved.name,
             database=db_entry.name,
             database_version=db_entry.version,
-            engine=resolved.engine,
+            # What actually ran ("ra" may have degraded to "nbe").
+            engine=computed.engine,
             relation=computed.relation,
             normal_form=computed.normal_form,
             steps=computed.steps,
@@ -834,6 +855,7 @@ class QueryService:
             return self._evaluate_sharded(
                 request, resolved, db_entry, arity, policy, shard_plan
             )
+        ran_engine = resolved.engine
         if resolved.engine == FIXPOINT_ENGINE:
             from repro.eval.ptime import run_fixpoint_query
 
@@ -852,6 +874,23 @@ class QueryService:
             steps: Optional[int] = run.nbe_steps
             stages: Optional[int] = run.stages
             fuel: Optional[int] = None
+        elif (
+            resolved.engine == RA_ENGINE and resolved.fixpoint is not None
+        ):
+            # The set-based fixpoint runner: RA stages on Python sets,
+            # no lambda tower anywhere.
+            with tracer.span("evaluate", engine=RA_ENGINE) as span:
+                run = run_fixpoint_query_compiled(
+                    resolved.fixpoint, db_entry.database
+                )
+                collector({"steps": run.nbe_steps})
+                self._annotate_evaluation(span, collector)
+                span.set_attr("stages", run.stages)
+            self._compile_metrics["compile_requests"].inc(path="compiled")
+            decoded, normal_form = run.decoded, run.normal_form
+            steps = run.nbe_steps
+            stages = run.stages
+            fuel = None
         else:
             with tracer.span("fuel") as span:
                 fuel = self._fuel_for(request, resolved, db_entry)
@@ -862,13 +901,8 @@ class QueryService:
                 )
             with tracer.span("evaluate", engine=resolved.engine) as span:
                 try:
-                    result = evaluate_term_query(
-                        resolved.term,
-                        db_entry.encoded,
-                        engine=resolved.engine,
-                        fuel=fuel,
-                        max_depth=request.max_depth,
-                        observer=collector,
+                    result, ran_engine = self._evaluate_term(
+                        request, resolved, db_entry, fuel, collector, span
                     )
                 finally:
                     self._annotate_evaluation(span, collector)
@@ -882,7 +916,7 @@ class QueryService:
             relation=decoded.relation,
             decoded=decoded,
             normal_form=normal_form,
-            engine=resolved.engine,
+            engine=ran_engine,
             steps=steps,
             stages=stages,
             compute_wall_ms=compute_ms,
@@ -890,6 +924,54 @@ class QueryService:
             profile=self._finish_profile(collector, resolved, db_entry, steps),
             database_version=db_entry.version,
         )
+
+    def _evaluate_term(
+        self,
+        request: QueryRequest,
+        resolved: _ResolvedQuery,
+        db_entry: DatabaseEntry,
+        fuel: int,
+        collector: ProfileCollector,
+        span,
+    ):
+        """One in-process term evaluation, with the ``"ra"`` runtime
+        fallback: a plan that cannot compile (or lacks the certified
+        output arity) degrades to NBE — same relation, reduction
+        semantics — and the degradation is counted and annotated rather
+        than surfaced as an error."""
+        engine = resolved.engine
+        if engine == RA_ENGINE:
+            try:
+                result = evaluate_term_query(
+                    resolved.term,
+                    db_entry.encoded,
+                    engine=engine,
+                    fuel=fuel,
+                    max_depth=request.max_depth,
+                    observer=collector,
+                    database=db_entry.database,
+                    output_arity=resolved.output_arity,
+                )
+                self._compile_metrics["compile_requests"].inc(
+                    path="compiled"
+                )
+                return result, engine
+            except (CompileFallback, EvaluationError, SchemaError) as exc:
+                self._compile_metrics["compile_runtime_fallbacks"].inc()
+                self._compile_metrics["compile_requests"].inc(
+                    path="fallback"
+                )
+                span.set_attr("compile_fallback", str(exc))
+                engine = "nbe"
+        result = evaluate_term_query(
+            resolved.term,
+            db_entry.encoded,
+            engine=engine,
+            fuel=fuel,
+            max_depth=request.max_depth,
+            observer=collector,
+        )
+        return result, engine
 
     # -- sharded evaluation --------------------------------------------------
 
@@ -1005,6 +1087,13 @@ class QueryService:
             self._shard_metrics["shard_workers"].set(self._shard_pool.size)
             return self._shard_pool
 
+    def _record_compile_decision(self, decision: CompileDecision) -> None:
+        """Catalog hook: fold registration-time compile decisions into
+        the ``repro_compile_plans_total`` counter."""
+        self._compile_metrics["compile_plans"].inc(
+            status=decision.status, kind=decision.kind
+        )
+
     def _shard_event(self, event: str) -> None:
         """Pool observer: fold worker-pool events into the registry."""
         metric = {
@@ -1037,7 +1126,7 @@ class QueryService:
             resolved.provenance, db_entry.database
         )
         if resolved.fixpoint is not None and (
-            resolved.engine == FIXPOINT_ENGINE
+            resolved.engine in (FIXPOINT_ENGINE, RA_ENGINE)
         ):
             outcome = execute_sharded_fixpoint(
                 pool=pool,
@@ -1217,6 +1306,11 @@ class QueryService:
                 if resolved.provenance is not None
                 else None
             ),
+            "compile": (
+                resolved.compiled.as_dict()
+                if resolved.compiled is not None
+                else None
+            ),
         }
         if db_entry is not None and resolved.cost is not None:
             stats = db_entry.stats
@@ -1393,7 +1487,7 @@ class QueryService:
             query=resolved.name,
             database=db_entry.name,
             database_version=db_entry.version,
-            engine=resolved.engine,
+            engine=cached.engine,
             relation=cached.relation,
             normal_form=cached.normal_form,
             steps=cached.steps,
@@ -1562,7 +1656,13 @@ def run_once(
     validate_engine(engine)
     encoded = encode_database(database)
     result = evaluate_term_query(
-        query, encoded, engine=engine, fuel=fuel, max_depth=max_depth
+        query,
+        encoded,
+        engine=engine,
+        fuel=fuel,
+        max_depth=max_depth,
+        database=database,
+        output_arity=arity,
     )
     decoded = decode_relation(result.normal_form, arity)
     return decoded, result

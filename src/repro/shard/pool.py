@@ -48,7 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.db.encode import encode_database
 from repro.db.relations import Database, Relation
-from repro.errors import FuelExhausted, ReproError
+from repro.errors import EvaluationError, FuelExhausted, ReproError
 from repro.obs.tracing import NOOP_SPAN, SpanRecorder
 
 #: Events reported to the pool's observer callback.
@@ -152,6 +152,7 @@ def execute_task(
             _resolve_database(task, cache)
             return {"ok": True, "kind": "db"}
         if kind == "term":
+            from repro.compile import CompileFallback
             from repro.db.decode import decode_relation
             from repro.obs.profiler import ProfileCollector
             from repro.service.engines import evaluate_term_query
@@ -167,19 +168,37 @@ def execute_task(
                         and task.get("db_digest") in cache
                     ),
                 ):
-                    _, encoded = _resolve_database(task, cache)
+                    database, encoded = _resolve_database(task, cache)
                 collector = ProfileCollector()
+                engine = task.get("engine", "nbe")
                 with recorder.span(
-                    "worker.evaluate", engine=task.get("engine", "nbe")
+                    "worker.evaluate", engine=engine
                 ) as span:
-                    result = evaluate_term_query(
-                        task["term"],
-                        encoded,
-                        engine=task.get("engine", "nbe"),
-                        fuel=task.get("fuel"),
-                        max_depth=task.get("max_depth", 600_000),
-                        observer=collector,
-                    )
+                    try:
+                        result = evaluate_term_query(
+                            task["term"],
+                            encoded,
+                            engine=engine,
+                            fuel=task.get("fuel"),
+                            max_depth=task.get("max_depth", 600_000),
+                            observer=collector,
+                            database=database,
+                            output_arity=task.get("arity"),
+                        )
+                    except (CompileFallback, EvaluationError):
+                        # "ra" degrades to NBE per shard (same relation,
+                        # reduction semantics); other engines re-raise.
+                        if engine != "ra":
+                            raise
+                        span.set_attr("compile_fallback", True)
+                        result = evaluate_term_query(
+                            task["term"],
+                            encoded,
+                            engine="nbe",
+                            fuel=task.get("fuel"),
+                            max_depth=task.get("max_depth", 600_000),
+                            observer=collector,
+                        )
                     span.set_attr("steps", result.steps)
                 decoded = decode_relation(
                     result.normal_form, task.get("arity")

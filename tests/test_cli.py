@@ -194,7 +194,7 @@ class TestCatalogCommand:
         )
         assert code == 0
         assert "db g v1" in out
-        assert "query swap kind=term engine=nbe" in out
+        assert "query swap kind=term engine=ra" in out
         assert "order=3" in out
         assert "query tc kind=fixpoint engine=fixpoint" in out
 

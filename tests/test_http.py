@@ -585,7 +585,9 @@ class TestEdgeEndToEnd:
         async def scenario(edge):
             status, _, payload = await request(
                 edge.port, "POST", "/v1/query",
-                body={"query": "swap", "fuel": 2},
+                # Fuel applies to reduction engines, so pin "nbe" (the
+                # auto-selected compiled engine never exhausts fuel).
+                body={"query": "swap", "fuel": 2, "engine": "nbe"},
             )
             assert status == 422
             assert payload["status"] == "fuel_exhausted"

@@ -79,7 +79,10 @@ class TestCatalog:
         entry = catalog.register_query(
             "swap", parse(SWAP), signature=SIG22
         )
-        assert entry.engine == "nbe"
+        # The plan compiles cleanly, so registration auto-selects the
+        # set-backed engine (TLI028).
+        assert entry.engine == "ra"
+        assert entry.compiled is not None and entry.compiled.compiled
         assert entry.kind == "term"
         assert entry.order == 3  # TLI=0 lives at order 3
         assert entry.output_arity == 2
